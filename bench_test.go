@@ -1,0 +1,316 @@
+package freemeasure_test
+
+// One benchmark per table/figure of the paper's evaluation section, plus
+// the section 3.4 overhead micro-benchmarks. Each figure benchmark runs
+// its experiment harness and reports the headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` regenerates the entire
+// evaluation. Full paper-scale series (CSV) come from `go run
+// ./cmd/experiments`.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/experiments"
+	"freemeasure/internal/pcap"
+	"freemeasure/internal/simnet"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// BenchmarkFig2WrenLAN: Wren tracking stepped CBR cross traffic on the
+// 100 Mbit/s LAN (paper Figure 2). Reports the mean absolute error of the
+// estimate against ground truth and the observation yield.
+func BenchmarkFig2WrenLAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig2(experiments.ShortFig2())
+		b.ReportMetric(res.MeanAbsError(), "errMbps")
+		b.ReportMetric(float64(res.Observations), "observations")
+		b.ReportMetric(res.WrenBW.Last(), "finalWrenMbps")
+		b.ReportMetric(res.AvailBW.Last(), "finalTruthMbps")
+	}
+}
+
+// BenchmarkFig3WrenWAN: Wren on the emulated 25 Mbit/s WAN with on/off TCP
+// cross traffic (paper Figure 3).
+func BenchmarkFig3WrenWAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3(experiments.ShortFig3())
+		b.ReportMetric(res.MeanAbsError(), "errMbps")
+		b.ReportMetric(float64(res.Observations), "observations")
+		b.ReportMetric(res.WrenBW.Last(), "finalWrenMbps")
+	}
+}
+
+// BenchmarkFig4WrenVNET: Wren observing the BSP neighbor pattern inside
+// the real-socket VNET overlay (paper Figure 4).
+func BenchmarkFig4WrenVNET(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig4()
+		cfg.Duration = 2 * time.Second
+		res, err := experiments.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Observations), "observations")
+		b.ReportMetric(res.WrenBW.Last(), "wrenMbps")
+		b.ReportMetric(res.LinkMbps, "linkMbps")
+	}
+}
+
+// BenchmarkFig6Testbed: the NWU/W&M testbed matrix and overlay derivation
+// (paper Figure 6).
+func BenchmarkFig6Testbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig6()
+		b.ReportMetric(res.Matrix[0][1], "nwuLanMbps")
+		b.ReportMetric(res.Matrix[0][2], "wanMbps")
+	}
+}
+
+// BenchmarkFig7VTTIF: VTTIF inferring the NAS MultiGrid topology from VNET
+// frames (paper Figure 7).
+func BenchmarkFig7VTTIF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig7()
+		cfg.Duration = 2 * time.Second
+		res, err := experiments.RunFig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct := 0.0
+		if res.TopologyCorrect {
+			correct = 1
+		}
+		b.ReportMetric(correct, "topologyCorrect")
+		b.ReportMetric(res.MaxEntryError, "maxEntryErr")
+	}
+}
+
+// BenchmarkFig8AdaptTestbed: GH vs optimal vs SA(+GH,+B) mapping the 4-VM
+// NAS MultiGrid run onto the NWU/W&M testbed (paper Figure 8).
+func BenchmarkFig8AdaptTestbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig8(3000, int64(i)+1)
+		b.ReportMetric(res.GHScore, "gh")
+		b.ReportMetric(res.OptScore, "optimal")
+		b.ReportMetric(res.SAFinalBest(), "sa")
+		b.ReportMetric(res.SAGHFinalBest(), "saGH")
+	}
+}
+
+// BenchmarkFig9Challenge: the challenge scenario's unique optimal mapping
+// (paper Figure 9): both GH and SA must place the chatty VMs in the fast
+// cluster.
+func BenchmarkFig9Challenge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig9(4000, int64(i)+1)
+		ok := 0.0
+		if res.GHOptimalShape && res.SAOptimalShape {
+			ok = 1
+		}
+		b.ReportMetric(ok, "bothOptimal")
+		b.ReportMetric(res.OptScore, "optimal")
+	}
+}
+
+// BenchmarkFig10aChallengeBW: 6-VM all-to-all on the challenge hosts,
+// residual-bandwidth objective (paper Figure 10a).
+func BenchmarkFig10aChallengeBW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig10(vadapt.ResidualBW{}, 3000, int64(i)+1)
+		b.ReportMetric(res.GHScore, "gh")
+		b.ReportMetric(res.SAGHFinalBest(), "saGH")
+		b.ReportMetric(res.OptScore, "optimal")
+	}
+}
+
+// BenchmarkFig10bChallengeBWLat: same with the bandwidth+latency objective
+// of equation 3 (paper Figure 10b).
+func BenchmarkFig10bChallengeBWLat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig10(vadapt.BWLatency{C: 100}, 3000, int64(i)+1)
+		b.ReportMetric(res.GHScore, "gh")
+		b.ReportMetric(res.SAGHFinalBest(), "saGH")
+		b.ReportMetric(res.OptScore, "optimal")
+	}
+}
+
+// BenchmarkFig11aBriteBW: scalability — 8-VM ring onto 32 VNET hosts over
+// a 256-node BRITE topology, residual-bandwidth objective (paper Figure
+// 11a). GH wall time vs SA wall time is the paper's headline contrast.
+func BenchmarkFig11aBriteBW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig11(vadapt.ResidualBW{}, 6000, int64(i)+1)
+		b.ReportMetric(res.GHScore, "gh")
+		b.ReportMetric(res.SAGHFinalBest(), "saGH")
+		b.ReportMetric(float64(res.GHElapsed.Microseconds()), "ghMicros")
+		b.ReportMetric(float64(res.SAElapsed.Microseconds()), "saMicros")
+	}
+}
+
+// BenchmarkFig11bBriteBWLat: same with the bandwidth+latency objective
+// (paper Figure 11b), where SA's advantage over GH grows because GH
+// ignores latency entirely.
+func BenchmarkFig11bBriteBWLat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig11(vadapt.BWLatency{C: 1000}, 6000, int64(i)+1)
+		b.ReportMetric(res.GHScore, "gh")
+		b.ReportMetric(res.SAGHFinalBest(), "saGH")
+	}
+}
+
+// BenchmarkTrainScanAblation: the section 2.1 claim — maximal
+// variable-length trains vs the earlier fixed-size bursts on the same
+// trace ("more measurements taken from less traffic").
+func BenchmarkTrainScanAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTrainScanAblation(simnet.Seconds(20), int64(i)+1)
+		b.ReportMetric(float64(res.VariablePkts), "varPkts")
+		b.ReportMetric(float64(res.Fixed8Pkts), "fixed8Pkts")
+		b.ReportMetric(float64(res.Fixed32Pkts), "fixed32Pkts")
+		b.ReportMetric(float64(res.VariableTrains), "varTrains")
+	}
+}
+
+// ---- Section 3.4 overheads ----
+
+// BenchmarkOverheadCaptureHook measures the per-packet cost of the trace
+// capture path (the "kernel-level Wren processing" on the critical path).
+func BenchmarkOverheadCaptureHook(b *testing.B) {
+	m := wren.NewMonitor("local", wren.Config{})
+	rec := pcap.Record{
+		At: 1, Dir: pcap.Out,
+		Flow: pcap.FlowKey{Local: "local", Remote: "peer"},
+		Size: 1500, Seq: 0, Len: 1460,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.At = int64(i)
+		rec.Seq = int64(i) * 1460
+		m.Feed(rec)
+	}
+}
+
+// BenchmarkOverheadTrainScan measures the user-level analysis throughput
+// (packets scanned per second).
+func BenchmarkOverheadTrainScan(b *testing.B) {
+	flow := pcap.FlowKey{Local: "a", Remote: "b"}
+	recs := make([]pcap.Record, 4096)
+	for i := range recs {
+		recs[i] = pcap.Record{
+			At: int64(i) * 120_000, Dir: pcap.Out, Flow: flow,
+			Size: 1500, Seq: int64(i) * 1460, Len: 1460,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wren.ScanTrains(recs, 1<<62, wren.ScanConfig{})
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkOverheadVTTIF measures the per-frame accounting cost on VNET's
+// forwarding hot path (the paper reports <= 1% throughput impact).
+func BenchmarkOverheadVTTIF(b *testing.B) {
+	l := vttif.NewLocal()
+	src, dst := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.AddFrame(src, dst, 1514)
+	}
+}
+
+// BenchmarkOverheadEthernetCodec measures frame encode+decode, the other
+// per-frame cost of the overlay data path.
+func BenchmarkOverheadEthernetCodec(b *testing.B) {
+	f := &ethernet.Frame{
+		Dst: ethernet.VMMAC(2), Src: ethernet.VMMAC(1),
+		Type: ethernet.TypeApp, Payload: make([]byte, 1400),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := f.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ethernet.Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadGreedyHeuristic measures GH's full cost on the
+// 32-host/8-VM scalability instance — the "completes almost
+// instantaneously" claim.
+func BenchmarkOverheadGreedyHeuristic(b *testing.B) {
+	p := experiments.Fig11Problem(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vadapt.Greedy(p)
+	}
+}
+
+// BenchmarkOverheadAnnealIteration measures the per-iteration cost of the
+// simulated annealing loop on the same instance.
+func BenchmarkOverheadAnnealIteration(b *testing.B) {
+	p := experiments.Fig11Problem(1, 0)
+	initial := vadapt.Greedy(p)
+	b.ResetTimer()
+	vadapt.Anneal(p, vadapt.ResidualBW{}, initial,
+		vadapt.SAConfig{Iterations: b.N, TraceEvery: 1 << 30, Seed: 1})
+}
+
+// BenchmarkPathMapperAblation: widest-path vs direct-path demand mapping
+// on a contention instance (DESIGN.md ablation).
+func BenchmarkPathMapperAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunPathMapperAblation()
+		b.ReportMetric(res.WidestScore, "widest")
+		b.ReportMetric(res.DirectScore, "direct")
+	}
+}
+
+// BenchmarkSAMappingProbAblation: annealing sensitivity to the
+// mapping-perturbation probability (DESIGN.md ablation).
+func BenchmarkSAMappingProbAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiments.RunSAMappingProbAblation(nil, 2000, int64(i)+1)
+		for _, pt := range points {
+			b.ReportMetric(pt.FinalBest, fmt.Sprintf("best@p%.2f", pt.Prob))
+		}
+	}
+}
+
+// BenchmarkMeasuredMatrix: section 4.4.1 — Wren passively measures the
+// testbed's full pairwise matrix; reports worst relative error vs the
+// configured capacities.
+func BenchmarkMeasuredMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mm := experiments.RunMeasuredMatrix(simnet.Seconds(25), int64(i)+1)
+		worst := 0.0
+		for r := range mm.Measured {
+			for c := range mm.Measured[r] {
+				if r == c || mm.Measured[r][c] == 0 {
+					continue
+				}
+				rel := mm.Measured[r][c]/mm.True[r][c] - 1
+				if rel < 0 {
+					rel = -rel
+				}
+				if rel > worst {
+					worst = rel
+				}
+			}
+		}
+		b.ReportMetric(float64(mm.Coverage), "pairsMeasured")
+		b.ReportMetric(worst*100, "worstErrPct")
+	}
+}

@@ -1,0 +1,140 @@
+// experiments regenerates the paper's figures as CSV files plus a text
+// summary, either at CI scale (default) or full paper scale (-paper).
+//
+//	go run ./cmd/experiments -out results            # all figures, short
+//	go run ./cmd/experiments -fig 2 -paper -out results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"freemeasure/internal/experiments"
+	"freemeasure/internal/simnet"
+	"freemeasure/internal/vadapt"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to run: all,2,3,4,6,7,8,9,10a,10b,11a,11b,ablation")
+		out   = flag.String("out", "results", "output directory for CSV files")
+		paper = flag.Bool("paper", false, "run at full paper scale (slow) instead of CI scale")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	save := func(name string, write func(w io.Writer) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	iters := 5000
+	if *paper {
+		iters = 20000
+	}
+
+	if want("2") {
+		cfg := experiments.ShortFig2()
+		if *paper {
+			cfg = experiments.DefaultFig2()
+		}
+		res := experiments.RunFig2(cfg)
+		fmt.Println("fig2:", res.Summary())
+		save("fig2.csv", res.WriteCSV)
+	}
+	if want("3") {
+		cfg := experiments.ShortFig3()
+		if *paper {
+			cfg = experiments.DefaultFig3()
+		}
+		res := experiments.RunFig3(cfg)
+		fmt.Println("fig3:", res.Summary())
+		save("fig3.csv", res.WriteCSV)
+	}
+	if want("4") {
+		res, err := experiments.RunFig4(experiments.DefaultFig4())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fig4: observations=%d wren=%.1fMbps (link %.0f Mbit/s)\n",
+			res.Observations, res.WrenBW.Last(), res.LinkMbps)
+		save("fig4.csv", func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "observations,%d\nwren_mbps,%.2f\nlink_mbps,%.0f\n",
+				res.Observations, res.WrenBW.Last(), res.LinkMbps)
+			return err
+		})
+	}
+	if want("6") {
+		res := experiments.RunFig6()
+		var sb strings.Builder
+		res.WriteTable(&sb)
+		fmt.Print("fig6:\n", sb.String())
+		save("fig6.txt", res.WriteTable)
+	}
+	if want("7") {
+		res, err := experiments.RunFig7(experiments.DefaultFig7())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sb strings.Builder
+		res.WriteMatrix(&sb)
+		fmt.Print("fig7:\n", sb.String())
+		save("fig7.txt", res.WriteMatrix)
+	}
+	if want("8") {
+		res := experiments.RunFig8(iters, *seed)
+		fmt.Println("fig8:", res.Summary())
+		save("fig8.csv", res.WriteCSV)
+	}
+	if want("9") {
+		res := experiments.RunFig9(iters, *seed)
+		fmt.Printf("fig9: gh=%v (optimal shape %v), sa=%v (optimal shape %v), optimum=%v\n",
+			res.GHMapping, res.GHOptimalShape, res.SAMapping, res.SAOptimalShape, res.OptMapping)
+	}
+	if want("10a") {
+		res := experiments.RunFig10(vadapt.ResidualBW{}, iters, *seed)
+		fmt.Println("fig10a:", res.Summary())
+		save("fig10a.csv", res.WriteCSV)
+	}
+	if want("10b") {
+		res := experiments.RunFig10(vadapt.BWLatency{C: 100}, iters, *seed)
+		fmt.Println("fig10b:", res.Summary())
+		save("fig10b.csv", res.WriteCSV)
+	}
+	if want("11a") {
+		res := experiments.RunFig11(vadapt.ResidualBW{}, iters, *seed)
+		fmt.Println("fig11a:", res.Summary())
+		save("fig11a.csv", res.WriteCSV)
+	}
+	if want("11b") {
+		res := experiments.RunFig11(vadapt.BWLatency{C: 1000}, iters, *seed)
+		fmt.Println("fig11b:", res.Summary())
+		save("fig11b.csv", res.WriteCSV)
+	}
+	if want("ablation") {
+		dur := simnet.Seconds(30)
+		if *paper {
+			dur = simnet.Seconds(300)
+		}
+		res := experiments.RunTrainScanAblation(dur, *seed)
+		fmt.Printf("ablation: %d packets; variable: %d trains covering %d pkts; fixed-8: %d/%d; fixed-32: %d/%d\n",
+			res.Packets, res.VariableTrains, res.VariablePkts,
+			res.Fixed8Trains, res.Fixed8Pkts, res.Fixed32Trains, res.Fixed32Pkts)
+	}
+}

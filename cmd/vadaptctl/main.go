@@ -1,0 +1,140 @@
+// vadaptctl runs the adaptation algorithms over a JSON problem
+// specification read from a file or stdin.
+//
+//	vadaptctl -algorithm sa+gh -iterations 10000 problem.json
+//
+// Specification format:
+//
+//	{
+//	  "hosts": ["a", "b", "c"],
+//	  "links": [{"from": 0, "to": 1, "bw": 100, "latency": 1}, ...],
+//	  "complete": {"bw": 100, "latency": 1},   // optional: full mesh default
+//	  "vms": 2,
+//	  "demands": [{"src": 0, "dst": 1, "rate": 5}]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"freemeasure/internal/topology"
+	"freemeasure/internal/vadapt"
+)
+
+type linkSpec struct {
+	From    int     `json:"from"`
+	To      int     `json:"to"`
+	BW      float64 `json:"bw"`
+	Latency float64 `json:"latency"`
+}
+
+type demandSpec struct {
+	Src  int     `json:"src"`
+	Dst  int     `json:"dst"`
+	Rate float64 `json:"rate"`
+}
+
+type problemSpec struct {
+	Hosts    []string   `json:"hosts"`
+	Links    []linkSpec `json:"links"`
+	Complete *struct {
+		BW      float64 `json:"bw"`
+		Latency float64 `json:"latency"`
+	} `json:"complete"`
+	VMs     int          `json:"vms"`
+	Demands []demandSpec `json:"demands"`
+}
+
+func load(r io.Reader) (*vadapt.Problem, error) {
+	var spec problemSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, err
+	}
+	if len(spec.Hosts) == 0 {
+		return nil, fmt.Errorf("no hosts")
+	}
+	var g *topology.Graph
+	if spec.Complete != nil {
+		g = topology.Complete(len(spec.Hosts), func(a, b topology.NodeID) (float64, float64) {
+			return spec.Complete.BW, spec.Complete.Latency
+		})
+	} else {
+		g = topology.New(len(spec.Hosts))
+	}
+	for i, h := range spec.Hosts {
+		g.SetName(topology.NodeID(i), h)
+	}
+	for _, l := range spec.Links {
+		g.AddEdge(topology.NodeID(l.From), topology.NodeID(l.To), l.BW, l.Latency)
+	}
+	p := &vadapt.Problem{Hosts: g, NumVMs: spec.VMs}
+	for _, d := range spec.Demands {
+		p.Demands = append(p.Demands, vadapt.Demand{
+			Src: vadapt.VMID(d.Src), Dst: vadapt.VMID(d.Dst), Rate: d.Rate,
+		})
+	}
+	p.Validate()
+	return p, nil
+}
+
+func main() {
+	var (
+		algo    = flag.String("algorithm", "gh", "gh | sa | sa+gh | enum")
+		iters   = flag.Int("iterations", 10000, "annealing iterations")
+		seed    = flag.Int64("seed", 1, "annealing seed")
+		latC    = flag.Float64("latency-c", 0, "use the bandwidth+latency objective with this constant (0 = bandwidth only)")
+		verbose = flag.Bool("v", false, "print paths")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := load(in)
+	if err != nil {
+		log.Fatalf("vadaptctl: %v", err)
+	}
+	var obj vadapt.Objective = vadapt.ResidualBW{}
+	if *latC > 0 {
+		obj = vadapt.BWLatency{C: *latC}
+	}
+
+	var cfg *vadapt.Config
+	switch *algo {
+	case "gh":
+		cfg = vadapt.Greedy(p)
+	case "sa":
+		cfg, _ = vadapt.Anneal(p, obj, vadapt.RandomConfig(p, *seed),
+			vadapt.SAConfig{Iterations: *iters, Seed: *seed})
+	case "sa+gh":
+		cfg, _ = vadapt.Anneal(p, obj, vadapt.Greedy(p),
+			vadapt.SAConfig{Iterations: *iters, Seed: *seed})
+	case "enum":
+		cfg, _ = vadapt.Enumerate(p, obj)
+	default:
+		log.Fatalf("vadaptctl: unknown algorithm %q", *algo)
+	}
+	ev := obj.Evaluate(p, cfg)
+	fmt.Printf("objective : %s\n", obj.Name())
+	fmt.Printf("score     : %.3f (feasible=%v, bottleneckSum=%.3f)\n", ev.Score, ev.Feasible, ev.Bottleneck)
+	for vm, h := range cfg.Mapping {
+		fmt.Printf("vm%d -> %s\n", vm, p.Hosts.Name(h))
+	}
+	if *verbose {
+		for i, path := range cfg.Paths {
+			fmt.Printf("demand %d (vm%d->vm%d @ %.2f): %v\n",
+				i, p.Demands[i].Src, p.Demands[i].Dst, p.Demands[i].Rate, path)
+		}
+	}
+}

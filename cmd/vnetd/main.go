@@ -1,0 +1,136 @@
+// vnetd runs a standalone VNET daemon: it listens for overlay links,
+// optionally dials a proxy, and serves its Wren measurements over SOAP.
+//
+//	vnetd -name hostA -listen 127.0.0.1:9001 -soap 127.0.0.1:8001
+//	vnetd -name hostB -listen 127.0.0.1:9002 -connect 127.0.0.1:9001 -default-route hostA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"freemeasure/internal/pcap"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/wren"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "", "daemon name (required, unique in the overlay)")
+		listen   = flag.String("listen", "127.0.0.1:0", "address to accept overlay links on")
+		connect  = flag.String("connect", "", "comma-separated peer addresses to dial (TCP links)")
+		listenU  = flag.String("listen-udp", "", "also accept virtual-UDP links on this address")
+		connectU = flag.String("connect-udp", "", "comma-separated peer UDP addresses to dial (virtual-UDP links)")
+		deflt    = flag.String("default-route", "", "peer name for unknown destinations (the Proxy)")
+		soapAddr = flag.String("soap", "", "serve the Wren SOAP interface on this address")
+		forward  = flag.String("forward", "", "also ship filtered traces to a wrenrepod at this address")
+		rate     = flag.Float64("rate", 0, "token-bucket rate limit (Mbit/s) for dialed links; 0 = unlimited")
+		poll     = flag.Duration("poll", 500*time.Millisecond, "Wren analysis poll interval")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "vnetd: -name is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d := vnet.NewDaemon(*name)
+	monitor := wren.NewMonitor(*name, wren.Config{
+		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 3_000_000},
+	})
+	if *forward != "" {
+		fw, err := wren.DialRepository(*forward, *name, 0)
+		if err != nil {
+			log.Fatalf("vnetd: forward: %v", err)
+		}
+		defer fw.Close()
+		go func() {
+			for range time.Tick(*poll) {
+				fw.Flush()
+			}
+		}()
+		d.SetWrenFeed(func(r pcap.Record) {
+			monitor.Feed(r) // local analysis stays available
+			fw.Feed(r)
+		})
+	} else {
+		d.SetWrenFeed(monitor.Feed)
+	}
+
+	addr, err := d.Listen(*listen)
+	if err != nil {
+		log.Fatalf("vnetd: listen: %v", err)
+	}
+	log.Printf("vnetd %q listening on %s", *name, addr)
+
+	for _, peerAddr := range strings.Split(*connect, ",") {
+		peerAddr = strings.TrimSpace(peerAddr)
+		if peerAddr == "" {
+			continue
+		}
+		peer, err := d.Connect(peerAddr)
+		if err != nil {
+			log.Fatalf("vnetd: connect %s: %v", peerAddr, err)
+		}
+		log.Printf("vnetd: linked to %q at %s", peer, peerAddr)
+		if *rate > 0 {
+			if l, ok := d.Link(peer); ok {
+				l.SetRateMbps(*rate)
+			}
+		}
+	}
+	if *listenU != "" {
+		uaddr, err := d.ListenUDP(*listenU)
+		if err != nil {
+			log.Fatalf("vnetd: listen-udp: %v", err)
+		}
+		log.Printf("vnetd %q virtual-UDP endpoint on %s", *name, uaddr)
+	}
+	for _, peerAddr := range strings.Split(*connectU, ",") {
+		peerAddr = strings.TrimSpace(peerAddr)
+		if peerAddr == "" {
+			continue
+		}
+		peer, err := d.ConnectUDP(peerAddr)
+		if err != nil {
+			log.Fatalf("vnetd: connect-udp %s: %v", peerAddr, err)
+		}
+		log.Printf("vnetd: virtual-UDP link to %q at %s", peer, peerAddr)
+		if *rate > 0 {
+			if l, ok := d.Link(peer); ok {
+				l.SetRateMbps(*rate)
+			}
+		}
+	}
+	if *deflt != "" {
+		d.SetDefaultRoute(*deflt)
+	}
+
+	go func() {
+		for range time.Tick(*poll) {
+			monitor.Poll()
+		}
+	}()
+
+	if *soapAddr != "" {
+		go func() {
+			log.Printf("vnetd: Wren SOAP interface on http://%s/", *soapAddr)
+			if err := http.ListenAndServe(*soapAddr, wren.NewService(monitor)); err != nil {
+				log.Fatalf("vnetd: soap: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("vnetd %q: shutting down (stats %+v)", *name, d.Stats())
+	d.Close()
+}

@@ -1,0 +1,94 @@
+// wrenctl queries a Wren SOAP endpoint (as served by vnetd -soap).
+//
+//	wrenctl -url http://127.0.0.1:8001/ remotes
+//	wrenctl -url http://127.0.0.1:8001/ bw hostB
+//	wrenctl -url http://127.0.0.1:8001/ latency hostB
+//	wrenctl -url http://127.0.0.1:8001/ obs hostB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"freemeasure/internal/wren"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wrenctl -url URL {remotes | bw REMOTE | latency REMOTE | obs REMOTE [SINCE_NS]}")
+	os.Exit(2)
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8001/", "Wren SOAP endpoint")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := wren.NewClient(*url)
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "wrenctl:", err)
+		os.Exit(1)
+	}
+	switch args[0] {
+	case "remotes":
+		remotes, err := c.Remotes()
+		if err != nil {
+			die(err)
+		}
+		for _, r := range remotes {
+			fmt.Println(r)
+		}
+	case "bw":
+		if len(args) < 2 {
+			usage()
+		}
+		est, found, err := c.AvailableBandwidth(args[1])
+		if err != nil {
+			die(err)
+		}
+		if !found {
+			fmt.Println("no estimate")
+			return
+		}
+		fmt.Printf("%.2f Mbit/s (%s, bracket %.2f..%.2f, %d observations, quality %.2f)\n",
+			est.Mbps, est.Kind, est.Lo, est.Hi, est.Count, est.Quality)
+	case "latency":
+		if len(args) < 2 {
+			usage()
+		}
+		ms, found, err := c.Latency(args[1])
+		if err != nil {
+			die(err)
+		}
+		if !found {
+			fmt.Println("no estimate")
+			return
+		}
+		fmt.Printf("%.3f ms\n", ms)
+	case "obs":
+		if len(args) < 2 {
+			usage()
+		}
+		since := int64(0)
+		if len(args) >= 3 {
+			v, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				die(err)
+			}
+			since = v
+		}
+		obs, err := c.Observations(args[1], since)
+		if err != nil {
+			die(err)
+		}
+		for _, o := range obs {
+			fmt.Printf("at=%d isr=%.2fMbps congested=%v train=%d minRtt=%.3fms\n",
+				o.At, o.ISRMbps, o.Congested, o.TrainLen, float64(o.MinRTT)/1e6)
+		}
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,73 @@
+// wrenrepod runs a Wren trace repository: forwarders (e.g. vnetd with
+// -forward) ship filtered packet traces here, the repository analyzes them
+// centrally, and every origin's measurements are served over SOAP at
+// /origins/<name>/. GET /origins lists the origins.
+//
+//	wrenrepod -listen 127.0.0.1:7000 -http 127.0.0.1:7080
+//	curl http://127.0.0.1:7080/origins
+//	wrenctl -url http://127.0.0.1:7080/origins/hostA/ remotes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"freemeasure/internal/wren"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7000", "address for trace forwarders")
+		httpAddr = flag.String("http", "127.0.0.1:7080", "address for the SOAP/HTTP interface")
+		poll     = flag.Duration("poll", 500*time.Millisecond, "analysis poll interval")
+	)
+	flag.Parse()
+
+	repo := wren.NewRepository(wren.Config{
+		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 1_000_000},
+	})
+	addr, err := repo.Listen(*listen)
+	if err != nil {
+		log.Fatalf("wrenrepod: %v", err)
+	}
+	log.Printf("wrenrepod: accepting traces on %s", addr)
+
+	go func() {
+		for range time.Tick(*poll) {
+			repo.PollAll()
+		}
+	}()
+
+	var mu sync.Mutex
+	services := make(map[string]http.Handler)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/origins", func(w http.ResponseWriter, r *http.Request) {
+		for _, o := range repo.Origins() {
+			fmt.Fprintln(w, o)
+		}
+	})
+	mux.HandleFunc("/origins/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/origins/")
+		origin := strings.SplitN(rest, "/", 2)[0]
+		m, ok := repo.Monitor(origin)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		mu.Lock()
+		svc, cached := services[origin]
+		if !cached {
+			svc = wren.NewService(m)
+			services[origin] = svc
+		}
+		mu.Unlock()
+		svc.ServeHTTP(w, r)
+	})
+	log.Printf("wrenrepod: SOAP/HTTP on http://%s/origins", *httpAddr)
+	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+}

@@ -1,0 +1,66 @@
+// wrentrace analyzes a saved packet trace offline — Wren's original
+// workflow before the online analyzer, and the natural consumer of traces
+// archived by the repository.
+//
+//	wrentrace -local hostA trace.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"freemeasure/internal/pcap"
+	"freemeasure/internal/wren"
+)
+
+func main() {
+	var (
+		local    = flag.String("local", "", "name of the host the trace was captured on (default: first record's Local)")
+		minTrain = flag.Int("min-train", 0, "minimum packets per train (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wrentrace [-local NAME] TRACE_FILE")
+		os.Exit(2)
+	}
+	records, err := pcap.LoadTrace(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("wrentrace: %v", err)
+	}
+	if len(records) == 0 {
+		log.Fatal("wrentrace: empty trace")
+	}
+	name := *local
+	if name == "" {
+		name = records[0].Flow.Local
+	}
+	m := wren.NewMonitor(name, wren.Config{
+		Scan: wren.ScanConfig{MinTrain: *minTrain},
+	})
+	m.FeedAll(records)
+	// Close any trailing runs: offline analysis sees the whole trace.
+	last := records[len(records)-1].At
+	m.Feed(pcap.Record{At: last + 1_000_000_000_000, Dir: pcap.In, IsAck: true,
+		Flow: pcap.FlowKey{Local: name, Remote: "\x00eof"}})
+	n := m.Poll()
+
+	fmt.Printf("%d records, %d observations\n", len(records), n)
+	for _, remote := range m.Remotes() {
+		if remote == "\x00eof" {
+			continue
+		}
+		est, ok := m.AvailableBandwidth(remote)
+		if !ok {
+			continue
+		}
+		lat, _ := m.Latency(remote)
+		fmt.Printf("%s -> %s: %.2f Mbit/s (%s, bracket %.2f..%.2f, %d obs, quality %.2f), latency %.3f ms\n",
+			name, remote, est.Mbps, est.Kind, est.Lo, est.Hi, est.Count, est.Quality, lat)
+		for _, o := range m.Observations(remote, 0) {
+			fmt.Printf("  t=%.3fs isr=%8.2f congested=%v len=%d\n",
+				float64(o.At)/1e9, o.ISRMbps, o.Congested, o.TrainLen)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package freemeasure_test
+
+// Integration tests for the command-line tools: build the binaries once
+// and drive a small real deployment — two vnetd daemons, a wrenrepod
+// repository, wrenctl queries against the SOAP endpoint, wrentrace over a
+// saved capture, and vadaptctl over a JSON spec.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/pcap"
+	"freemeasure/internal/vnet"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildTools compiles every cmd/ binary into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "freemeasure-bin")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build ./cmd/...: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+// freePort reserves a localhost TCP port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startTool launches a binary and registers cleanup.
+func startTool(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), bin), args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening on %s", addr)
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(buildTools(t), bin), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIOverlayAndSOAP: two vnetd daemons exchange traffic injected by an
+// in-process daemon that joins the overlay; wrenctl queries hostA's SOAP
+// endpoint for measurements.
+func TestCLIOverlayAndSOAP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	listenA, soapA := freePort(t), freePort(t)
+	startTool(t, "vnetd", "-name", "hostA", "-listen", listenA, "-soap", soapA,
+		"-poll", "100ms")
+	waitTCP(t, listenA)
+	waitTCP(t, soapA)
+
+	listenB := freePort(t)
+	startTool(t, "vnetd", "-name", "hostB", "-listen", listenB,
+		"-connect", listenA, "-default-route", "hostA", "-rate", "20")
+	waitTCP(t, listenB)
+
+	// hostA only measures paths it *sends data* on, so give it something
+	// to forward: a driver daemon attaches a VM (announced by broadcast so
+	// hostA learns its location), and a source daemon pushes frames toward
+	// that VM through hostA.
+	driver := vnet.NewDaemon("driver")
+	defer driver.Close()
+	if _, err := driver.Connect(listenA); err != nil {
+		t.Fatal(err)
+	}
+	sink := ethernet.VMMAC(7)
+	driver.AttachVM(sink, func(*ethernet.Frame) {})
+	driver.InjectFrame(&ethernet.Frame{Dst: ethernet.Broadcast, Src: sink, Type: ethernet.TypeControl})
+
+	src := vnet.NewDaemon("src")
+	defer src.Close()
+	if _, err := src.Connect(listenA); err != nil {
+		t.Fatal(err)
+	}
+	src.SetDefaultRoute("hostA")
+	deadline := time.Now().Add(20 * time.Second)
+	var got string
+	for time.Now().Before(deadline) {
+		for i := 0; i < 60; i++ {
+			src.InjectFrame(&ethernet.Frame{
+				Dst: sink, Src: ethernet.VMMAC(1),
+				Type: ethernet.TypeApp, Payload: make([]byte, 1200),
+			})
+		}
+		time.Sleep(100 * time.Millisecond)
+		got = run(t, "wrenctl", "-url", "http://"+soapA+"/", "remotes")
+		if strings.Contains(got, "driver") {
+			break
+		}
+	}
+	if !strings.Contains(got, "driver") {
+		t.Fatalf("wrenctl remotes = %q, want driver listed", got)
+	}
+	// Latency (and usually bandwidth) should be measurable on the
+	// hostA->driver direction once hostA has sent something back; at
+	// minimum the queries must succeed end to end.
+	if out := run(t, "wrenctl", "-url", "http://"+soapA+"/", "bw", "driver"); out == "" {
+		t.Fatal("empty bw output")
+	}
+	// Observations may legitimately be empty, but the call must succeed.
+	run(t, "wrenctl", "-url", "http://"+soapA+"/", "obs", "driver")
+}
+
+// TestCLIWrenTrace: save a synthetic trace and analyze it offline.
+func TestCLIWrenTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	flow := pcap.FlowKey{Local: "hostX", Remote: "hostY"}
+	var records []pcap.Record
+	seq := int64(0)
+	for i := 0; i < 30; i++ {
+		at := int64(i) * 1_000_000 // 1 ms spacing -> 12 Mbit/s
+		records = append(records, pcap.Record{
+			At: at, Dir: pcap.Out, Flow: flow, Size: 1500, Seq: seq, Len: 1460,
+		})
+		records = append(records, pcap.Record{
+			At: at + 500_000, Dir: pcap.In, Flow: flow, Size: 40, IsAck: true, Ack: seq + 1460,
+		})
+		seq += 1460
+	}
+	path := t.TempDir() + "/trace.gob"
+	if err := pcap.SaveTrace(path, records); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "wrentrace", path)
+	if !strings.Contains(out, "hostX -> hostY") {
+		t.Fatalf("wrentrace output:\n%s", out)
+	}
+	if !strings.Contains(out, "observations") {
+		t.Fatalf("wrentrace output missing summary:\n%s", out)
+	}
+}
+
+// TestCLIVadaptctl: run the greedy heuristic over a JSON spec.
+func TestCLIVadaptctl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	spec := `{
+	  "hosts": ["a", "b", "c"],
+	  "complete": {"bw": 100, "latency": 1},
+	  "vms": 2,
+	  "demands": [{"src": 0, "dst": 1, "rate": 5}]
+	}`
+	path := t.TempDir() + "/problem.json"
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "vadaptctl", "-algorithm", "enum", "-v", path)
+	if !strings.Contains(out, "score") || !strings.Contains(out, "vm0 ->") {
+		t.Fatalf("vadaptctl output:\n%s", out)
+	}
+	if !strings.Contains(out, "feasible=true") {
+		t.Fatalf("vadaptctl found no feasible config:\n%s", out)
+	}
+}
+
+// TestCLIRepositoryPipeline: vnetd -forward ships traces to wrenrepod;
+// the repository lists the origin and serves its SOAP.
+func TestCLIRepositoryPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	repoIngest, repoHTTP := freePort(t), freePort(t)
+	startTool(t, "wrenrepod", "-listen", repoIngest, "-http", repoHTTP, "-poll", "100ms")
+	waitTCP(t, repoIngest)
+	waitTCP(t, repoHTTP)
+
+	listenA := freePort(t)
+	startTool(t, "vnetd", "-name", "fwdhost", "-listen", listenA,
+		"-forward", repoIngest, "-poll", "100ms")
+	waitTCP(t, listenA)
+
+	driver := vnet.NewDaemon("driver2")
+	defer driver.Close()
+	if _, err := driver.Connect(listenA); err != nil {
+		t.Fatal(err)
+	}
+	// fwdhost sends ACKs back over its link for every frame it receives,
+	// producing outgoing-data records on... the driver side. To give
+	// fwdhost *outgoing data*, make it forward frames to the driver: the
+	// driver attaches a VM and announces it, then a second in-process
+	// daemon pushes frames toward it through fwdhost.
+	sink := ethernet.VMMAC(9)
+	driver.AttachVM(sink, func(*ethernet.Frame) {})
+	driver.InjectFrame(&ethernet.Frame{Dst: ethernet.Broadcast, Src: sink, Type: ethernet.TypeControl})
+
+	src := vnet.NewDaemon("src")
+	defer src.Close()
+	if _, err := src.Connect(listenA); err != nil {
+		t.Fatal(err)
+	}
+	src.SetDefaultRoute("fwdhost")
+	deadline := time.Now().Add(20 * time.Second)
+	listed, measured := false, false
+	for time.Now().Before(deadline) {
+		for i := 0; i < 40; i++ {
+			src.InjectFrame(&ethernet.Frame{
+				Dst: sink, Src: ethernet.VMMAC(2),
+				Type: ethernet.TypeApp, Payload: make([]byte, 1000),
+			})
+		}
+		time.Sleep(100 * time.Millisecond)
+		if !listed {
+			listed = strings.Contains(httpGet(t, "http://"+repoHTTP+"/origins"), "fwdhost")
+		}
+		if listed {
+			// Per-origin SOAP answers through the repository once enough
+			// trains analyzed to produce an observation.
+			out := run(t, "wrenctl", "-url", "http://"+repoHTTP+"/origins/fwdhost/", "remotes")
+			if strings.Contains(out, "driver2") {
+				measured = true
+				break
+			}
+		}
+	}
+	if !listed {
+		t.Fatal("repository never listed fwdhost as an origin")
+	}
+	if !measured {
+		t.Fatal("repository SOAP never reported measurements toward driver2")
+	}
+}

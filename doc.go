@@ -1,0 +1,17 @@
+// Package freemeasure is a from-scratch Go reproduction of "Free Network
+// Measurement For Adaptive Virtualized Distributed Computing" (Gupta,
+// Zangrilli, Sundararaj, Huang, Dinda, Lowekamp; IPPS 2006).
+//
+// The paper fuses Wren — a passive network measurement system that derives
+// available bandwidth and latency from an application's own TCP traffic
+// via self-induced-congestion analysis — with Virtuoso, a virtual machine
+// distributed computing platform whose VNET overlay carries the VMs'
+// Ethernet traffic, whose VTTIF component infers the application's
+// communication topology, and whose VADAPT component adapts VM placement
+// and overlay forwarding to the measured physical network.
+//
+// See DESIGN.md for the system inventory and the per-figure experiment
+// index, EXPERIMENTS.md for paper-vs-measured results, and the examples/
+// directory for runnable entry points. The benchmarks in bench_test.go
+// regenerate every figure of the paper's evaluation section.
+package freemeasure

@@ -1,0 +1,3 @@
+module freemeasure
+
+go 1.22

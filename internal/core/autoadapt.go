@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// AutoAdaptConfig governs the background adaptation loop. The loop embeds
+// the damping the paper designed into VTTIF ("adaptation decisions made on
+// its output cannot lead to oscillation"): a plan is applied only when it
+// improves the current configuration's score by more than a relative
+// threshold, and successive applications are separated by a hold-down
+// period so the system observes the effect of one move before making the
+// next.
+type AutoAdaptConfig struct {
+	// Every is the evaluation period (default 2 s).
+	Every time.Duration
+	// MinImprovement is the fractional score gain required to act
+	// (default 0.1 = 10%); absolute gains below MinAbsolute also do not
+	// act (default 1.0).
+	MinImprovement float64
+	MinAbsolute    float64
+	// HoldDown is the minimum time between applied plans (default 2*Every).
+	HoldDown time.Duration
+}
+
+func (c AutoAdaptConfig) withDefaults() AutoAdaptConfig {
+	if c.Every == 0 {
+		c.Every = 2 * time.Second
+	}
+	if c.MinImprovement == 0 {
+		c.MinImprovement = 0.1
+	}
+	if c.MinAbsolute == 0 {
+		c.MinAbsolute = 1.0
+	}
+	if c.HoldDown == 0 {
+		c.HoldDown = 2 * c.Every
+	}
+	return c
+}
+
+// AutoAdaptStats counts loop activity.
+type AutoAdaptStats struct {
+	Evaluations uint64
+	Applied     uint64
+	Skipped     uint64 // plans below the improvement threshold
+	Errors      uint64 // snapshots with no demands yet, etc.
+}
+
+// AutoAdapter runs the closed loop in the background.
+type AutoAdapter struct {
+	sys  *System
+	cfg  AutoAdaptConfig
+	stop chan struct{}
+	done chan struct{}
+
+	mu          sync.Mutex
+	stats       AutoAdaptStats
+	lastApplied time.Time
+	// OnApply, if set, observes every applied plan.
+	OnApply func(*Plan)
+}
+
+// StartAutoAdapt launches the loop. Stop it with Stop.
+func (s *System) StartAutoAdapt(cfg AutoAdaptConfig) *AutoAdapter {
+	a := &AutoAdapter{
+		sys:  s,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go a.loop()
+	return a
+}
+
+// Stop halts the loop and waits for it.
+func (a *AutoAdapter) Stop() {
+	close(a.stop)
+	<-a.done
+}
+
+// Stats returns a copy of the loop counters.
+func (a *AutoAdapter) Stats() AutoAdaptStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+func (a *AutoAdapter) loop() {
+	defer close(a.done)
+	ticker := time.NewTicker(a.cfg.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			a.step()
+		}
+	}
+}
+
+func (a *AutoAdapter) step() {
+	a.mu.Lock()
+	a.stats.Evaluations++
+	held := time.Since(a.lastApplied) < a.cfg.HoldDown && !a.lastApplied.IsZero()
+	a.mu.Unlock()
+	if held {
+		return
+	}
+	// One snapshot for both the current score and the plan: comparing
+	// across two snapshots would mistake evolving measurements for
+	// improvement.
+	p, vms, err := a.sys.SnapshotProblem()
+	if err != nil {
+		a.fail()
+		return
+	}
+	current, err := a.sys.scoreOn(p, vms)
+	if err != nil {
+		a.fail()
+		return
+	}
+	plan, err := a.sys.adaptOn(p, vms)
+	if err != nil {
+		a.fail()
+		return
+	}
+	gain := plan.Eval.Score - current
+	threshold := a.cfg.MinAbsolute
+	if rel := abs(current) * a.cfg.MinImprovement; rel > threshold {
+		threshold = rel
+	}
+	if gain <= threshold || len(plan.Migrations)+len(plan.Rules) == 0 {
+		a.mu.Lock()
+		a.stats.Skipped++
+		a.mu.Unlock()
+		return
+	}
+	if err := a.sys.Apply(plan); err != nil {
+		a.fail()
+		return
+	}
+	a.mu.Lock()
+	a.stats.Applied++
+	a.lastApplied = time.Now()
+	fn := a.OnApply
+	a.mu.Unlock()
+	if fn != nil {
+		fn(plan)
+	}
+}
+
+func (a *AutoAdapter) fail() {
+	a.mu.Lock()
+	a.stats.Errors++
+	a.mu.Unlock()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"freemeasure/internal/vttif"
+)
+
+func TestAutoAdaptMigratesAndDamps(t *testing.T) {
+	s, err := NewSystem(Config{
+		Hosts:       []string{"fast1", "fast2", "slowhost"},
+		ReportEvery: 50 * time.Millisecond,
+		VTTIF:       vttif.Config{Alpha: 0.6, HoldUpdates: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	limit := func(host string, mbps float64) {
+		if l, ok := s.Overlay().Node(host).Daemon.Link("proxy"); ok {
+			l.SetRateMbps(mbps)
+		}
+		if l, ok := s.Overlay().Proxy.Daemon.Link(host); ok {
+			l.SetRateMbps(mbps)
+		}
+	}
+	limit("fast1", 80)
+	limit("fast2", 80)
+	limit("slowhost", 4)
+	v1, _ := s.AddVM(1, "fast1")
+	v2, _ := s.AddVM(2, "slowhost")
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v1.Send(v2, 60<<10)
+			v2.Send(v1, 60<<10)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Let Wren measure the slow leg before enabling autonomous adaptation:
+	// an unmeasured path defaults to the optimistic capacity and would
+	// make the first plan a shot in the dark.
+	waitFor(t, "slow leg measured", 20*time.Second, func() bool {
+		p, ok := s.Overlay().View.Path("slowhost", "proxy")
+		return ok && p.BWFound && p.Mbps < 40
+	})
+
+	applied := make(chan *Plan, 8)
+	a := s.StartAutoAdapt(AutoAdaptConfig{
+		Every:    200 * time.Millisecond,
+		HoldDown: 10 * time.Second, // one shot within the test window
+	})
+	a.OnApply = func(p *Plan) {
+		select {
+		case applied <- p:
+		default:
+		}
+	}
+	defer a.Stop()
+
+	select {
+	case p := <-applied:
+		if len(p.Migrations) == 0 {
+			t.Fatalf("applied plan had no migrations: %+v", p)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("auto-adapt never applied a plan (stats %+v)", a.Stats())
+	}
+	if v2.Daemon().Name() == "slowhost" {
+		t.Fatal("VM2 still on slow host")
+	}
+	// Hold-down: no second application in the next second even though the
+	// loop keeps evaluating.
+	before := a.Stats().Applied
+	time.Sleep(1 * time.Second)
+	st := a.Stats()
+	if st.Applied != before {
+		t.Fatalf("hold-down violated: applied %d -> %d", before, st.Applied)
+	}
+	if st.Evaluations < 2 {
+		t.Fatalf("loop stopped evaluating: %+v", st)
+	}
+}
+
+func TestAutoAdaptSkipsWhenAlreadyGood(t *testing.T) {
+	s := newTestSystem(t, []string{"h1", "h2"})
+	v1, _ := s.AddVM(1, "h1")
+	v2, _ := s.AddVM(2, "h2")
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v1.Send(v2, 20<<10)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	a := s.StartAutoAdapt(AutoAdaptConfig{Every: 100 * time.Millisecond})
+	defer a.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := a.Stats()
+		if st.Skipped >= 2 {
+			if st.Applied != 0 {
+				t.Fatalf("applied a plan on an already-good placement: %+v", st)
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("loop never reached skip decisions: %+v", a.Stats())
+}
+
+func TestAutoAdaptStopIsClean(t *testing.T) {
+	s := newTestSystem(t, []string{"h1"})
+	a := s.StartAutoAdapt(AutoAdaptConfig{Every: 50 * time.Millisecond})
+	time.Sleep(120 * time.Millisecond)
+	a.Stop() // must not hang or panic; loop counts errors (no demands)
+	if a.Stats().Evaluations == 0 {
+		t.Fatal("loop never ran")
+	}
+}

@@ -1,0 +1,437 @@
+// Package core assembles the complete system the paper describes: a
+// Virtuoso deployment where VNET carries the VMs' traffic, Wren passively
+// measures the physical paths from that same traffic, VTTIF infers the
+// application's topology and load, and VADAPT uses both views to pick a
+// better configuration — VM-to-host mapping, overlay topology, and
+// forwarding rules — which the system then applies by migrating VMs and
+// editing forwarding tables.
+//
+// The closed loop is: application traffic -> (Wren, VTTIF) -> Proxy's
+// global views -> VADAPT -> migrations + rules -> application runs faster.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/topology"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vm"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vsched"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Hosts names the machines that run VNET daemons (the Proxy is
+	// created implicitly).
+	Hosts []string
+	// DefaultLinkMbps is the assumed capacity of a path until Wren has
+	// measured it (default 100).
+	DefaultLinkMbps float64
+	// DefaultLatencyMs is the assumed latency until measured (default 1).
+	DefaultLatencyMs float64
+	// ReportEvery is the daemons' reporting period to the Proxy
+	// (default 250 ms).
+	ReportEvery time.Duration
+	// Objective for adaptation (default vadapt.ResidualBW{}).
+	Objective vadapt.Objective
+	// SA configures the annealing refinement; SA.Iterations == 0 disables
+	// annealing and uses the greedy heuristic alone.
+	SA vadapt.SAConfig
+	// VTTIF and Wren tuneables.
+	VTTIF vttif.Config
+	Wren  wren.Config
+	// HostCPUCapacity is each host's admissible CPU utilization for VM
+	// reservations (VSched-style periodic real-time scheduling; default
+	// 1.0 = the whole processor).
+	HostCPUCapacity float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultLinkMbps == 0 {
+		c.DefaultLinkMbps = 100
+	}
+	if c.DefaultLatencyMs == 0 {
+		c.DefaultLatencyMs = 1
+	}
+	if c.ReportEvery == 0 {
+		c.ReportEvery = 250 * time.Millisecond
+	}
+	if c.Objective == nil {
+		c.Objective = vadapt.ResidualBW{}
+	}
+	// Wall-clock overlay traffic is sparser and noisier than simulated
+	// kernel traces: merge sub-millisecond write jitter into bursts and
+	// close trains after 20 ms of idleness.
+	if c.Wren.Scan.BurstGap == 0 {
+		c.Wren.Scan.BurstGap = 1_000_000
+	}
+	if c.Wren.Scan.MaxGap == 0 {
+		c.Wren.Scan.MaxGap = 20_000_000
+	}
+	return c
+}
+
+// System is a running deployment.
+type System struct {
+	cfg     Config
+	overlay *vnet.Overlay
+
+	mu    sync.Mutex
+	vms   map[int]*vm.VM // VM id -> VM
+	resv  map[int]vsched.Reservation
+	sched map[string]*vsched.Scheduler // per-host CPU schedulers
+}
+
+// NewSystem builds and starts the deployment: a star overlay on localhost
+// with periodic VTTIF/Wren reporting.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("core: no hosts")
+	}
+	o, err := vnet.NewStar(cfg.Hosts, cfg.VTTIF, cfg.Wren)
+	if err != nil {
+		return nil, err
+	}
+	o.StartReporting(cfg.ReportEvery)
+	s := &System{
+		cfg:     cfg,
+		overlay: o,
+		vms:     make(map[int]*vm.VM),
+		resv:    make(map[int]vsched.Reservation),
+		sched:   make(map[string]*vsched.Scheduler),
+	}
+	for _, h := range cfg.Hosts {
+		s.sched[h] = vsched.New(cfg.HostCPUCapacity)
+	}
+	return s, nil
+}
+
+// HostScheduler returns the named host's CPU reservation scheduler.
+func (s *System) HostScheduler(host string) (*vsched.Scheduler, bool) {
+	sc, ok := s.sched[host]
+	return sc, ok
+}
+
+// Reserve attaches a VSched CPU reservation to a VM: it is admitted on
+// the VM's current host now, and every future migration re-admits it at
+// the target (a migration to a CPU-full host is refused).
+func (s *System) Reserve(id int, r vsched.Reservation) error {
+	s.mu.Lock()
+	v, ok := s.vms[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown vm %d", id)
+	}
+	d := v.Daemon()
+	if d == nil {
+		return fmt.Errorf("core: vm %d detached", id)
+	}
+	sc, ok := s.sched[d.Name()]
+	if !ok {
+		return fmt.Errorf("core: no scheduler for host %q", d.Name())
+	}
+	if err := sc.Admit(id, r); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.resv[id] = r
+	s.mu.Unlock()
+	return nil
+}
+
+// Overlay exposes the underlying overlay (for rate limiting, inspection).
+func (s *System) Overlay() *vnet.Overlay { return s.overlay }
+
+// Close shuts everything down.
+func (s *System) Close() { s.overlay.Close() }
+
+// AddVM creates VM id on the named host.
+func (s *System) AddVM(id int, host string) (*vm.VM, error) {
+	node := s.overlay.Node(host)
+	if node == nil {
+		return nil, fmt.Errorf("core: unknown host %q", host)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.vms[id]; dup {
+		return nil, fmt.Errorf("core: vm %d exists", id)
+	}
+	v := vm.New(id)
+	v.AttachTo(node.Daemon)
+	s.vms[id] = v
+	return v, nil
+}
+
+// VM returns the VM with the given id, if any.
+func (s *System) VM(id int) (*vm.VM, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vms[id]
+	return v, ok
+}
+
+// VMs returns all VMs sorted by id.
+func (s *System) VMs() []*vm.VM {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*vm.VM, 0, len(s.vms))
+	for _, v := range s.vms {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// hostIndex maps daemon names to contiguous NodeIDs.
+func (s *System) hostIndex() (names []string, idx map[string]topology.NodeID) {
+	idx = make(map[string]topology.NodeID)
+	for i, n := range s.overlay.Nodes {
+		names = append(names, n.Daemon.Name())
+		idx[n.Daemon.Name()] = topology.NodeID(i)
+	}
+	return names, idx
+}
+
+// SnapshotProblem turns the Proxy's current global views into a VADAPT
+// problem instance: the host graph from Wren's bandwidth/latency matrices
+// (with defaults where unmeasured) and the demand list from VTTIF's
+// smoothed traffic matrix.
+func (s *System) SnapshotProblem() (*vadapt.Problem, []*vm.VM, error) {
+	names, _ := s.hostIndex()
+	n := len(names)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("core: no hosts")
+	}
+	g := topology.Complete(n, func(from, to topology.NodeID) (float64, float64) {
+		return s.pathEstimate(names[from], names[to])
+	})
+	for i, name := range names {
+		g.SetName(topology.NodeID(i), name)
+	}
+
+	vms := s.VMs()
+	if len(vms) > n {
+		return nil, nil, fmt.Errorf("core: %d VMs exceed %d hosts", len(vms), n)
+	}
+	macToVM := make(map[ethernet.MAC]vadapt.VMID, len(vms))
+	for i, v := range vms {
+		macToVM[v.MAC()] = vadapt.VMID(i)
+	}
+	var demands []vadapt.Demand
+	for pair, rate := range s.overlay.View.Agg.Rates() {
+		src, ok1 := macToVM[pair.Src]
+		dst, ok2 := macToVM[pair.Dst]
+		if !ok1 || !ok2 || src == dst {
+			continue
+		}
+		demands = append(demands, vadapt.Demand{
+			Src: src, Dst: dst, Rate: rate * 8 / 1e6, // bytes/s -> Mbit/s
+		})
+	}
+	sort.Slice(demands, func(i, j int) bool {
+		if demands[i].Src != demands[j].Src {
+			return demands[i].Src < demands[j].Src
+		}
+		return demands[i].Dst < demands[j].Dst
+	})
+	return &vadapt.Problem{Hosts: g, NumVMs: len(vms), Demands: demands}, vms, nil
+}
+
+// pathEstimate returns the believed (bandwidth, latency) between two
+// daemons: the direct Wren measurement when one exists, otherwise the
+// composition of the two star legs through the Proxy (bottleneck of the
+// bandwidths, sum of the latencies), otherwise the configured defaults.
+// On the initial star topology all traffic transits the Proxy, so the leg
+// measurements are what Wren actually has.
+func (s *System) pathEstimate(from, to string) (bw, lat float64) {
+	bw, lat = s.cfg.DefaultLinkMbps, s.cfg.DefaultLatencyMs
+	if p, ok := s.overlay.View.Path(from, to); ok && p.BWFound && p.Mbps > 0 {
+		bw = p.Mbps
+		if p.LatFound && p.LatencyMs > 0 {
+			lat = p.LatencyMs
+		}
+		return bw, lat
+	}
+	up, okUp := s.overlay.View.Path(from, "proxy")
+	down, okDown := s.overlay.View.Path("proxy", to)
+	if okUp && up.BWFound || okDown && down.BWFound {
+		legBW := s.cfg.DefaultLinkMbps
+		legLat := 0.0
+		apply := func(p vnet.PathMeasurement, ok bool) {
+			if ok && p.BWFound && p.Mbps > 0 && p.Mbps < legBW {
+				legBW = p.Mbps
+			}
+			if ok && p.LatFound && p.LatencyMs > 0 {
+				legLat += p.LatencyMs
+			}
+		}
+		apply(up, okUp)
+		apply(down, okDown)
+		bw = legBW
+		if legLat > 0 {
+			lat = legLat
+		}
+	}
+	return bw, lat
+}
+
+// currentMapping returns where each VM currently lives.
+func (s *System) currentMapping(vms []*vm.VM) ([]topology.NodeID, error) {
+	_, idx := s.hostIndex()
+	mapping := make([]topology.NodeID, len(vms))
+	for i, v := range vms {
+		d := v.Daemon()
+		if d == nil {
+			return nil, fmt.Errorf("core: vm %d detached", v.ID())
+		}
+		id, ok := idx[d.Name()]
+		if !ok {
+			return nil, fmt.Errorf("core: vm %d on unknown daemon %q", v.ID(), d.Name())
+		}
+		mapping[i] = id
+	}
+	return mapping, nil
+}
+
+// Plan is an adaptation decision: the chosen configuration and the
+// migrations needed to reach it from the current state.
+type Plan struct {
+	Problem    *vadapt.Problem
+	Config     *vadapt.Config
+	Eval       vadapt.Evaluation
+	Migrations []vadapt.Migration
+	// Rules lists the forwarding rules to install: on the daemon at Host,
+	// frames for DstMAC go to the NextHop daemon.
+	Rules []Rule
+}
+
+// Rule is one forwarding-table entry.
+type Rule struct {
+	Host    string
+	DstMAC  ethernet.MAC
+	NextHop string
+}
+
+// AdaptOnce computes a new configuration from the current global views.
+// It does not apply anything; pass the plan to Apply.
+func (s *System) AdaptOnce() (*Plan, error) {
+	p, vms, err := s.SnapshotProblem()
+	if err != nil {
+		return nil, err
+	}
+	return s.adaptOn(p, vms)
+}
+
+// adaptOn builds a plan against a fixed snapshot (so callers can compare
+// the plan's score with the current placement's score on identical data).
+func (s *System) adaptOn(p *vadapt.Problem, vms []*vm.VM) (*Plan, error) {
+	if len(p.Demands) == 0 {
+		return nil, fmt.Errorf("core: no traffic demands observed yet")
+	}
+	cfg := vadapt.Greedy(p)
+	if s.cfg.SA.Iterations > 0 {
+		cfg, _ = vadapt.Anneal(p, s.cfg.Objective, cfg, s.cfg.SA)
+	}
+	eval := s.cfg.Objective.Evaluate(p, cfg)
+	cur, err := s.currentMapping(vms)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Problem:    p,
+		Config:     cfg,
+		Eval:       eval,
+		Migrations: vadapt.Migrations(cur, cfg.Mapping),
+	}
+	names, _ := s.hostIndex()
+	for di, path := range cfg.Paths {
+		if len(path) < 2 {
+			continue
+		}
+		dstVM := vms[p.Demands[di].Dst]
+		for k := 0; k+1 < len(path); k++ {
+			plan.Rules = append(plan.Rules, Rule{
+				Host:    names[path[k]],
+				DstMAC:  dstVM.MAC(),
+				NextHop: names[path[k+1]],
+			})
+		}
+	}
+	return plan, nil
+}
+
+// Apply executes a plan: adds the overlay links the paths need, installs
+// forwarding rules, and migrates VMs.
+func (s *System) Apply(plan *Plan) error {
+	// Links first so rules have somewhere to point.
+	for _, r := range plan.Rules {
+		node := s.overlay.Node(r.Host)
+		if node == nil {
+			return fmt.Errorf("core: rule for unknown host %q", r.Host)
+		}
+		if _, ok := node.Daemon.Link(r.NextHop); !ok && r.NextHop != "proxy" {
+			if err := s.overlay.ConnectPair(r.Host, r.NextHop); err != nil {
+				return fmt.Errorf("core: linking %s-%s: %w", r.Host, r.NextHop, err)
+			}
+		}
+		node.Daemon.AddRule(r.DstMAC, r.NextHop)
+	}
+	vms := s.VMs()
+	names, _ := s.hostIndex()
+	for _, m := range plan.Migrations {
+		if int(m.VM) >= len(vms) {
+			return fmt.Errorf("core: migration for unknown vm %d", m.VM)
+		}
+		target := s.overlay.Node(names[m.To])
+		if target == nil {
+			return fmt.Errorf("core: migration to unknown host %v", m.To)
+		}
+		v := vms[m.VM]
+		// Move the VM's CPU reservation first: a migration to a host
+		// without CPU headroom is refused (configuration element 4).
+		s.mu.Lock()
+		r, reserved := s.resv[v.ID()]
+		s.mu.Unlock()
+		if reserved {
+			if err := s.sched[names[m.To]].Admit(v.ID(), r); err != nil {
+				return fmt.Errorf("core: migrating vm %d to %s: %w", v.ID(), names[m.To], err)
+			}
+			if old := v.Daemon(); old != nil {
+				if sc, ok := s.sched[old.Name()]; ok {
+					sc.Revoke(v.ID())
+				}
+			}
+		}
+		v.AttachTo(target.Daemon)
+	}
+	return nil
+}
+
+// Score evaluates how good the *current* placement is under the current
+// views — useful to verify adaptation improved matters.
+func (s *System) Score() (float64, error) {
+	p, vms, err := s.SnapshotProblem()
+	if err != nil {
+		return math.NaN(), err
+	}
+	return s.scoreOn(p, vms)
+}
+
+// scoreOn evaluates the current placement against a fixed snapshot.
+func (s *System) scoreOn(p *vadapt.Problem, vms []*vm.VM) (float64, error) {
+	cur, err := s.currentMapping(vms)
+	if err != nil {
+		return math.NaN(), err
+	}
+	cfg := &vadapt.Config{Mapping: cur, Paths: vadapt.GreedyPaths(p, cur)}
+	return s.cfg.Objective.Evaluate(p, cfg).Score, nil
+}

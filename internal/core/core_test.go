@@ -1,0 +1,337 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vsched"
+	"freemeasure/internal/vttif"
+)
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func newTestSystem(t *testing.T, hosts []string) *System {
+	t.Helper()
+	s, err := NewSystem(Config{
+		Hosts:       hosts,
+		ReportEvery: 50 * time.Millisecond,
+		VTTIF:       vttif.Config{Alpha: 0.6, HoldUpdates: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestAddVMAndLookup(t *testing.T) {
+	s := newTestSystem(t, []string{"h1", "h2"})
+	v, err := s.AddVM(1, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.VM(1)
+	if !ok || got != v {
+		t.Fatal("VM lookup failed")
+	}
+	if _, err := s.AddVM(1, "h2"); err == nil {
+		t.Fatal("duplicate VM accepted")
+	}
+	if _, err := s.AddVM(2, "ghost"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if len(s.VMs()) != 1 {
+		t.Fatalf("VMs = %d", len(s.VMs()))
+	}
+}
+
+func TestSnapshotProblemDefaults(t *testing.T) {
+	s := newTestSystem(t, []string{"h1", "h2"})
+	if _, err := s.AddVM(1, "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddVM(2, "h2"); err != nil {
+		t.Fatal(err)
+	}
+	p, vms, err := s.SnapshotProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hosts.NumNodes() != 2 || p.NumVMs != 2 || len(vms) != 2 {
+		t.Fatalf("problem shape: hosts=%d vms=%d", p.Hosts.NumNodes(), p.NumVMs)
+	}
+	e, _ := p.Hosts.Edge(0, 1)
+	if e.BW != 100 { // default until measured
+		t.Fatalf("default capacity = %v", e.BW)
+	}
+	if len(p.Demands) != 0 {
+		t.Fatalf("demands before traffic = %v", p.Demands)
+	}
+}
+
+func TestAdaptOnceRequiresTraffic(t *testing.T) {
+	s := newTestSystem(t, []string{"h1", "h2"})
+	s.AddVM(1, "h1")
+	s.AddVM(2, "h2")
+	if _, err := s.AdaptOnce(); err == nil {
+		t.Fatal("AdaptOnce without traffic should error")
+	}
+}
+
+// TestAdaptationMovesVMOffSlowHost is the end-to-end loop: two chatty VMs,
+// one on a host whose physical path is 20x slower. After measurement the
+// plan must migrate the VM off the slow host, and Apply must execute it.
+func TestAdaptationMovesVMOffSlowHost(t *testing.T) {
+	s := newTestSystem(t, []string{"fast1", "fast2", "slowhost"})
+	v1, err := s.AddVM(1, "fast1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.AddVM(2, "slowhost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emulate physical capacities with token buckets on both directions of
+	// every proxy link.
+	limit := func(host string, mbps float64) {
+		if l, ok := s.Overlay().Node(host).Daemon.Link("proxy"); ok {
+			l.SetRateMbps(mbps)
+		}
+		if l, ok := s.Overlay().Proxy.Daemon.Link(host); ok {
+			l.SetRateMbps(mbps)
+		}
+	}
+	limit("fast1", 80)
+	limit("fast2", 80)
+	limit("slowhost", 4)
+
+	// Chatty bidirectional traffic in message bursts (train material).
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v1.Send(v2, 60<<10)
+			v2.Send(v1, 60<<10)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Wait until the proxy has demand data and a bandwidth view of the
+	// slow leg.
+	waitFor(t, "views", 15*time.Second, func() bool {
+		p, _, err := s.SnapshotProblem()
+		if err != nil || len(p.Demands) == 0 {
+			return false
+		}
+		slow, ok := s.Overlay().View.Path("slowhost", "proxy")
+		return ok && slow.BWFound && slow.Mbps < 40
+	})
+
+	plan, err := s.AdaptOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Config.Valid(plan.Problem); err != nil {
+		t.Fatal(err)
+	}
+	// The plan must take VM2 (index 1) off the slow host.
+	names, _ := s.hostIndex()
+	for _, v := range plan.Config.Mapping {
+		if names[v] == "slowhost" {
+			t.Fatalf("plan still uses the slow host: %v", plan.Config.Mapping)
+		}
+	}
+	if len(plan.Migrations) == 0 {
+		t.Fatal("no migrations in plan")
+	}
+	if err := s.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Daemon().Name() == "slowhost" {
+		t.Fatal("VM2 still attached to the slow host after Apply")
+	}
+	// Traffic still flows after migration.
+	before := v1.Received()
+	waitFor(t, "post-migration traffic", 10*time.Second, func() bool {
+		return v1.Received() > before+5
+	})
+}
+
+func TestScoreReflectsPlacement(t *testing.T) {
+	s := newTestSystem(t, []string{"h1", "h2"})
+	s.AddVM(1, "h1")
+	s.AddVM(2, "h2")
+	v1, _ := s.VM(1)
+	v2, _ := s.VM(2)
+	v1.Send(v2, 50<<10)
+	waitFor(t, "demand", 10*time.Second, func() bool {
+		p, _, err := s.SnapshotProblem()
+		return err == nil && len(p.Demands) > 0
+	})
+	score, err := s.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score <= 0 {
+		t.Fatalf("score = %v, want positive residual headroom", score)
+	}
+}
+
+func TestApplyInstallsRules(t *testing.T) {
+	s := newTestSystem(t, []string{"h1", "h2", "h3"})
+	s.AddVM(1, "h1")
+	s.AddVM(2, "h2")
+	v1, _ := s.VM(1)
+	v2, _ := s.VM(2)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v1.Send(v2, 30<<10)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	waitFor(t, "demand", 10*time.Second, func() bool {
+		p, _, err := s.SnapshotProblem()
+		return err == nil && len(p.Demands) > 0
+	})
+	plan, err := s.AdaptOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	// Every planned rule must now be installed.
+	for _, r := range plan.Rules {
+		node := s.Overlay().Node(r.Host)
+		if node == nil {
+			t.Fatalf("rule host %q missing", r.Host)
+		}
+		if got := node.Daemon.Rules()[r.DstMAC]; got != r.NextHop {
+			t.Fatalf("rule on %s for %s = %q, want %q", r.Host, r.DstMAC, got, r.NextHop)
+		}
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Fatal("empty host list accepted")
+	}
+}
+
+// Interface sanity: default objective is residual bandwidth.
+func TestDefaultObjective(t *testing.T) {
+	cfg := Config{Hosts: []string{"x"}}.withDefaults()
+	if _, ok := cfg.Objective.(vadapt.ResidualBW); !ok {
+		t.Fatalf("default objective = %T", cfg.Objective)
+	}
+	if cfg.DefaultLinkMbps != 100 || cfg.ReportEvery == 0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+var _ = vnet.PathMeasurement{} // keep import for pathEstimate tests below
+
+func TestPathEstimateComposition(t *testing.T) {
+	s := newTestSystem(t, []string{"a", "b"})
+	// No measurements: defaults.
+	bw, lat := s.pathEstimate("a", "b")
+	if bw != 100 || lat != 1 {
+		t.Fatalf("default estimate = %v/%v", bw, lat)
+	}
+	// Leg measurements compose: bottleneck of legs, sum of latencies.
+	s.Overlay().View.SetPath("a", "proxy", vnet.PathMeasurement{Mbps: 50, BWFound: true, LatencyMs: 2, LatFound: true})
+	s.Overlay().View.SetPath("proxy", "b", vnet.PathMeasurement{Mbps: 30, BWFound: true, LatencyMs: 3, LatFound: true})
+	bw, lat = s.pathEstimate("a", "b")
+	if bw != 30 || lat != 5 {
+		t.Fatalf("leg composition = %v/%v, want 30/5", bw, lat)
+	}
+	// A direct measurement wins.
+	s.Overlay().View.SetPath("a", "b", vnet.PathMeasurement{Mbps: 70, BWFound: true})
+	bw, _ = s.pathEstimate("a", "b")
+	if bw != 70 {
+		t.Fatalf("direct measurement = %v, want 70", bw)
+	}
+}
+
+func TestReservationGatesMigration(t *testing.T) {
+	s := newTestSystem(t, []string{"h1", "h2"})
+	if _, err := s.AddVM(1, "h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddVM(2, "h2"); err != nil {
+		t.Fatal(err)
+	}
+	// VM1 reserves 60% on h1; a blocker VM reserves 80% on h2 directly.
+	if err := s.Reserve(1, vsched.Reservation{Period: 100 * time.Millisecond, Slice: 60 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	h2sched, _ := s.HostScheduler("h2")
+	if err := h2sched.Admit(99, vsched.Reservation{Period: 100 * time.Millisecond, Slice: 80 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	// A plan that migrates VM1 (index 0) to h2 must be refused: 0.6+0.8>1.
+	p, vms, err := s.SnapshotProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = vms
+	plan := &Plan{
+		Problem:    p,
+		Config:     &vadapt.Config{Mapping: nil},
+		Migrations: []vadapt.Migration{{VM: 0, From: 0, To: 1}},
+	}
+	if err := s.Apply(plan); err == nil {
+		t.Fatal("migration to CPU-full host was not refused")
+	}
+	v1, _ := s.VM(1)
+	if v1.Daemon().Name() != "h1" {
+		t.Fatal("VM moved despite refused reservation")
+	}
+	// Free the blocker: the same migration now succeeds and the
+	// reservation follows the VM.
+	h2sched.Revoke(99)
+	if err := s.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Daemon().Name() != "h2" {
+		t.Fatal("VM did not move")
+	}
+	if _, ok := h2sched.Reservation(1); !ok {
+		t.Fatal("reservation did not follow the VM")
+	}
+	h1sched, _ := s.HostScheduler("h1")
+	if _, ok := h1sched.Reservation(1); ok {
+		t.Fatal("old host kept the reservation")
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	s := newTestSystem(t, []string{"h1"})
+	if err := s.Reserve(42, vsched.Reservation{Period: time.Second, Slice: time.Millisecond}); err == nil {
+		t.Fatal("reserve for unknown VM accepted")
+	}
+}

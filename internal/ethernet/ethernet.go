@@ -1,0 +1,87 @@
+// Package ethernet provides the Ethernet framing VNET forwards: VNET is a
+// layer-2 overlay, so everything it moves between daemons is a raw frame
+// captured from a VM's virtual interface. The encoding is classic Ethernet
+// II (dst, src, ethertype, payload) without FCS.
+package ethernet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the conventional colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// VMMAC returns the deterministic locally administered MAC for VM id, in
+// the 52:54:00 (QEMU/KVM-style) prefix the paper-era VMMs used.
+func VMMAC(id int) MAC {
+	return MAC{0x52, 0x54, 0x00, byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// EtherType values used by the reproduction.
+const (
+	// TypeApp carries application messages between VMs.
+	TypeApp uint16 = 0x88B5 // IEEE local experimental ethertype
+	// TypeControl carries VNET/VTTIF control payloads (matrix pushes).
+	TypeControl uint16 = 0x88B6
+)
+
+// HeaderLen is the encoded header size.
+const HeaderLen = 14
+
+// MaxPayload bounds payload size (standard MTU).
+const MaxPayload = 1500
+
+// Frame is an Ethernet II frame.
+type Frame struct {
+	Dst     MAC
+	Src     MAC
+	Type    uint16
+	Payload []byte
+}
+
+// WireLen returns the encoded length.
+func (f *Frame) WireLen() int { return HeaderLen + len(f.Payload) }
+
+// Marshal encodes the frame.
+func (f *Frame) Marshal() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("ethernet: payload %d exceeds MTU %d", len(f.Payload), MaxPayload)
+	}
+	buf := make([]byte, HeaderLen+len(f.Payload))
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], f.Type)
+	copy(buf[HeaderLen:], f.Payload)
+	return buf, nil
+}
+
+// ErrTruncated reports a frame shorter than its header.
+var ErrTruncated = errors.New("ethernet: truncated frame")
+
+// Unmarshal decodes a frame; the payload aliases b.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	f := &Frame{Type: binary.BigEndian.Uint16(b[12:14]), Payload: b[HeaderLen:]}
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	return f, nil
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("frame[%s -> %s type=%#04x len=%d]", f.Src, f.Dst, f.Type, len(f.Payload))
+}

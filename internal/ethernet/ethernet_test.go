@@ -1,0 +1,103 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	f := &Frame{
+		Dst:     VMMAC(2),
+		Src:     VMMAC(1),
+		Type:    TypeApp,
+		Payload: []byte("hello vnet"),
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != f.WireLen() {
+		t.Fatalf("wire len %d != %d", len(b), f.WireLen())
+	}
+	g, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dst != f.Dst || g.Src != f.Src || g.Type != f.Type || !bytes.Equal(g.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, f)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	fn := func(dst, src [6]byte, typ uint16, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		f := &Frame{Dst: MAC(dst), Src: MAC(src), Type: typ, Payload: payload}
+		b, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		g, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return g.Dst == f.Dst && g.Src == f.Src && g.Type == f.Type &&
+			bytes.Equal(g.Payload, f.Payload)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	f := &Frame{Payload: make([]byte, MaxPayload+1)}
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("oversize payload accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderLen-1)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// Exactly a header is a valid empty-payload frame.
+	f, err := Unmarshal(make([]byte, HeaderLen))
+	if err != nil || len(f.Payload) != 0 {
+		t.Fatalf("header-only frame: %v %v", f, err)
+	}
+}
+
+func TestVMMACDeterministicAndDistinct(t *testing.T) {
+	if VMMAC(1) != VMMAC(1) {
+		t.Fatal("VMMAC not deterministic")
+	}
+	seen := map[MAC]bool{}
+	for i := 0; i < 1000; i++ {
+		m := VMMAC(i)
+		if seen[m] {
+			t.Fatalf("duplicate MAC for id %d", i)
+		}
+		seen[m] = true
+		if m.IsBroadcast() {
+			t.Fatal("VM MAC is broadcast")
+		}
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if got := VMMAC(0x010203).String(); got != "52:54:00:01:02:03" {
+		t.Fatalf("MAC string = %q", got)
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("broadcast not recognized")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := &Frame{Dst: Broadcast, Src: VMMAC(1), Type: TypeApp}
+	if f.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"freemeasure/internal/topology"
+	"freemeasure/internal/vadapt"
+)
+
+// This file holds the two design-choice ablations DESIGN.md calls out
+// beyond the train-scan one: the widest-path demand mapper vs naive direct
+// paths, and the sensitivity of simulated annealing to its
+// mapping-perturbation probability.
+
+// PathMapperAblation compares the adapted-Dijkstra greedy path mapper
+// (section 4.2.2/4.2.3) against naive direct (one-hop) paths on a
+// contention instance where the direct edge cannot carry every demand.
+type PathMapperAblation struct {
+	WidestScore    float64
+	WidestFeasible bool
+	DirectScore    float64
+	DirectFeasible bool
+}
+
+// directPaths is the strawman: every demand takes the one-hop path.
+func directPaths(p *vadapt.Problem, mapping []topology.NodeID) []topology.Path {
+	paths := make([]topology.Path, len(p.Demands))
+	for i, d := range p.Demands {
+		src, dst := mapping[d.Src], mapping[d.Dst]
+		if src == dst {
+			paths[i] = topology.Path{src}
+			continue
+		}
+		if p.Hosts.HasEdge(src, dst) {
+			paths[i] = topology.Path{src, dst}
+		}
+	}
+	return paths
+}
+
+// contentionProblem: hosts 0 and 1 joined by a 10 Mbit/s edge, with two
+// relay hosts providing 10 Mbit/s detours; three identical 5 Mbit/s
+// demands between the VM pair. Direct paths oversubscribe the 0-1 edge by
+// 5 Mbit/s; the widest-path mapper must spread the demands.
+func contentionProblem() *vadapt.Problem {
+	g := topology.New(4)
+	g.AddBiEdge(0, 1, 10, 1)
+	g.AddBiEdge(0, 2, 10, 1)
+	g.AddBiEdge(2, 1, 10, 1)
+	g.AddBiEdge(0, 3, 10, 1)
+	g.AddBiEdge(3, 1, 10, 1)
+	return &vadapt.Problem{
+		Hosts:  g,
+		NumVMs: 2,
+		Demands: []vadapt.Demand{
+			{Src: 0, Dst: 1, Rate: 5},
+			{Src: 0, Dst: 1, Rate: 5},
+			{Src: 0, Dst: 1, Rate: 5},
+		},
+	}
+}
+
+// RunPathMapperAblation evaluates both mappers on the contention instance.
+func RunPathMapperAblation() *PathMapperAblation {
+	p := contentionProblem()
+	mapping := []topology.NodeID{0, 1}
+	obj := vadapt.ResidualBW{}
+
+	widest := &vadapt.Config{Mapping: mapping, Paths: vadapt.GreedyPaths(p, mapping)}
+	direct := &vadapt.Config{Mapping: mapping, Paths: directPaths(p, mapping)}
+	we := obj.Evaluate(p, widest)
+	de := obj.Evaluate(p, direct)
+	return &PathMapperAblation{
+		WidestScore: we.Score, WidestFeasible: we.Feasible,
+		DirectScore: de.Score, DirectFeasible: de.Feasible,
+	}
+}
+
+// SAMappingProbPoint is one sweep sample.
+type SAMappingProbPoint struct {
+	Prob      float64
+	FinalBest float64
+}
+
+// RunSAMappingProbAblation sweeps the annealer's mapping-perturbation
+// probability on the scalability instance: too low and SA cannot escape a
+// bad placement; too high and it thrashes (every mapping move resets the
+// paths, the fluctuation the paper notes in Figure 10's curves).
+func RunSAMappingProbAblation(probs []float64, iterations int, seed int64) []SAMappingProbPoint {
+	if len(probs) == 0 {
+		probs = []float64{0.01, 0.05, 0.1, 0.3, 0.7}
+	}
+	if iterations == 0 {
+		iterations = 4000
+	}
+	p := Fig11Problem(seed, 0)
+	obj := vadapt.ResidualBW{}
+	var out []SAMappingProbPoint
+	for _, prob := range probs {
+		_, trace := vadapt.Anneal(p, obj, vadapt.RandomConfig(p, seed), vadapt.SAConfig{
+			Iterations:  iterations,
+			MappingProb: prob,
+			Seed:        seed,
+			TraceEvery:  iterations,
+		})
+		out = append(out, SAMappingProbPoint{Prob: prob, FinalBest: trace[len(trace)-1].Best})
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"freemeasure/internal/topology"
+	"freemeasure/internal/trace"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vm"
+)
+
+// AdaptResult is the outcome of one adaptation comparison (Figures 8, 10,
+// 11): the greedy heuristic's score, the enumerated optimum when
+// tractable, and the annealing progress curves for plain SA and SA seeded
+// with the greedy solution (+GH), whose best-so-far is the +B curve.
+type AdaptResult struct {
+	Objective string
+
+	GHScore   float64
+	GHEval    vadapt.Evaluation
+	GHMapping []topology.NodeID
+	GHElapsed time.Duration
+
+	OptScore   float64 // NaN when enumeration is intractable
+	OptMapping []topology.NodeID
+
+	SATrace   []vadapt.TracePoint
+	SAGHTrace []vadapt.TracePoint
+	SABest    *vadapt.Config
+	SAGHBest  *vadapt.Config
+	SAElapsed time.Duration
+}
+
+// SAGHFinalBest returns the final +GH+B value.
+func (r *AdaptResult) SAGHFinalBest() float64 {
+	if len(r.SAGHTrace) == 0 {
+		return math.NaN()
+	}
+	return r.SAGHTrace[len(r.SAGHTrace)-1].Best
+}
+
+// SAFinalBest returns plain SA's final best value.
+func (r *AdaptResult) SAFinalBest() float64 {
+	if len(r.SATrace) == 0 {
+		return math.NaN()
+	}
+	return r.SATrace[len(r.SATrace)-1].Best
+}
+
+// WriteCSV renders cost-function-vs-iteration curves in the style of the
+// paper's figures: SA, SA best-so-far, SA+GH, SA+GH best-so-far, plus the
+// flat GH and optimal lines.
+func (r *AdaptResult) WriteCSV(w io.Writer) error {
+	sa := &trace.Series{Name: "sa"}
+	saB := &trace.Series{Name: "sa_best"}
+	for _, tp := range r.SATrace {
+		sa.Add(float64(tp.Iter), tp.Current)
+		saB.Add(float64(tp.Iter), tp.Best)
+	}
+	sagh := &trace.Series{Name: "sa_gh"}
+	saghB := &trace.Series{Name: "sa_gh_best"}
+	for _, tp := range r.SAGHTrace {
+		sagh.Add(float64(tp.Iter), tp.Current)
+		saghB.Add(float64(tp.Iter), tp.Best)
+	}
+	gh := &trace.Series{Name: "gh"}
+	opt := &trace.Series{Name: "optimal"}
+	for _, tp := range r.SATrace {
+		gh.Add(float64(tp.Iter), r.GHScore)
+		if !math.IsNaN(r.OptScore) {
+			opt.Add(float64(tp.Iter), r.OptScore)
+		}
+	}
+	return trace.WriteCSV(w, sa, saB, sagh, saghB, gh, opt)
+}
+
+// Summary renders the headline numbers.
+func (r *AdaptResult) Summary() string {
+	opt := "n/a"
+	if !math.IsNaN(r.OptScore) {
+		opt = fmt.Sprintf("%.1f", r.OptScore)
+	}
+	return fmt.Sprintf("obj=%s gh=%.1f (in %v) opt=%s sa=%.1f sa+gh=%.1f (in %v)",
+		r.Objective, r.GHScore, r.GHElapsed, opt, r.SAFinalBest(), r.SAGHFinalBest(), r.SAElapsed)
+}
+
+// RunAdaptation compares GH, SA, and SA+GH on one problem.
+func RunAdaptation(p *vadapt.Problem, obj vadapt.Objective, sa vadapt.SAConfig, enumerate bool) *AdaptResult {
+	res := &AdaptResult{Objective: obj.Name(), OptScore: math.NaN()}
+
+	t0 := time.Now()
+	gh := vadapt.Greedy(p)
+	res.GHElapsed = time.Since(t0)
+	res.GHMapping = gh.Mapping
+	res.GHEval = obj.Evaluate(p, gh)
+	res.GHScore = res.GHEval.Score
+
+	if enumerate {
+		best, ev := vadapt.Enumerate(p, obj)
+		res.OptScore = ev.Score
+		res.OptMapping = best.Mapping
+	}
+
+	t0 = time.Now()
+	res.SABest, res.SATrace = vadapt.Anneal(p, obj, vadapt.RandomConfig(p, sa.Seed), sa)
+	saGH := sa
+	saGH.Seed++
+	res.SAGHBest, res.SAGHTrace = vadapt.Anneal(p, obj, gh, saGH)
+	res.SAElapsed = time.Since(t0)
+	return res
+}
+
+// Fig8Problem builds the Figure 8 instance: the 4-VM NAS MultiGrid
+// traffic matrix mapped onto the NWU/W&M testbed. unitMbps scales the
+// intensity matrix into demand rates; the default keeps the heaviest
+// demand under the slowest WAN edge so feasible configurations exist.
+func Fig8Problem(unitMbps float64) *vadapt.Problem {
+	if unitMbps == 0 {
+		unitMbps = 0.4
+	}
+	var demands []vadapt.Demand
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if rate := vm.NASMultiGridIntensity[i][j] * unitMbps; rate > 0 {
+				demands = append(demands, vadapt.Demand{
+					Src: vadapt.VMID(i), Dst: vadapt.VMID(j), Rate: rate,
+				})
+			}
+		}
+	}
+	return &vadapt.Problem{
+		Hosts:   topology.NWUWMTestbed(),
+		NumVMs:  4,
+		Demands: demands,
+	}
+}
+
+// RunFig8 executes the Figure 8 comparison (residual-BW objective,
+// optimum by enumeration).
+func RunFig8(iterations int, seed int64) *AdaptResult {
+	if iterations == 0 {
+		iterations = 5000
+	}
+	return RunAdaptation(Fig8Problem(0), vadapt.ResidualBW{},
+		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: maxInt(1, iterations/500)}, true)
+}
+
+// ChallengeProblem builds the Figure 9 instance: VMs 0-2 chatty
+// (hiMbps all-to-all), VM 3 exchanging loMbps with VM 0, on the
+// two-cluster challenge hosts. The unique good mapping puts VMs 0-2 in
+// the fast domain.
+func ChallengeProblem(hiMbps, loMbps float64) *vadapt.Problem {
+	if hiMbps == 0 {
+		hiMbps = 2
+	}
+	if loMbps == 0 {
+		loMbps = 0.2
+	}
+	var demands []vadapt.Demand
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				demands = append(demands, vadapt.Demand{Src: vadapt.VMID(i), Dst: vadapt.VMID(j), Rate: hiMbps})
+			}
+		}
+	}
+	demands = append(demands,
+		vadapt.Demand{Src: 3, Dst: 0, Rate: loMbps},
+		vadapt.Demand{Src: 0, Dst: 3, Rate: loMbps},
+	)
+	return &vadapt.Problem{
+		Hosts:   topology.Challenge(topology.DefaultChallenge()),
+		NumVMs:  4,
+		Demands: demands,
+	}
+}
+
+// Fig9Result reports whether each algorithm found the unique good shape.
+type Fig9Result struct {
+	GHMapping, SAMapping, OptMapping []topology.NodeID
+	GHOptimalShape, SAOptimalShape   bool
+	GHScore, SAScore, OptScore       float64
+}
+
+// chattyInFast checks the Figure 9 success criterion.
+func chattyInFast(mapping []topology.NodeID) bool {
+	for vm := 0; vm < 3; vm++ {
+		if mapping[vm] < topology.ChallengeDomain2 {
+			return false
+		}
+	}
+	return mapping[3] < topology.ChallengeDomain2
+}
+
+// RunFig9 executes the challenge-scenario placement test.
+func RunFig9(iterations int, seed int64) *Fig9Result {
+	p := ChallengeProblem(0, 0)
+	obj := vadapt.ResidualBW{}
+	res := RunAdaptation(p, obj, vadapt.SAConfig{Iterations: iterations, Seed: seed}, true)
+	return &Fig9Result{
+		GHMapping:      res.GHMapping,
+		SAMapping:      res.SAGHBest.Mapping,
+		OptMapping:     res.OptMapping,
+		GHOptimalShape: chattyInFast(res.GHMapping),
+		SAOptimalShape: chattyInFast(res.SAGHBest.Mapping),
+		GHScore:        res.GHScore,
+		SAScore:        res.SAGHFinalBest(),
+		OptScore:       res.OptScore,
+	}
+}
+
+// Fig10Problem builds the Figure 10 instance: 6 VMs all-to-all on the
+// challenge hosts.
+func Fig10Problem(rateMbps float64) *vadapt.Problem {
+	if rateMbps == 0 {
+		rateMbps = 0.05
+	}
+	var demands []vadapt.Demand
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j {
+				demands = append(demands, vadapt.Demand{Src: vadapt.VMID(i), Dst: vadapt.VMID(j), Rate: rateMbps})
+			}
+		}
+	}
+	return &vadapt.Problem{
+		Hosts:   topology.Challenge(topology.DefaultChallenge()),
+		NumVMs:  6,
+		Demands: demands,
+	}
+}
+
+// RunFig10 executes the 6-VM challenge comparison under the given
+// objective: ResidualBW for Figure 10(a), BWLatency for Figure 10(b).
+func RunFig10(obj vadapt.Objective, iterations int, seed int64) *AdaptResult {
+	if iterations == 0 {
+		iterations = 5000
+	}
+	return RunAdaptation(Fig10Problem(0), obj,
+		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: maxInt(1, iterations/500)}, true)
+}
+
+// Fig11Problem builds the scalability instance: a 256-node BRITE/Waxman
+// underlay, 32 random VNET hosts, the derived overlay, and an 8-VM ring.
+func Fig11Problem(seed int64, rateMbps float64) *vadapt.Problem {
+	if rateMbps == 0 {
+		rateMbps = 1
+	}
+	under := topology.Waxman(topology.PaperWaxmanConfig(seed))
+	hosts := topology.SampleHosts(under, 32, seed+1)
+	overlay := topology.BuildOverlay(under, hosts)
+	var demands []vadapt.Demand
+	for i := 0; i < 8; i++ {
+		demands = append(demands, vadapt.Demand{
+			Src: vadapt.VMID(i), Dst: vadapt.VMID((i + 1) % 8), Rate: rateMbps,
+		})
+	}
+	return &vadapt.Problem{Hosts: overlay, NumVMs: 8, Demands: demands}
+}
+
+// RunFig11 executes the scalability comparison (no enumeration: with 32
+// hosts and 8 VMs the mapping space alone exceeds 4x10^11).
+func RunFig11(obj vadapt.Objective, iterations int, seed int64) *AdaptResult {
+	if iterations == 0 {
+		iterations = 20000
+	}
+	return RunAdaptation(Fig11Problem(seed, 0), obj,
+		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: maxInt(1, iterations/500)}, false)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

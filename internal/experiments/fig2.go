@@ -1,0 +1,186 @@
+// Package experiments contains one harness per table/figure of the
+// paper's evaluation. Each harness builds the workload, runs it on the
+// appropriate substrate (discrete-event simulator or the real-socket VNET
+// overlay), and returns the same series/rows the paper plots, so the
+// benchmarks in the repository root regenerate every figure. EXPERIMENTS.md
+// records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"freemeasure/internal/simnet"
+	"freemeasure/internal/tcpsim"
+	"freemeasure/internal/trace"
+	"freemeasure/internal/wren"
+)
+
+// CrossStep is one step of the cross-traffic schedule.
+type CrossStep struct {
+	At   simnet.Duration // when the step takes effect
+	Mbps float64         // CBR rate from then on (0 = off)
+}
+
+// Fig2Config parameterizes the Figure 2 experiment: Wren tracking
+// available bandwidth on a 100 Mbit/s LAN while iperf-style CBR cross
+// traffic steps up and down and the monitored application sends bursts of
+// messages far below saturation.
+type Fig2Config struct {
+	Duration    simnet.Duration
+	Bottleneck  float64     // Mbit/s (paper: 100)
+	Cross       []CrossStep // CBR schedule
+	SampleEvery simnet.Duration
+	Seed        int64
+}
+
+// DefaultFig2 is the paper-scale run: 600 s, available bandwidth
+// 60 -> 30 -> 100 Mbit/s with steps at 200 s and 400 s.
+func DefaultFig2() Fig2Config {
+	return Fig2Config{
+		Duration:   simnet.Seconds(600),
+		Bottleneck: 100,
+		Cross: []CrossStep{
+			{At: 0, Mbps: 40},
+			{At: simnet.Seconds(200), Mbps: 70},
+			{At: simnet.Seconds(400), Mbps: 0},
+		},
+		SampleEvery: simnet.Seconds(5),
+		Seed:        1,
+	}
+}
+
+// ShortFig2 is a CI-scale run with the same shape (60 s, steps at 20/40 s).
+func ShortFig2() Fig2Config {
+	return Fig2Config{
+		Duration:   simnet.Seconds(60),
+		Bottleneck: 100,
+		Cross: []CrossStep{
+			{At: 0, Mbps: 40},
+			{At: simnet.Seconds(20), Mbps: 70},
+			{At: simnet.Seconds(40), Mbps: 0},
+		},
+		SampleEvery: simnet.Seconds(2),
+		Seed:        1,
+	}
+}
+
+// WrenTrackingResult holds the three curves of Figures 2 and 3: the
+// monitored application's throughput, Wren's available-bandwidth
+// estimate, and the ground-truth available bandwidth.
+type WrenTrackingResult struct {
+	Throughput   *trace.Series // "tput" (Mbit/s)
+	WrenBW       *trace.Series // "wren bw" (Mbit/s)
+	WrenLo       *trace.Series // lower edge of Wren's congestion bracket
+	AvailBW      *trace.Series // "availbw" ground truth (Mbit/s)
+	Observations uint64        // SIC observations produced
+}
+
+// MeanAbsError is the mean |wren - truth| over the run (Mbit/s).
+func (r *WrenTrackingResult) MeanAbsError() float64 {
+	return trace.MeanAbsError(r.WrenBW, r.AvailBW)
+}
+
+// WriteCSV renders the curves.
+func (r *WrenTrackingResult) WriteCSV(w io.Writer) error {
+	return trace.WriteCSV(w, r.Throughput, r.WrenBW, r.WrenLo, r.AvailBW)
+}
+
+// Summary renders a one-line outcome.
+func (r *WrenTrackingResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "samples=%d observations=%d meanAbsErr=%.1fMbps finalWren=%.1f finalTruth=%.1f",
+		r.WrenBW.Len(), r.Observations, r.MeanAbsError(), r.WrenBW.Last(), r.AvailBW.Last())
+	return b.String()
+}
+
+// paperMessagePhases is the Figure 2 application workload: messages with
+// 0.1 s spacings in three size phases separated by pauses, repeated, then
+// a randomized-spacing phase (paper section 2.2). One deviation from the
+// paper, documented in EXPERIMENTS.md: the large-message phase uses 500 KB
+// instead of 4 MB. A 4 MB transfer on our simulated droptail LAN reaches a
+// sustained loss equilibrium that starves the CBR regulator itself,
+// invalidating the controlled ground truth the figure depends on; 500 KB
+// (a few receive windows) keeps each burst a transient probe — a line-rate
+// window dump followed by an ACK-clocked drain at the achievable rate —
+// without collapsing the cross traffic.
+func paperMessagePhases() []tcpsim.MessagePhase {
+	return []tcpsim.MessagePhase{
+		{Count: 20, Size: 20 << 10, Spacing: simnet.Milliseconds(100)},
+		{Count: 10, Size: 50 << 10, Spacing: simnet.Milliseconds(100), Pause: simnet.Seconds(2)},
+		{Count: 6, Size: 500 << 10, Spacing: simnet.Milliseconds(100), Pause: simnet.Seconds(2)},
+		{Count: 20, Size: 50 << 10, Spacing: simnet.Milliseconds(50),
+			SpacingJitter: simnet.Milliseconds(300), Pause: simnet.Seconds(2)},
+	}
+}
+
+// paperTCPConfig mirrors the 2006 testbed transport: 64 KB receive windows
+// (no window scaling), so sustained transfers become ACK-clocked and emit
+// trains at the achievable rate instead of line-rate window dumps.
+func paperTCPConfig() tcpsim.Config {
+	return tcpsim.Config{MaxCwnd: 44}
+}
+
+// RunFig2 executes the Figure 2 experiment on the simulator.
+func RunFig2(cfg Fig2Config) *WrenTrackingResult {
+	s := simnet.NewSim()
+	d := simnet.NewDumbbell(s, 2, 2, simnet.DumbbellConfig{
+		AccessMbps:           cfg.Bottleneck, // 2006 fast-Ethernet NICs: access = path rate
+		AccessDelay:          simnet.Milliseconds(0.05),
+		BottleneckMbps:       cfg.Bottleneck,
+		BottleneckDelay:      simnet.Milliseconds(0.2),
+		BottleneckQueueBytes: 64 * 1000,
+	})
+	cross := tcpsim.NewCBR(d.Net, 99, d.Left[1], d.Right[1], 1500)
+	for _, step := range cfg.Cross {
+		cross.SetRateAt(simnet.Time(step.At), step.Mbps)
+	}
+	conn := tcpsim.NewConnection(d.Net, 1, d.Left[0], d.Right[0], paperTCPConfig())
+	tcpsim.StartMessageApp(conn, paperMessagePhases(), 0, -1, cfg.Seed)
+
+	// A tight observation window keeps the estimator tracking the cross
+	// traffic's step changes instead of averaging across them.
+	m := wren.NewMonitor(wren.HostName(d.Left[0]), wren.Config{
+		Estimator: wren.EstimatorConfig{Window: 48, MaxAge: 15_000_000_000},
+	})
+	wren.AttachSim(m, d.Net, d.Left[0])
+	wren.StartPolling(m, d.Net, simnet.Seconds(0.5))
+
+	res := &WrenTrackingResult{
+		Throughput: &trace.Series{Name: "tput"},
+		WrenBW:     &trace.Series{Name: "wren_bw"},
+		WrenLo:     &trace.Series{Name: "wren_lo"},
+		AvailBW:    &trace.Series{Name: "availbw"},
+	}
+	remote := wren.HostName(d.Right[0])
+	lastAcked := int64(0)
+	lastCrossPkts := uint64(0)
+	var sample func()
+	sample = func() {
+		now := s.Now().Sec()
+		acked := conn.BytesAcked()
+		tput := float64(acked-lastAcked) * 8 / cfg.SampleEvery.Sec() / 1e6
+		lastAcked = acked
+		res.Throughput.Add(now, tput)
+		if est, ok := m.AvailableBandwidth(remote); ok {
+			res.WrenBW.Add(now, est.Mbps)
+			res.WrenLo.Add(now, est.Lo)
+		}
+		// Ground truth the way the paper measured it (SNMP on the
+		// congested link): capacity minus the cross traffic actually
+		// delivered — under droptail an aggressive TCP can claw bandwidth
+		// back from the CBR stream, raising the true availability.
+		crossPkts := cross.Received
+		crossMbps := float64(crossPkts-lastCrossPkts) * 1500 * 8 / cfg.SampleEvery.Sec() / 1e6
+		lastCrossPkts = crossPkts
+		res.AvailBW.Add(now, cfg.Bottleneck-crossMbps)
+		if s.Now() < simnet.Time(cfg.Duration) {
+			d.Net.After(cfg.SampleEvery, sample)
+		}
+	}
+	d.Net.After(cfg.SampleEvery, sample)
+	s.RunUntil(simnet.Time(cfg.Duration))
+	res.Observations = m.Stats().Observations
+	return res
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"freemeasure/internal/simnet"
+	"freemeasure/internal/tcpsim"
+	"freemeasure/internal/trace"
+	"freemeasure/internal/wren"
+)
+
+// Fig3Config parameterizes the Figure 3 experiment: the same Wren
+// tracking, but on an emulated WAN — Nistnet-style added latency (50 ms
+// RTT on the monitored path), a 25 Mbit/s congested link, and on/off TCP
+// cross-traffic generators instead of smooth CBR.
+type Fig3Config struct {
+	Duration    simnet.Duration
+	Bottleneck  float64 // Mbit/s (paper: 25)
+	Generators  int     // on/off TCP cross sources (paper: several, 20-100 ms RTTs)
+	MeanOn      simnet.Duration
+	MeanOff     simnet.Duration
+	SampleEvery simnet.Duration
+	Seed        int64
+}
+
+// DefaultFig3 is the paper-scale run.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		Duration:    simnet.Seconds(300),
+		Bottleneck:  25,
+		Generators:  3,
+		MeanOn:      simnet.Seconds(10),
+		MeanOff:     simnet.Seconds(10),
+		SampleEvery: simnet.Seconds(5),
+		Seed:        2,
+	}
+}
+
+// ShortFig3 is a CI-scale run.
+func ShortFig3() Fig3Config {
+	cfg := DefaultFig3()
+	cfg.Duration = simnet.Seconds(60)
+	cfg.MeanOn = simnet.Seconds(4)
+	cfg.MeanOff = simnet.Seconds(4)
+	cfg.SampleEvery = simnet.Seconds(2)
+	return cfg
+}
+
+// RunFig3 executes the Figure 3 experiment. Ground truth is obtained the
+// way the paper used SNMP on the congested router: by measuring the cross
+// traffic actually carried by the bottleneck link per sample window.
+func RunFig3(cfg Fig3Config) *WrenTrackingResult {
+	s := simnet.NewSim()
+	// One endpoint pair for the app + one per generator, all sharing the
+	// WAN bottleneck.
+	d := simnet.NewDumbbell(s, 1+cfg.Generators, 1+cfg.Generators, simnet.DumbbellConfig{
+		AccessMbps:           100, // 2006 fast-Ethernet NICs in front of the WAN
+		AccessDelay:          simnet.Milliseconds(0.05),
+		BottleneckMbps:       cfg.Bottleneck,
+		BottleneckDelay:      simnet.Milliseconds(25), // Nistnet: 50 ms RTT
+		BottleneckQueueBytes: 256 * 1000,
+	})
+	var crossConns []*tcpsim.Conn
+	for i := 0; i < cfg.Generators; i++ {
+		conn := tcpsim.NewConnection(d.Net, simnet.FlowID(100+i),
+			d.Left[1+i], d.Right[1+i], tcpsim.Config{})
+		tcpsim.StartOnOffTCP(conn, cfg.MeanOn, cfg.MeanOff,
+			simnet.Time(simnet.Seconds(float64(i))), cfg.Seed+int64(i))
+		crossConns = append(crossConns, conn)
+	}
+	app := tcpsim.NewConnection(d.Net, 1, d.Left[0], d.Right[0], paperTCPConfig())
+	// Paper: "the application traffic that was monitored sent 70K messages
+	// with .1 second inter-message spacing".
+	tcpsim.StartMessageApp(app, []tcpsim.MessagePhase{
+		{Count: 50, Size: 70 << 10, Spacing: simnet.Milliseconds(100), Pause: simnet.Seconds(1)},
+	}, 0, -1, cfg.Seed)
+
+	m := wren.NewMonitor(wren.HostName(d.Left[0]), wren.Config{
+		Estimator: wren.EstimatorConfig{Window: 48, MaxAge: 15_000_000_000},
+	})
+	wren.AttachSim(m, d.Net, d.Left[0])
+	wren.StartPolling(m, d.Net, simnet.Seconds(0.5))
+
+	res := &WrenTrackingResult{
+		Throughput: &trace.Series{Name: "apptput"},
+		WrenBW:     &trace.Series{Name: "wren_bw"},
+		WrenLo:     &trace.Series{Name: "wren_lo"},
+		AvailBW:    &trace.Series{Name: "availbw"},
+	}
+	remote := wren.HostName(d.Right[0])
+	lastAppAcked := int64(0)
+	lastCross := int64(0)
+	var sample func()
+	sample = func() {
+		now := s.Now().Sec()
+		acked := app.BytesAcked()
+		res.Throughput.Add(now, float64(acked-lastAppAcked)*8/cfg.SampleEvery.Sec()/1e6)
+		lastAppAcked = acked
+		if est, ok := m.AvailableBandwidth(remote); ok {
+			res.WrenBW.Add(now, est.Mbps)
+			res.WrenLo.Add(now, est.Lo)
+		}
+		var cross int64
+		for _, c := range crossConns {
+			cross += c.BytesAcked()
+		}
+		crossMbps := float64(cross-lastCross) * 8 / cfg.SampleEvery.Sec() / 1e6
+		lastCross = cross
+		avail := cfg.Bottleneck - crossMbps
+		if avail < 0 {
+			avail = 0
+		}
+		res.AvailBW.Add(now, avail)
+		if s.Now() < simnet.Time(cfg.Duration) {
+			d.Net.After(cfg.SampleEvery, sample)
+		}
+	}
+	d.Net.After(cfg.SampleEvery, sample)
+	s.RunUntil(simnet.Time(cfg.Duration))
+	res.Observations = m.Stats().Observations
+	return res
+}

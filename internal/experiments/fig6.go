@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"freemeasure/internal/topology"
+)
+
+// Fig6Result is the Northwestern / William & Mary testbed bandwidth
+// matrix: the TTCP-measured Mbit/s between every host pair (Figure 6), as
+// reconstructed in topology.NWUWMTestbed, plus the derived VNET overlay.
+type Fig6Result struct {
+	Hosts   []string
+	Matrix  [][]float64 // [from][to] Mbit/s, 0 on the diagonal
+	Overlay *topology.Graph
+}
+
+// RunFig6 renders the testbed.
+func RunFig6() *Fig6Result {
+	g := topology.NWUWMTestbed()
+	n := g.NumNodes()
+	res := &Fig6Result{Overlay: topology.BuildOverlay(g, []topology.NodeID{
+		topology.Minet1, topology.Minet2, topology.LR3, topology.LR4,
+	})}
+	for i := 0; i < n; i++ {
+		res.Hosts = append(res.Hosts, g.Name(topology.NodeID(i)))
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if e, ok := g.Edge(topology.NodeID(i), topology.NodeID(j)); ok {
+				row[j] = e.BW
+			}
+		}
+		res.Matrix = append(res.Matrix, row)
+	}
+	return res
+}
+
+// WriteTable renders the matrix as the Figure 6 style table.
+func (r *Fig6Result) WriteTable(w io.Writer) error {
+	short := make([]string, len(r.Hosts))
+	for i, h := range r.Hosts {
+		short[i] = strings.SplitN(h, ".", 2)[0]
+	}
+	if _, err := fmt.Fprintf(w, "%-10s", "TTCP Mb/s"); err != nil {
+		return err
+	}
+	for _, h := range short {
+		fmt.Fprintf(w, " %10s", h)
+	}
+	fmt.Fprintln(w)
+	for i, row := range r.Matrix {
+		fmt.Fprintf(w, "%-10s", short[i])
+		for _, v := range row {
+			if v == 0 {
+				fmt.Fprintf(w, " %10s", "-")
+			} else {
+				fmt.Fprintf(w, " %10.1f", v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

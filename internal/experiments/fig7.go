@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/vm"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// Fig7Config parameterizes the Figure 7 experiment: VTTIF inferring the
+// topology of the 4-VM NAS MultiGrid benchmark from the Ethernet frames
+// the VMs emit into VNET.
+type Fig7Config struct {
+	UnitBytes   int           // bytes per unit intensity per step
+	StepEvery   time.Duration // pattern period
+	ReportEvery time.Duration // daemon -> proxy push period
+	Duration    time.Duration
+}
+
+// DefaultFig7 is a seconds-scale run.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		UnitBytes:   60 << 10,
+		StepEvery:   50 * time.Millisecond,
+		ReportEvery: 200 * time.Millisecond,
+		Duration:    3 * time.Second,
+	}
+}
+
+// Fig7Result compares the VTTIF-inferred matrix against the generator's
+// true intensity matrix.
+type Fig7Result struct {
+	True     [4][4]float64 // generator intensities (normalized)
+	Inferred [][]float64   // VTTIF's normalized smoothed matrix
+	Topology map[vttif.Pair]bool
+	Pattern  vttif.PatternKind // structural classification of the topology
+	// TopologyCorrect: the pruned topology contains exactly the pairs with
+	// positive true intensity.
+	TopologyCorrect bool
+	MaxEntryError   float64 // max |inferred - true| over all entries
+}
+
+// RunFig7 executes the experiment on the real-socket overlay.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	names := []string{"host1", "host2", "host3", "host4"}
+	o, err := vnet.NewStar(names, vttif.Config{Alpha: 0.5, PruneFraction: 0.1, HoldUpdates: 2}, wren.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer o.Close()
+	vms := make([]*vm.VM, 4)
+	for i := range vms {
+		vms[i] = vm.New(i + 1)
+		vms[i].AttachTo(o.Nodes[i].Daemon)
+	}
+	time.Sleep(50 * time.Millisecond)
+	o.StartReporting(cfg.ReportEvery)
+
+	pattern := vm.StartNASMultiGrid(vms, cfg.UnitBytes, cfg.StepEvery)
+	time.Sleep(cfg.Duration)
+	pattern.Stop()
+
+	res := &Fig7Result{True: vm.NASMultiGridIntensity, Topology: o.View.Agg.Topology()}
+	res.Pattern = vttif.Classify(res.Topology)
+	order := make([]ethernet.MAC, 4)
+	for i, v := range vms {
+		order[i] = v.MAC()
+	}
+	res.Inferred = o.View.Agg.Matrix(order)
+
+	res.TopologyCorrect = true
+	idx := map[ethernet.MAC]int{}
+	for i, m := range order {
+		idx[m] = i
+	}
+	want := map[vttif.Pair]bool{}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if res.True[i][j] > 0 {
+				want[vttif.Pair{Src: order[i], Dst: order[j]}] = true
+			}
+		}
+	}
+	if len(want) != len(res.Topology) {
+		res.TopologyCorrect = false
+	}
+	for p := range want {
+		if !res.Topology[p] {
+			res.TopologyCorrect = false
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			diff := res.Inferred[i][j] - res.True[i][j]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > res.MaxEntryError {
+				res.MaxEntryError = diff
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteMatrix renders true-vs-inferred side by side.
+func (r *Fig7Result) WriteMatrix(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "true matrix            inferred matrix"); err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			fmt.Fprintf(w, "%5.2f", r.True[i][j])
+		}
+		fmt.Fprint(w, "   ")
+		for j := 0; j < 4; j++ {
+			fmt.Fprintf(w, "%5.2f", r.Inferred[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "topology correct: %v, max entry error: %.2f\n", r.TopologyCorrect, r.MaxEntryError)
+	return nil
+}

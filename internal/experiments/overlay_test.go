@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"freemeasure/internal/vttif"
+)
+
+// These tests exercise the real-socket overlay experiments. They take a
+// few wall-clock seconds each (the overlay runs on localhost TCP).
+
+func TestFig4WrenOverVNET(t *testing.T) {
+	cfg := DefaultFig4()
+	cfg.Duration = 3 * time.Second
+	res, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observations == 0 {
+		t.Fatal("Wren produced no observations from VNET traffic")
+	}
+	if res.WrenBW.Len() == 0 {
+		t.Fatal("no bandwidth estimates")
+	}
+	// The paper's claim is qualitative here: Wren measures the path while
+	// the app does not saturate it. The estimate must be positive and
+	// within an order of magnitude of the configured 50 Mbit/s.
+	last := res.WrenBW.Last()
+	if last <= 0 || last > cfg.LinkMbps*4 {
+		t.Fatalf("estimate = %.1f, want within (0, %v]", last, cfg.LinkMbps*4)
+	}
+	if res.Throughput.Mean() <= 0 {
+		t.Fatal("application moved no data")
+	}
+}
+
+func TestFig7VTTIFInfersNASMultiGrid(t *testing.T) {
+	res, err := RunFig7(DefaultFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TopologyCorrect {
+		var buf bytes.Buffer
+		res.WriteMatrix(&buf)
+		t.Fatalf("inferred topology wrong:\n%s", buf.String())
+	}
+	// Normalized intensities should be roughly right (generous bound: the
+	// overlay adds jitter).
+	if res.MaxEntryError > 0.5 {
+		var buf bytes.Buffer
+		res.WriteMatrix(&buf)
+		t.Fatalf("max entry error %.2f:\n%s", res.MaxEntryError, buf.String())
+	}
+	// NAS MultiGrid's traffic is structurally all-to-all.
+	if res.Pattern != vttif.PatternAllToAll {
+		t.Fatalf("pattern = %v, want all-to-all", res.Pattern)
+	}
+}

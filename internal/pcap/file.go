@@ -1,0 +1,66 @@
+package pcap
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+)
+
+// This file provides trace persistence: Wren's pre-online workflow
+// analyzed traces offline ("earlier work described offline analysis
+// techniques", paper section 1), and saved traces are also how the
+// repository mode archives what forwarders ship. The format is a gob
+// stream of Records.
+
+// WriteTrace streams records to w.
+func WriteTrace(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reads all records from r.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// SaveTrace writes records to a file.
+func SaveTrace(path string, records []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteTrace(f, records); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadTrace reads a trace file.
+func LoadTrace(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

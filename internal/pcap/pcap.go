@@ -1,0 +1,142 @@
+// Package pcap is the reproduction's stand-in for Wren's kernel-level
+// packet trace facility: it records per-packet headers with precise
+// timestamps at a host's NIC, cheaply enough to stay out of the data path.
+// Records can come from the discrete-event simulator's capture hooks
+// (simulated time) or from instrumented VNET overlay links (wall-clock
+// time); Wren's analyzer consumes both identically.
+package pcap
+
+import (
+	"sync"
+)
+
+// Dir is the capture direction relative to the traced host.
+type Dir uint8
+
+const (
+	Out Dir = iota // packet left this host's NIC
+	In             // packet arrived at this host
+)
+
+func (d Dir) String() string {
+	if d == Out {
+		return "out"
+	}
+	return "in"
+}
+
+// FlowKey identifies a unidirectional conversation between two endpoints.
+// Endpoints are strings so the same analyzer serves simulated hosts
+// ("host3"), VNET daemons ("vnet://10.0.0.2:9000"), or anything else.
+type FlowKey struct {
+	Local  string // the traced host's endpoint
+	Remote string // the peer
+}
+
+// Record is one captured packet header. It is the only information Wren
+// ever needs: who, when, how big, and the TCP sequence/ack numbers.
+type Record struct {
+	At    int64 // timestamp in nanoseconds (simulated or wall clock)
+	Dir   Dir
+	Flow  FlowKey
+	Size  int   // bytes on the wire
+	Seq   int64 // first payload byte (data packets)
+	Len   int   // payload bytes (data packets)
+	IsAck bool
+	Ack   int64 // cumulative acknowledgment (ACK packets)
+}
+
+// Buffer is a bounded in-order capture buffer, the userspace side of the
+// trace facility. Appends are cheap and safe for concurrent use; when the
+// buffer fills, the oldest records are discarded and counted.
+type Buffer struct {
+	mu      sync.Mutex
+	records []Record
+	start   uint64 // sequence number of records[0]
+	cap     int
+	dropped uint64
+	total   uint64
+}
+
+// NewBuffer creates a buffer holding up to capacity records (default 1<<16
+// when capacity <= 0).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Buffer{cap: capacity}
+}
+
+// Append adds a record, evicting the oldest if full.
+func (b *Buffer) Append(r Record) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.records) == b.cap {
+		// Drop the oldest half in one copy to amortize eviction.
+		half := b.cap / 2
+		n := copy(b.records, b.records[half:])
+		b.records = b.records[:n]
+		b.start += uint64(half)
+		b.dropped += uint64(half)
+	}
+	b.records = append(b.records, r)
+	b.total++
+}
+
+// Len returns the number of buffered records.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.records)
+}
+
+// Total returns how many records were ever appended.
+func (b *Buffer) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Dropped returns how many records were evicted unread.
+func (b *Buffer) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Cursor marks a position in the capture stream, for incremental reads.
+type Cursor uint64
+
+// ReadFrom returns a copy of all records at or after the cursor and the
+// cursor one past the last returned record. If the cursor has been evicted,
+// reading resumes at the oldest available record.
+func (b *Buffer) ReadFrom(c Cursor) ([]Record, Cursor) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pos := uint64(c)
+	if pos < b.start {
+		pos = b.start
+	}
+	end := b.start + uint64(len(b.records))
+	if pos >= end {
+		return nil, Cursor(end)
+	}
+	out := make([]Record, end-pos)
+	copy(out, b.records[pos-b.start:])
+	return out, Cursor(end)
+}
+
+// Snapshot returns a copy of everything currently buffered.
+func (b *Buffer) Snapshot() []Record {
+	recs, _ := b.ReadFrom(0)
+	return recs
+}
+
+// SplitFlows partitions records into per-flow slices preserving order.
+func SplitFlows(records []Record) map[FlowKey][]Record {
+	out := make(map[FlowKey][]Record)
+	for _, r := range records {
+		out[r.Flow] = append(out[r.Flow], r)
+	}
+	return out
+}

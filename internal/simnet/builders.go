@@ -1,0 +1,85 @@
+package simnet
+
+// This file provides the canned physical topologies the experiments use.
+
+// DumbbellConfig parameterizes NewDumbbell. The dumbbell is the standard
+// controlled-load testbed shape: endpoint hosts on fast access links on
+// both sides of a single bottleneck link between two routers, which is
+// where cross traffic and the monitored application's traffic share
+// capacity.
+type DumbbellConfig struct {
+	AccessMbps           float64  // per-endpoint access link rate
+	AccessDelay          Duration // per-access-link propagation delay
+	BottleneckMbps       float64  // shared bottleneck rate
+	BottleneckDelay      Duration // bottleneck propagation delay (sets base RTT)
+	AccessQueueBytes     int      // droptail bound on access links (0 = 1 MB NIC ring)
+	BottleneckQueueBytes int      // droptail bound on the bottleneck (0 = default)
+}
+
+// LANDumbbell mimics the paper's Figure 2 testbed: a 100 Mbit/s switched
+// LAN path with sub-millisecond latency.
+func LANDumbbell() DumbbellConfig {
+	return DumbbellConfig{
+		AccessMbps:      1000,
+		AccessDelay:     Milliseconds(0.05),
+		BottleneckMbps:  100,
+		BottleneckDelay: Milliseconds(0.2),
+	}
+}
+
+// WANDumbbell mimics the paper's Figure 3 testbed: Nistnet adding tens of
+// milliseconds of latency in front of a 25 Mbit/s congested path.
+func WANDumbbell() DumbbellConfig {
+	return DumbbellConfig{
+		AccessMbps:           1000,
+		AccessDelay:          Milliseconds(0.05),
+		BottleneckMbps:       25,
+		BottleneckDelay:      Milliseconds(25), // 50 ms RTT across the bottleneck
+		BottleneckQueueBytes: 256 * 1000,       // deeper WAN router queue
+	}
+}
+
+// Dumbbell is the built topology. Host IDs: Left endpoints first, then
+// Right endpoints, then the two routers.
+type Dumbbell struct {
+	Net         *Network
+	Left, Right []HostID
+	RouterL     HostID
+	RouterR     HostID
+	Forward     *Link // RouterL -> RouterR (left-to-right bottleneck)
+	Reverse     *Link // RouterR -> RouterL
+}
+
+// NewDumbbell builds a dumbbell with nLeft and nRight endpoint hosts.
+func NewDumbbell(sim *Sim, nLeft, nRight int, cfg DumbbellConfig) *Dumbbell {
+	accessQ := cfg.AccessQueueBytes
+	if accessQ <= 0 {
+		// Host NIC rings are deep relative to router queues: a TCP burst of
+		// a full congestion window must not drop at the sender's own NIC.
+		accessQ = 1 << 20
+	}
+	n := NewNetwork(sim, nLeft+nRight+2)
+	d := &Dumbbell{Net: n}
+	d.RouterL = HostID(nLeft + nRight)
+	d.RouterR = HostID(nLeft + nRight + 1)
+	for i := 0; i < nLeft; i++ {
+		id := HostID(i)
+		d.Left = append(d.Left, id)
+		n.AddDuplexLink(id, d.RouterL, cfg.AccessMbps, cfg.AccessDelay, accessQ)
+	}
+	for i := 0; i < nRight; i++ {
+		id := HostID(nLeft + i)
+		d.Right = append(d.Right, id)
+		n.AddDuplexLink(id, d.RouterR, cfg.AccessMbps, cfg.AccessDelay, accessQ)
+	}
+	d.Forward = n.AddLink(d.RouterL, d.RouterR, cfg.BottleneckMbps, cfg.BottleneckDelay, cfg.BottleneckQueueBytes)
+	d.Reverse = n.AddLink(d.RouterR, d.RouterL, cfg.BottleneckMbps, cfg.BottleneckDelay, cfg.BottleneckQueueBytes)
+	return d
+}
+
+// NewPair builds the simplest topology: two hosts joined by a duplex link.
+func NewPair(sim *Sim, rateMbps float64, delay Duration, queueBytes int) (*Network, HostID, HostID) {
+	n := NewNetwork(sim, 2)
+	n.AddDuplexLink(0, 1, rateMbps, delay, queueBytes)
+	return n, 0, 1
+}

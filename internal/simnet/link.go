@@ -1,0 +1,137 @@
+package simnet
+
+import "math/rand"
+
+// LinkStats aggregates a link's lifetime counters. BytesSent counts bytes
+// whose transmission completed; Busy accumulates transmission time, so
+// Busy/elapsed is the link's utilization — the simulator's stand-in for
+// SNMP byte counters on the congested router.
+type LinkStats struct {
+	Enqueued  uint64
+	Dropped   uint64 // droptail queue overflows
+	Lost      uint64 // random losses (Nistnet-style emulation)
+	Delivered uint64
+	BytesSent uint64
+	Busy      Duration
+	MaxQueue  int // high-water mark of queued bytes
+}
+
+// Link is a unidirectional channel between two hosts with a fixed
+// transmission rate, propagation delay, and a droptail queue bounded in
+// bytes. Transmission time is Size*8/RateMbps microseconds-exact; a packet
+// arrives at the far end one propagation delay after its last bit leaves.
+type Link struct {
+	net      *Network
+	from, to HostID
+	rateMbps float64
+	delay    Duration
+	queueCap int // bytes
+
+	queue       []*Packet
+	queuedBytes int
+	busy        bool
+
+	// Random-loss emulation (Nistnet also emulated loss, not just delay).
+	lossRate float64
+	lossRng  *rand.Rand
+
+	stats LinkStats
+}
+
+// From returns the sending host ID.
+func (l *Link) From() HostID { return l.from }
+
+// To returns the receiving host ID.
+func (l *Link) To() HostID { return l.to }
+
+// RateMbps returns the configured transmission rate.
+func (l *Link) RateMbps() float64 { return l.rateMbps }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() Duration { return l.delay }
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueuedBytes returns the bytes currently waiting (excluding the packet in
+// transmission).
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// SetRate changes the link's rate mid-run (Nistnet-style reconfiguration).
+// The packet currently being serialized finishes at the old rate.
+func (l *Link) SetRate(mbps float64) {
+	if mbps <= 0 {
+		panic("simnet: non-positive link rate")
+	}
+	l.rateMbps = mbps
+}
+
+// SetLossRate makes the link drop each packet independently with the given
+// probability (Nistnet-style loss emulation). rate 0 disables. The stream
+// is seeded for reproducibility.
+func (l *Link) SetLossRate(rate float64, seed int64) {
+	if rate < 0 || rate >= 1 {
+		panic("simnet: loss rate must be in [0,1)")
+	}
+	l.lossRate = rate
+	if rate > 0 {
+		l.lossRng = rand.New(rand.NewSource(seed))
+	} else {
+		l.lossRng = nil
+	}
+}
+
+// txTime returns how long size bytes occupy the wire.
+func (l *Link) txTime(size int) Duration {
+	bits := float64(size) * 8
+	sec := bits / (l.rateMbps * 1e6)
+	return Duration(sec * float64(Second))
+}
+
+// enqueue accepts a packet for transmission, dropping it if the queue is
+// full (droptail) or the loss emulation fires.
+func (l *Link) enqueue(pkt *Packet) {
+	if l.lossRate > 0 && l.lossRng.Float64() < l.lossRate {
+		l.stats.Lost++
+		return
+	}
+	if l.busy && l.queuedBytes+pkt.Size > l.queueCap {
+		l.stats.Dropped++
+		return
+	}
+	l.stats.Enqueued++
+	if l.busy {
+		l.queue = append(l.queue, pkt)
+		l.queuedBytes += pkt.Size
+		if l.queuedBytes > l.stats.MaxQueue {
+			l.stats.MaxQueue = l.queuedBytes
+		}
+		return
+	}
+	l.transmit(pkt)
+}
+
+// transmit serializes pkt onto the wire and schedules its arrival and the
+// next dequeue.
+func (l *Link) transmit(pkt *Packet) {
+	l.busy = true
+	sim := l.net.sim
+	// The sending host's NIC begins serializing now: fire its out-capture.
+	l.net.hosts[l.from].captureOut(pkt, sim.Now())
+	tx := l.txTime(pkt.Size)
+	l.stats.Busy += tx
+	sim.After(tx, func() {
+		l.stats.Delivered++
+		l.stats.BytesSent += uint64(pkt.Size)
+		// Last bit on the wire; arrival after propagation delay.
+		sim.After(l.delay, func() { l.net.arrive(l.to, pkt) })
+		if len(l.queue) > 0 {
+			next := l.queue[0]
+			l.queue = l.queue[1:]
+			l.queuedBytes -= next.Size
+			l.transmit(next)
+		} else {
+			l.busy = false
+		}
+	})
+}

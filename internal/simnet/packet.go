@@ -1,0 +1,58 @@
+package simnet
+
+import "fmt"
+
+// HostID identifies a host (or router) in a Network.
+type HostID int32
+
+// FlowID identifies an end-to-end flow; both directions of a connection
+// (data and ACKs) share the flow ID, exactly as a TCP 4-tuple would.
+type FlowID int32
+
+// Packet is the unit of transmission. Packets are passed by pointer but
+// never mutated after Send, so capture hooks may retain copies cheaply.
+type Packet struct {
+	ID   uint64 // unique per network, assigned by Send
+	Flow FlowID
+	Src  HostID
+	Dst  HostID
+	Size int // bytes on the wire, including all headers
+
+	// TCP-ish metadata consumed by tcpsim and by Wren's analyzer.
+	Seq   int64 // first data byte's sequence number (data packets)
+	Len   int   // payload bytes (data packets)
+	IsAck bool
+	Ack   int64 // cumulative acknowledgment (ACK packets)
+
+	SentAt Time // stamped when Send is called at the source
+}
+
+func (p *Packet) String() string {
+	if p.IsAck {
+		return fmt.Sprintf("ack[flow=%d %d->%d ack=%d]", p.Flow, p.Src, p.Dst, p.Ack)
+	}
+	return fmt.Sprintf("data[flow=%d %d->%d seq=%d len=%d]", p.Flow, p.Src, p.Dst, p.Seq, p.Len)
+}
+
+// Direction distinguishes capture-hook events.
+type Direction int
+
+const (
+	// Out fires when the host's NIC begins serializing the packet onto its
+	// access link — the Wren kernel extension's send-side timestamp.
+	Out Direction = iota
+	// In fires when the packet arrives at its final destination host — the
+	// receive-side timestamp.
+	In
+)
+
+func (d Direction) String() string {
+	if d == Out {
+		return "out"
+	}
+	return "in"
+}
+
+// CaptureFunc observes packets at a host NIC with the simulated timestamp.
+// It corresponds to Wren's kernel-level packet trace facility.
+type CaptureFunc func(pkt *Packet, at Time, dir Direction)

@@ -1,0 +1,47 @@
+// Package simnet is a deterministic discrete-event network simulator: hosts
+// connected by links with a transmission rate, propagation delay, and a
+// droptail queue. It is the substitute for the paper's physical testbed
+// (NWU/W&M hosts, Nistnet WAN emulation): Wren's self-induced-congestion
+// analysis depends only on queueing physics — a packet train whose rate
+// exceeds the spare bottleneck capacity builds queue, so round-trip times
+// increase across the train — and simnet reproduces exactly that mechanism
+// while also providing the ground-truth available bandwidth the paper could
+// only approximate by polling routers over SNMP.
+package simnet
+
+import "fmt"
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds converts a float64 second count to a Duration.
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Milliseconds converts a float64 millisecond count to a Duration.
+func Milliseconds(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// Sec returns the duration as float64 seconds.
+func (d Duration) Sec() float64 { return float64(d) / float64(Second) }
+
+// Sec returns the time as float64 seconds since the start of the run.
+func (t Time) Sec() float64 { return float64(t) / float64(Second) }
+
+// Add advances a time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string     { return fmt.Sprintf("%.6fs", t.Sec()) }
+func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Sec()) }

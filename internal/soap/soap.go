@@ -1,0 +1,199 @@
+// Package soap implements the minimal subset of SOAP 1.1 that Wren's
+// measurement interface needs: document-style request/response bodies in a
+// standard envelope over HTTP POST, with SOAP Faults for errors. It is
+// stdlib-only (net/http + encoding/xml) and deliberately tiny — the paper
+// used a 2005-era SOAP toolkit, and clients only ever exchange one body
+// element per call.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// envelopeNS is the SOAP 1.1 envelope namespace.
+const envelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// rawEnvelope parses just deep enough to extract the body's inner XML.
+type rawEnvelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Body    rawBody  `xml:"Body"`
+}
+
+type rawBody struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Fault is a SOAP 1.1 fault payload.
+type Fault struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
+	Code    string   `xml:"faultcode"`
+	Message string   `xml:"faultstring"`
+}
+
+// Error implements the error interface so client calls surface faults
+// directly.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.Message)
+}
+
+// Marshal wraps a body payload in a SOAP envelope.
+func Marshal(payload interface{}) ([]byte, error) {
+	inner, err := xml.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshal body: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<soap:Envelope xmlns:soap="` + envelopeNS + `"><soap:Body>`)
+	buf.Write(inner)
+	buf.WriteString(`</soap:Body></soap:Envelope>`)
+	return buf.Bytes(), nil
+}
+
+// bodyElement returns the local name of the first element inside the
+// envelope body, plus the raw body XML.
+func bodyElement(envelope []byte) (string, []byte, error) {
+	var env rawEnvelope
+	if err := xml.Unmarshal(envelope, &env); err != nil {
+		return "", nil, fmt.Errorf("soap: bad envelope: %w", err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(env.Body.Inner))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return "", nil, errors.New("soap: empty body")
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("soap: bad body: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			return start.Name.Local, env.Body.Inner, nil
+		}
+	}
+}
+
+// Unmarshal extracts the body payload of an envelope into out. If the body
+// holds a Fault, it is returned as the error.
+func Unmarshal(envelope []byte, out interface{}) error {
+	name, inner, err := bodyElement(envelope)
+	if err != nil {
+		return err
+	}
+	if name == "Fault" {
+		var f Fault
+		if err := xml.Unmarshal(inner, &f); err != nil {
+			return fmt.Errorf("soap: bad fault: %w", err)
+		}
+		return &f
+	}
+	if err := xml.Unmarshal(inner, out); err != nil {
+		return fmt.Errorf("soap: unmarshal body: %w", err)
+	}
+	return nil
+}
+
+// Handler serves one operation: decode the request from the raw body XML,
+// return the response payload (or an error, which becomes a Fault).
+type Handler func(body []byte) (interface{}, error)
+
+// Server dispatches SOAP calls on the local name of the body's first
+// element. It implements http.Handler.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewServer returns an empty dispatcher.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler)}
+}
+
+// Handle registers a handler for the body element named op.
+func (s *Server) Handle(op string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[op] = h
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		s.fault(w, "soap:Client", "unreadable request")
+		return
+	}
+	op, inner, err := bodyElement(data)
+	if err != nil {
+		s.fault(w, "soap:Client", err.Error())
+		return
+	}
+	s.mu.RLock()
+	h, ok := s.handlers[op]
+	s.mu.RUnlock()
+	if !ok {
+		s.fault(w, "soap:Client", "unknown operation "+op)
+		return
+	}
+	resp, err := h(inner)
+	if err != nil {
+		s.fault(w, "soap:Server", err.Error())
+		return
+	}
+	out, err := Marshal(resp)
+	if err != nil {
+		s.fault(w, "soap:Server", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(out)
+}
+
+func (s *Server) fault(w http.ResponseWriter, code, msg string) {
+	out, err := Marshal(&Fault{Code: code, Message: msg})
+	if err != nil {
+		http.Error(w, msg, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	w.Write(out)
+}
+
+// Client calls SOAP endpoints.
+type Client struct {
+	HTTP *http.Client // nil means http.DefaultClient
+	URL  string
+}
+
+// Call posts req's envelope and decodes the response body into resp.
+// A Fault response is returned as *Fault error.
+func (c *Client) Call(req, resp interface{}) error {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	body, err := Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := hc.Post(c.URL, "text/xml; charset=utf-8", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("soap: post: %w", err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("soap: read response: %w", err)
+	}
+	return Unmarshal(data, resp)
+}

@@ -1,0 +1,166 @@
+package soap
+
+import (
+	"encoding/xml"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type pingReq struct {
+	XMLName xml.Name `xml:"Ping"`
+	Msg     string   `xml:"msg"`
+}
+
+type pingResp struct {
+	XMLName xml.Name `xml:"PingResponse"`
+	Echo    string   `xml:"echo"`
+	N       int      `xml:"n"`
+}
+
+func pingServer() *Server {
+	s := NewServer()
+	s.Handle("Ping", func(body []byte) (interface{}, error) {
+		var req pingReq
+		if err := xml.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		if req.Msg == "boom" {
+			return nil, errors.New("exploded")
+		}
+		return &pingResp{Echo: req.Msg, N: len(req.Msg)}, nil
+	})
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(pingServer())
+	defer ts.Close()
+	c := Client{URL: ts.URL}
+	var resp pingResp
+	if err := c.Call(&pingReq{Msg: "hello"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Echo != "hello" || resp.N != 5 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestFaultFromHandlerError(t *testing.T) {
+	ts := httptest.NewServer(pingServer())
+	defer ts.Close()
+	c := Client{URL: ts.URL}
+	var resp pingResp
+	err := c.Call(&pingReq{Msg: "boom"}, &resp)
+	var fault *Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if fault.Code != "soap:Server" || !strings.Contains(fault.Message, "exploded") {
+		t.Fatalf("fault = %+v", fault)
+	}
+}
+
+func TestUnknownOperationFaults(t *testing.T) {
+	ts := httptest.NewServer(pingServer())
+	defer ts.Close()
+	c := Client{URL: ts.URL}
+	type nopeReq struct {
+		XMLName xml.Name `xml:"Nope"`
+	}
+	var resp pingResp
+	err := c.Call(&nopeReq{}, &resp)
+	var fault *Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if !strings.Contains(fault.Message, "unknown operation") {
+		t.Fatalf("fault = %+v", fault)
+	}
+}
+
+func TestGetRejected(t *testing.T) {
+	ts := httptest.NewServer(pingServer())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestMalformedEnvelope(t *testing.T) {
+	ts := httptest.NewServer(pingServer())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "text/xml", strings.NewReader("<not-soap/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	env, err := Marshal(struct {
+		XMLName xml.Name `xml:"X"`
+	}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the body content to simulate an empty body.
+	raw := strings.Replace(string(env), "<X></X>", "", 1)
+	var out pingResp
+	if err := Unmarshal([]byte(raw), &out); err == nil {
+		t.Fatal("expected error for empty body")
+	}
+}
+
+func TestMarshalUnmarshalSymmetry(t *testing.T) {
+	env, err := Marshal(&pingResp{Echo: "x", N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(env), "soap:Envelope") {
+		t.Fatalf("envelope missing: %s", env)
+	}
+	var out pingResp
+	if err := Unmarshal(env, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Echo != "x" || out.N != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestClientPostError(t *testing.T) {
+	c := Client{URL: "http://127.0.0.1:1/unreachable"}
+	var resp pingResp
+	if err := c.Call(&pingReq{Msg: "x"}, &resp); err == nil {
+		t.Fatal("expected connection error")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	ts := httptest.NewServer(pingServer())
+	defer ts.Close()
+	c := Client{URL: ts.URL}
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			var resp pingResp
+			done <- c.Call(&pingReq{Msg: "concurrent"}, &resp)
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WaxmanConfig parameterizes the BRITE-style Waxman flat-router topology
+// generator used for the paper's scalability study (section 4.4.4): a
+// 256-node physical topology, out-degree 2, bandwidths uniform in
+// [10, 1024].
+type WaxmanConfig struct {
+	Nodes     int     // number of router nodes
+	OutDegree int     // edges added per node (BRITE's m)
+	Alpha     float64 // Waxman alpha (edge probability scale), typical 0.15
+	Beta      float64 // Waxman beta (distance decay), typical 0.2
+	PlaneSize float64 // nodes are placed uniformly in [0,PlaneSize)^2
+	MinBW     float64 // uniform bandwidth lower bound (Mbit/s)
+	MaxBW     float64 // uniform bandwidth upper bound (Mbit/s)
+	// LatencyPerUnit converts Euclidean plane distance to one-way latency
+	// in ms (speed-of-light style propagation).
+	LatencyPerUnit float64
+	Seed           int64
+}
+
+// PaperWaxmanConfig returns the configuration matching the paper's
+// 256-node BRITE run: Waxman flat-router model, out-degree 2, bandwidth
+// uniform in [10, 1024] units (interpreted as Mbit/s here).
+func PaperWaxmanConfig(seed int64) WaxmanConfig {
+	return WaxmanConfig{
+		Nodes:          256,
+		OutDegree:      2,
+		Alpha:          0.15,
+		Beta:           0.2,
+		PlaneSize:      1000,
+		MinBW:          10,
+		MaxBW:          1024,
+		LatencyPerUnit: 0.01, // 1000 plane units ~ 10ms coast-to-coast-ish
+		Seed:           seed,
+	}
+}
+
+// Waxman generates a connected bidirectional topology using the Waxman
+// probability model P(u,v) = alpha * exp(-d(u,v) / (beta*L)), the model
+// BRITE implements for flat router topologies. Node i>0 attaches
+// OutDegree edges to previously placed nodes, sampled by Waxman weight
+// (incremental growth keeps the graph connected by construction, as BRITE
+// does). Each undirected edge gets an independent uniform bandwidth and a
+// distance-proportional latency, and is added in both directions with the
+// same weights.
+func Waxman(cfg WaxmanConfig) *Graph {
+	if cfg.Nodes < 2 {
+		panic("topology: Waxman needs at least 2 nodes")
+	}
+	if cfg.OutDegree < 1 {
+		panic("topology: Waxman needs OutDegree >= 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type pt struct{ x, y float64 }
+	pts := make([]pt, cfg.Nodes)
+	for i := range pts {
+		pts[i] = pt{rng.Float64() * cfg.PlaneSize, rng.Float64() * cfg.PlaneSize}
+	}
+	dist := func(a, b int) float64 {
+		dx, dy := pts[a].x-pts[b].x, pts[a].y-pts[b].y
+		return math.Hypot(dx, dy)
+	}
+	maxDist := cfg.PlaneSize * math.Sqrt2
+
+	g := New(cfg.Nodes)
+	addUndirected := func(a, b int) {
+		bw := cfg.MinBW + rng.Float64()*(cfg.MaxBW-cfg.MinBW)
+		lat := dist(a, b) * cfg.LatencyPerUnit
+		g.AddBiEdge(NodeID(a), NodeID(b), bw, lat)
+	}
+
+	for i := 1; i < cfg.Nodes; i++ {
+		// Sample up to OutDegree distinct targets among nodes [0,i) with
+		// probability proportional to the Waxman weight.
+		degree := cfg.OutDegree
+		if degree > i {
+			degree = i
+		}
+		chosen := make(map[int]bool, degree)
+		weights := make([]float64, i)
+		total := 0.0
+		for j := 0; j < i; j++ {
+			w := cfg.Alpha * math.Exp(-dist(i, j)/(cfg.Beta*maxDist))
+			weights[j] = w
+			total += w
+		}
+		for len(chosen) < degree {
+			r := rng.Float64() * total
+			pick := i - 1
+			for j := 0; j < i; j++ {
+				if chosen[j] {
+					continue
+				}
+				if r < weights[j] {
+					pick = j
+					break
+				}
+				r -= weights[j]
+			}
+			if chosen[pick] {
+				// All weight consumed by already-chosen nodes (numeric
+				// edge case): fall back to the first unchosen node.
+				for j := 0; j < i; j++ {
+					if !chosen[j] {
+						pick = j
+						break
+					}
+				}
+			}
+			chosen[pick] = true
+			total -= weights[pick]
+			weights[pick] = 0
+			addUndirected(i, pick)
+		}
+	}
+	return g
+}
+
+// SampleHosts picks k distinct node IDs uniformly at random; in the
+// scalability experiment these are the nodes that run VNET daemons.
+func SampleHosts(g *Graph, k int, seed int64) []NodeID {
+	if k > g.NumNodes() {
+		panic("topology: cannot sample more hosts than nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.NumNodes())
+	hosts := make([]NodeID, k)
+	for i := 0; i < k; i++ {
+		hosts[i] = NodeID(perm[i])
+	}
+	return hosts
+}

@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWaxmanPaperConfig(t *testing.T) {
+	cfg := PaperWaxmanConfig(1)
+	g := Waxman(cfg)
+	if g.NumNodes() != 256 {
+		t.Fatalf("NumNodes = %d, want 256", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("Waxman graph not connected")
+	}
+	for _, e := range g.Edges() {
+		if e.BW < cfg.MinBW || e.BW > cfg.MaxBW {
+			t.Fatalf("edge bw %v outside [%v,%v]", e.BW, cfg.MinBW, cfg.MaxBW)
+		}
+		if e.Latency < 0 || e.Latency > cfg.PlaneSize*math.Sqrt2*cfg.LatencyPerUnit {
+			t.Fatalf("edge latency %v out of range", e.Latency)
+		}
+		// Bidirectional with equal weights.
+		r, ok := g.Edge(e.To, e.From)
+		if !ok || r.BW != e.BW || r.Latency != e.Latency {
+			t.Fatalf("edge %d->%d not mirrored", e.From, e.To)
+		}
+	}
+	// Incremental growth with out-degree 2 adds 2 undirected edges per node
+	// beyond the first two; total directed edges is bounded accordingly.
+	maxDirected := 2 * (1 + 2*(cfg.Nodes-2))
+	if g.NumEdges() > maxDirected {
+		t.Fatalf("NumEdges = %d exceeds growth bound %d", g.NumEdges(), maxDirected)
+	}
+}
+
+func TestWaxmanDeterministicPerSeed(t *testing.T) {
+	a := Waxman(PaperWaxmanConfig(42))
+	b := Waxman(PaperWaxmanConfig(42))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	c := Waxman(PaperWaxmanConfig(43))
+	same := len(c.Edges()) == len(ea)
+	if same {
+		identical := true
+		for i, e := range c.Edges() {
+			if e != ea[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestWaxmanSmall(t *testing.T) {
+	cfg := PaperWaxmanConfig(7)
+	cfg.Nodes = 8
+	g := Waxman(cfg)
+	if !g.Connected() {
+		t.Fatal("small Waxman graph not connected")
+	}
+}
+
+func TestWaxmanValidation(t *testing.T) {
+	for _, cfg := range []WaxmanConfig{
+		{Nodes: 1, OutDegree: 2},
+		{Nodes: 10, OutDegree: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for cfg %+v", cfg)
+				}
+			}()
+			Waxman(cfg)
+		}()
+	}
+}
+
+func TestSampleHosts(t *testing.T) {
+	g := Waxman(PaperWaxmanConfig(3))
+	hosts := SampleHosts(g, 32, 9)
+	if len(hosts) != 32 {
+		t.Fatalf("len(hosts) = %d", len(hosts))
+	}
+	seen := make(map[NodeID]bool)
+	for _, h := range hosts {
+		if h < 0 || int(h) >= g.NumNodes() {
+			t.Fatalf("host %d out of range", h)
+		}
+		if seen[h] {
+			t.Fatalf("duplicate host %d", h)
+		}
+		seen[h] = true
+	}
+	again := SampleHosts(g, 32, 9)
+	for i := range hosts {
+		if hosts[i] != again[i] {
+			t.Fatal("SampleHosts not deterministic per seed")
+		}
+	}
+}
+
+func TestSampleHostsTooMany(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic sampling 4 of 3")
+		}
+	}()
+	SampleHosts(g, 4, 1)
+}

@@ -1,0 +1,37 @@
+package topology
+
+import "math"
+
+// BuildOverlay derives the VNET overlay graph from a physical underlay, as
+// in the paper's scalability experiment (section 4.4.4): a subset of
+// physical nodes runs VNET daemons, and the prospective VNET link between
+// daemons i and j is the underlying physical path between them. The overlay
+// edge's bandwidth is the bottleneck bandwidth of the widest underlay path,
+// and its latency is the latency of that same path.
+//
+// hosts lists the physical node IDs that run daemons. The returned overlay
+// is a complete directed graph over len(hosts) nodes; overlay node k
+// corresponds to hosts[k]. Pairs with no connecting underlay path get zero
+// bandwidth and +Inf latency.
+func BuildOverlay(underlay *Graph, hosts []NodeID) *Graph {
+	k := len(hosts)
+	overlay := New(k)
+	for i, h := range hosts {
+		overlay.SetName(NodeID(i), underlay.Name(h))
+	}
+	for i, src := range hosts {
+		width, prev := WidestPaths(underlay, src, EdgeBW)
+		for j, dst := range hosts {
+			if i == j {
+				continue
+			}
+			p := ExtractPath(prev, src, dst)
+			if p == nil {
+				overlay.AddEdge(NodeID(i), NodeID(j), 0, math.Inf(1))
+				continue
+			}
+			overlay.AddEdge(NodeID(i), NodeID(j), width[dst], p.Latency(underlay))
+		}
+	}
+	return overlay
+}

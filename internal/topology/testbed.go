@@ -1,0 +1,107 @@
+package topology
+
+// This file provides the two hand-built scenarios from the paper's
+// evaluation: the Northwestern / William & Mary four-host testbed of
+// Figure 6, and the "challenging scenario" of Figure 9.
+
+// Testbed node indices for the NWU/W&M testbed (Figure 6).
+const (
+	Minet1 NodeID = iota // minet-1.cs.northwestern.edu
+	Minet2               // minet-2.cs.northwestern.edu
+	LR3                  // lr3.cs.wm.edu
+	LR4                  // lr4.cs.wm.edu
+	TestbedHosts
+)
+
+// NWUWMTestbed builds the four-host NWU / William & Mary testbed of
+// Figure 6 as a complete directed graph whose edge bandwidths are the TTCP
+// measurements reported in the figure (values approximated where the
+// published scan is illegible: ~92 Mbit/s within NWU, ~74-75 Mbit/s within
+// W&M, and a few Mbit/s across the shared Abilene WAN path). Latencies are
+// 0.2 ms within a LAN and 30 ms across the WAN.
+func NWUWMTestbed() *Graph {
+	g := New(int(TestbedHosts))
+	g.SetName(Minet1, "minet-1.cs.northwestern.edu")
+	g.SetName(Minet2, "minet-2.cs.northwestern.edu")
+	g.SetName(LR3, "lr3.cs.wm.edu")
+	g.SetName(LR4, "lr4.cs.wm.edu")
+
+	const lanLat, wanLat = 0.2, 30.0
+
+	// NWU LAN pair.
+	g.AddEdge(Minet1, Minet2, 91.9, lanLat)
+	g.AddEdge(Minet2, Minet1, 92.0, lanLat)
+	// W&M LAN pair.
+	g.AddEdge(LR3, LR4, 74.2, lanLat)
+	g.AddEdge(LR4, LR3, 74.3, lanLat)
+	// WAN pairs (W&M's 155 Mbit/s Abilene uplink is heavily shared; TTCP
+	// observed single-digit Mbit/s NWU->W&M and slightly more in reverse).
+	wan := []struct {
+		from, to NodeID
+		bw       float64
+	}{
+		{Minet1, LR3, 9.2}, {LR3, Minet1, 2.5},
+		{Minet1, LR4, 8.8}, {LR4, Minet1, 2.6},
+		{Minet2, LR3, 9.0}, {LR3, Minet2, 2.4},
+		{Minet2, LR4, 8.9}, {LR4, Minet2, 2.7},
+	}
+	for _, w := range wan {
+		g.AddEdge(w.from, w.to, w.bw, wanLat)
+	}
+	return g
+}
+
+// ChallengeConfig parameterizes the Figure 9 scenario: two tightly coupled
+// clusters of three machines connected by a slow wide-area link. Domain 2
+// has the fast internal network; the optimal adaptation places the chatty
+// VMs there.
+type ChallengeConfig struct {
+	Domain1BW float64 // intra-domain-1 bandwidth (Mbit/s)
+	Domain2BW float64 // intra-domain-2 bandwidth (Mbit/s)
+	WANBW     float64 // inter-domain bandwidth (Mbit/s)
+	LANLat    float64 // intra-domain latency (ms)
+	WANLat    float64 // inter-domain latency (ms)
+}
+
+// DefaultChallenge matches the paper's description: slow cluster, fast
+// cluster, and a 10 Mbit/s link between the domains.
+func DefaultChallenge() ChallengeConfig {
+	return ChallengeConfig{
+		Domain1BW: 10,
+		Domain2BW: 100,
+		WANBW:     1,
+		LANLat:    0.2,
+		WANLat:    40,
+	}
+}
+
+// Challenge hosts: 0..2 are domain 1 (slow), 3..5 are domain 2 (fast).
+const (
+	ChallengeHosts   = 6
+	ChallengeDomain2 = 3 // first host ID in domain 2
+)
+
+// Challenge builds the Figure 9 host graph: a complete directed graph over
+// six hosts where intra-domain pairs get the domain's bandwidth and
+// cross-domain pairs share the WAN link's bandwidth.
+func Challenge(cfg ChallengeConfig) *Graph {
+	g := Complete(ChallengeHosts, func(from, to NodeID) (bw, lat float64) {
+		d1 := from < ChallengeDomain2
+		d2 := to < ChallengeDomain2
+		switch {
+		case d1 && d2:
+			return cfg.Domain1BW, cfg.LANLat
+		case !d1 && !d2:
+			return cfg.Domain2BW, cfg.LANLat
+		default:
+			return cfg.WANBW, cfg.WANLat
+		}
+	})
+	for i := 0; i < ChallengeDomain2; i++ {
+		g.SetName(NodeID(i), "dom1-"+string(rune('a'+i)))
+	}
+	for i := ChallengeDomain2; i < ChallengeHosts; i++ {
+		g.SetName(NodeID(i), "dom2-"+string(rune('a'+i-ChallengeDomain2)))
+	}
+	return g
+}

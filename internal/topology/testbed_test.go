@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNWUWMTestbedShape(t *testing.T) {
+	g := NWUWMTestbed()
+	if g.NumNodes() != int(TestbedHosts) {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 12 {
+		t.Fatalf("NumEdges = %d, want complete 4-node graph (12)", g.NumEdges())
+	}
+	// LAN pairs are fast, WAN pairs are slow — the property Figure 6 shows.
+	lanPairs := [][2]NodeID{{Minet1, Minet2}, {Minet2, Minet1}, {LR3, LR4}, {LR4, LR3}}
+	for _, p := range lanPairs {
+		e, _ := g.Edge(p[0], p[1])
+		if e.BW < 50 {
+			t.Fatalf("LAN pair %v bw %v too slow", p, e.BW)
+		}
+		if e.Latency > 1 {
+			t.Fatalf("LAN pair %v latency %v too high", p, e.Latency)
+		}
+	}
+	for _, from := range []NodeID{Minet1, Minet2} {
+		for _, to := range []NodeID{LR3, LR4} {
+			e, _ := g.Edge(from, to)
+			if e.BW > 20 {
+				t.Fatalf("WAN edge %d->%d bw %v too fast", from, to, e.BW)
+			}
+			r, _ := g.Edge(to, from)
+			if r.BW > 20 {
+				t.Fatalf("WAN edge %d->%d bw %v too fast", to, from, r.BW)
+			}
+			if e.Latency < 10 {
+				t.Fatalf("WAN latency %v too low", e.Latency)
+			}
+		}
+	}
+	if !strings.Contains(g.Name(Minet1), "northwestern") {
+		t.Fatalf("name = %q", g.Name(Minet1))
+	}
+}
+
+func TestChallengeShape(t *testing.T) {
+	cfg := DefaultChallenge()
+	g := Challenge(cfg)
+	if g.NumNodes() != ChallengeHosts {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != ChallengeHosts*(ChallengeHosts-1) {
+		t.Fatalf("NumEdges = %d, want complete graph", g.NumEdges())
+	}
+	e, _ := g.Edge(0, 1)
+	if e.BW != cfg.Domain1BW {
+		t.Fatalf("intra-domain1 bw = %v, want %v", e.BW, cfg.Domain1BW)
+	}
+	e, _ = g.Edge(3, 5)
+	if e.BW != cfg.Domain2BW {
+		t.Fatalf("intra-domain2 bw = %v, want %v", e.BW, cfg.Domain2BW)
+	}
+	e, _ = g.Edge(1, 4)
+	if e.BW != cfg.WANBW || e.Latency != cfg.WANLat {
+		t.Fatalf("cross-domain edge = %+v", e)
+	}
+	// Domain 2 must be strictly faster internally — that asymmetry is what
+	// makes the scenario's optimal mapping unique.
+	if cfg.Domain2BW <= cfg.Domain1BW || cfg.WANBW >= cfg.Domain1BW {
+		t.Fatal("challenge config ordering violated")
+	}
+}
+
+func TestBuildOverlayTestbed(t *testing.T) {
+	under := NWUWMTestbed()
+	hosts := []NodeID{Minet1, Minet2, LR3, LR4}
+	overlay := BuildOverlay(under, hosts)
+	if overlay.NumNodes() != 4 || overlay.NumEdges() != 12 {
+		t.Fatalf("overlay shape %d/%d", overlay.NumNodes(), overlay.NumEdges())
+	}
+	// On a complete underlay the widest path may use a detour, so overlay
+	// bw >= direct edge bw.
+	for _, e := range overlay.Edges() {
+		direct, _ := under.Edge(hosts[e.From], hosts[e.To])
+		if e.BW < direct.BW-1e-9 {
+			t.Fatalf("overlay edge %v narrower than direct underlay edge (%v < %v)",
+				e, e.BW, direct.BW)
+		}
+	}
+}
+
+func TestBuildOverlaySubset(t *testing.T) {
+	// Line underlay: 0 -10- 1 -5- 2 -20- 3. Overlay over {0, 3}.
+	under := New(4)
+	under.AddBiEdge(0, 1, 10, 1)
+	under.AddBiEdge(1, 2, 5, 1)
+	under.AddBiEdge(2, 3, 20, 1)
+	overlay := BuildOverlay(under, []NodeID{0, 3})
+	e, ok := overlay.Edge(0, 1)
+	if !ok {
+		t.Fatal("overlay edge missing")
+	}
+	if e.BW != 5 {
+		t.Fatalf("overlay bottleneck = %v, want 5", e.BW)
+	}
+	if e.Latency != 3 {
+		t.Fatalf("overlay latency = %v, want 3", e.Latency)
+	}
+}
+
+func TestBuildOverlayDisconnected(t *testing.T) {
+	under := New(3)
+	under.AddBiEdge(0, 1, 10, 1)
+	overlay := BuildOverlay(under, []NodeID{0, 2})
+	e, ok := overlay.Edge(0, 1)
+	if !ok {
+		t.Fatal("overlay edge for disconnected pair missing")
+	}
+	if e.BW != 0 || !math.IsInf(e.Latency, 1) {
+		t.Fatalf("disconnected overlay edge = %+v", e)
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace holds the tiny time-series plumbing the experiment
+// harnesses share: named series, CSV rendering, and summary statistics
+// used when comparing measured curves against ground truth.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named time series.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.T) }
+
+// Last returns the most recent value (NaN when empty).
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return math.NaN()
+	}
+	return s.V[len(s.V)-1]
+}
+
+// At returns the value at the largest time <= t (NaN if none).
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		return s.V[i]
+	}
+	if i == 0 {
+		return math.NaN()
+	}
+	return s.V[i-1]
+}
+
+// Mean returns the mean value (NaN when empty).
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// MeanAbsError returns mean |a-b| over a's timestamps, comparing a's
+// values against b sampled at the same times. Timestamps where either
+// value is NaN are skipped; it returns NaN if nothing overlaps.
+func MeanAbsError(a, b *Series) float64 {
+	sum, n := 0.0, 0
+	for i, t := range a.T {
+		bv := b.At(t)
+		if math.IsNaN(bv) || math.IsNaN(a.V[i]) {
+			continue
+		}
+		sum += math.Abs(a.V[i] - bv)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// WriteCSV renders series sharing a time axis: the union of timestamps,
+// one column per series (empty cells where a series has no sample).
+func WriteCSV(w io.Writer, series ...*Series) error {
+	times := map[float64]bool{}
+	for _, s := range series {
+		for _, t := range s.T {
+			times[t] = true
+		}
+	}
+	order := make([]float64, 0, len(times))
+	for t := range times {
+		order = append(order, t)
+	}
+	sort.Float64s(order)
+
+	headers := make([]string, 0, len(series)+1)
+	headers = append(headers, "t")
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	// Index each series for exact-timestamp lookup.
+	idx := make([]map[float64]float64, len(series))
+	for i, s := range series {
+		idx[i] = make(map[float64]float64, len(s.T))
+		for j, t := range s.T {
+			idx[i][t] = s.V[j]
+		}
+	}
+	for _, t := range order {
+		row := []string{fmt.Sprintf("%g", t)}
+		for i := range series {
+			if v, ok := idx[i][t]; ok {
+				row = append(row, fmt.Sprintf("%g", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

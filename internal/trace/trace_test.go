@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "x"}
+	if !math.IsNaN(s.Last()) || !math.IsNaN(s.Mean()) {
+		t.Fatal("empty series should yield NaN")
+	}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(4, 40)
+	if s.Len() != 3 || s.Last() != 40 {
+		t.Fatalf("len=%d last=%v", s.Len(), s.Last())
+	}
+	if got := s.Mean(); math.Abs(got-70.0/3) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := &Series{}
+	s.Add(1, 10)
+	s.Add(3, 30)
+	cases := []struct {
+		t, want float64
+	}{
+		{1, 10}, {2, 10}, {3, 30}, {9, 30},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if !math.IsNaN(s.At(0.5)) {
+		t.Fatal("At before first sample should be NaN")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	a := &Series{}
+	b := &Series{}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 12)
+	b.Add(2, 17)
+	if got := MeanAbsError(a, b); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("MAE = %v, want 2.5", got)
+	}
+	empty := &Series{}
+	if !math.IsNaN(MeanAbsError(a, empty)) {
+		t.Fatal("MAE vs empty should be NaN")
+	}
+}
+
+func TestMeanAbsErrorSkipsNonOverlap(t *testing.T) {
+	a := &Series{}
+	b := &Series{}
+	a.Add(0.5, 100) // before b starts: skipped
+	a.Add(2, 20)
+	b.Add(1, 25)
+	if got := MeanAbsError(a, b); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("MAE = %v, want 5", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := &Series{Name: "alpha"}
+	b := &Series{Name: "beta"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(2, 200)
+	b.Add(3, 300)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "t,alpha,beta" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // union of timestamps {1,2,3}
+		t.Fatalf("rows = %d", len(lines)-1)
+	}
+	if lines[1] != "1,10," {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,20,200" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+	if lines[3] != "3,,300" {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}

@@ -1,0 +1,66 @@
+package vadapt
+
+import (
+	"math"
+
+	"freemeasure/internal/topology"
+)
+
+// Enumerate exhaustively searches every injective VM-to-host mapping,
+// routing each with the greedy path mapper, and returns the best
+// configuration and its evaluation. This is how the paper obtained the
+// optimal solution for the NWU/W&M testbed experiment ("the solution
+// space is small ... we were able to enumerate all possible
+// configurations"). It panics if the arrangement count exceeds maxEnum —
+// use the heuristics beyond that.
+func Enumerate(p *Problem, obj Objective) (*Config, Evaluation) {
+	p.Validate()
+	const maxEnum = 2_000_000
+	if arrangements(p.Hosts.NumNodes(), p.NumVMs) > maxEnum {
+		panic("vadapt: instance too large to enumerate")
+	}
+	var (
+		best      *Config
+		bestEval  Evaluation
+		bestScore = math.Inf(-1)
+	)
+	mapping := make([]topology.NodeID, p.NumVMs)
+	used := make([]bool, p.Hosts.NumNodes())
+	var rec func(vm int)
+	rec = func(vm int) {
+		if vm == p.NumVMs {
+			c := &Config{Mapping: append([]topology.NodeID(nil), mapping...)}
+			c.Paths = GreedyPaths(p, c.Mapping)
+			ev := obj.Evaluate(p, c)
+			if ev.Score > bestScore {
+				bestScore = ev.Score
+				best = c
+				bestEval = ev
+			}
+			return
+		}
+		for h := 0; h < p.Hosts.NumNodes(); h++ {
+			if used[h] {
+				continue
+			}
+			used[h] = true
+			mapping[vm] = topology.NodeID(h)
+			rec(vm + 1)
+			used[h] = false
+		}
+	}
+	rec(0)
+	return best, bestEval
+}
+
+// arrangements returns n!/(n-k)! with saturation.
+func arrangements(n, k int) int {
+	out := 1
+	for i := 0; i < k; i++ {
+		out *= n - i
+		if out < 0 || out > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return out
+}

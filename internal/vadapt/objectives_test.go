@@ -1,0 +1,94 @@
+package vadapt
+
+import (
+	"testing"
+
+	"freemeasure/internal/topology"
+)
+
+// TestLatencyObjectivePrefersShortPaths: with equation 3 the annealer must
+// favor a direct low-latency path over an equally wide but longer detour,
+// while the pure-bandwidth objective is indifferent.
+func TestLatencyObjectivePrefersShortPaths(t *testing.T) {
+	// Triangle: direct edge 0->2 (latency 5), detour 0->1->2 (latency 50
+	// total), all with equal bandwidth.
+	g := topology.New(3)
+	g.AddEdge(0, 2, 100, 5)
+	g.AddEdge(0, 1, 100, 25)
+	g.AddEdge(1, 2, 100, 25)
+	p := &Problem{Hosts: g, NumVMs: 2, Demands: []Demand{{Src: 0, Dst: 1, Rate: 1}}}
+	mapping := []topology.NodeID{0, 2}
+
+	direct := &Config{Mapping: mapping, Paths: []topology.Path{{0, 2}}}
+	detour := &Config{Mapping: mapping, Paths: []topology.Path{{0, 1, 2}}}
+
+	bw := ResidualBW{}
+	if bw.Evaluate(p, direct).Score != bw.Evaluate(p, detour).Score {
+		t.Fatal("pure-bandwidth objective should be indifferent here")
+	}
+	lat := BWLatency{C: 100}
+	if lat.Evaluate(p, direct).Score <= lat.Evaluate(p, detour).Score {
+		t.Fatalf("latency objective did not prefer the direct path: %v vs %v",
+			lat.Evaluate(p, direct).Score, lat.Evaluate(p, detour).Score)
+	}
+
+	// And annealing under the latency objective converges to the direct
+	// path when started on the detour.
+	best, _ := Anneal(p, lat, detour, SAConfig{Iterations: 2000, Seed: 5, MappingProb: 0.001})
+	if len(best.Paths[0]) != 2 {
+		t.Fatalf("annealer kept the detour: %v", best.Paths[0])
+	}
+}
+
+// TestReservationsChangeTheDecision: reserving bandwidth on the fast
+// cluster's links (configuration element 4 of section 4.1) must steer the
+// optimizer elsewhere.
+func TestReservationsChangeTheDecision(t *testing.T) {
+	p := challengeProblem()
+	obj := ResidualBW{}
+	free, freeEval := Enumerate(p, obj)
+	for vm := 0; vm < 3; vm++ {
+		if !inFastDomain(free.Mapping[vm]) {
+			t.Fatalf("baseline optimum should use the fast domain: %v", free.Mapping)
+		}
+	}
+	// Reserve nearly all capacity on every fast-cluster edge.
+	p.Reservations = make(map[[2]topology.NodeID]float64)
+	for _, e := range p.Hosts.Edges() {
+		if e.From >= topology.ChallengeDomain2 && e.To >= topology.ChallengeDomain2 {
+			p.Reservations[[2]topology.NodeID{e.From, e.To}] = e.BW - 1
+		}
+	}
+	reserved, reservedEval := Enumerate(p, obj)
+	if reservedEval.Score >= freeEval.Score {
+		t.Fatalf("reservations did not reduce attainable score: %v >= %v",
+			reservedEval.Score, freeEval.Score)
+	}
+	// With the fast cluster reserved away, the chatty VMs belong in the
+	// slow cluster (10 Mbit/s beats a 1 Mbit/s residual).
+	for vm := 0; vm < 3; vm++ {
+		if inFastDomain(reserved.Mapping[vm]) {
+			t.Fatalf("optimizer ignored reservations: %v", reserved.Mapping)
+		}
+	}
+}
+
+// TestEvaluationBreakdownConsistency: Score == Raw - penalty terms, and
+// Raw == Bottleneck + LatTerm, across random configurations.
+func TestEvaluationBreakdownConsistency(t *testing.T) {
+	p := challengeProblem()
+	obj := BWLatency{C: 50}
+	for seed := int64(0); seed < 10; seed++ {
+		c := RandomConfig(p, seed)
+		ev := obj.Evaluate(p, c)
+		if diff := ev.Raw - (ev.Bottleneck + ev.LatTerm); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("raw %v != bottleneck %v + lat %v", ev.Raw, ev.Bottleneck, ev.LatTerm)
+		}
+		if ev.Feasible && ev.Score != ev.Raw {
+			t.Fatalf("feasible config penalized: %+v", ev)
+		}
+		if !ev.Feasible && ev.Score >= ev.Raw {
+			t.Fatalf("infeasible config not penalized: %+v", ev)
+		}
+	}
+}

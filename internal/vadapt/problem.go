@@ -1,0 +1,241 @@
+// Package vadapt reproduces VADAPT, Virtuoso's adaptation engine (paper
+// section 4). Given the application's traffic demands from VTTIF and the
+// physical network's available bandwidth and latency from Wren, it chooses
+// a configuration — a VM-to-host mapping plus a forwarding path for every
+// communicating VM pair — that maximizes the total residual bottleneck
+// bandwidth (equation 1), optionally trading off latency (equation 3).
+// The problem is NP-hard (reduction from edge-disjoint paths), so the
+// package provides the paper's two heuristics: a greedy algorithm built on
+// an adapted widest-path Dijkstra, and simulated annealing, plus an
+// exhaustive enumerator for small instances.
+package vadapt
+
+import (
+	"fmt"
+	"math"
+
+	"freemeasure/internal/topology"
+)
+
+// VMID indexes a virtual machine, in [0, NumVMs).
+type VMID int
+
+// Demand is one entry of VTTIF's traffic matrix: VM Src sends to VM Dst at
+// Rate (Mbit/s). This is the paper's 3-tuple A_i = (s_i, d_i, c_i).
+type Demand struct {
+	Src, Dst VMID
+	Rate     float64
+}
+
+// Problem is one adaptation instance.
+type Problem struct {
+	// Hosts is the VNET daemon graph: a complete directed graph whose edge
+	// bandwidths are Wren's available-bandwidth matrix and whose latencies
+	// are Wren's latency matrix.
+	Hosts *topology.Graph
+	// NumVMs is the number of virtual machines to place.
+	NumVMs int
+	// Demands is the application traffic matrix.
+	Demands []Demand
+	// Reservations optionally pre-claims bandwidth on host-pair edges
+	// (configuration element 4 in section 4.1: resource reservations);
+	// reserved capacity is unavailable to the optimizer.
+	Reservations map[[2]topology.NodeID]float64
+}
+
+// Validate panics on malformed problems (programming errors, not inputs).
+func (p *Problem) Validate() {
+	if p.NumVMs > p.Hosts.NumNodes() {
+		panic("vadapt: more VMs than hosts (mappings are injective)")
+	}
+	for _, d := range p.Demands {
+		if d.Src < 0 || int(d.Src) >= p.NumVMs || d.Dst < 0 || int(d.Dst) >= p.NumVMs {
+			panic(fmt.Sprintf("vadapt: demand %v references unknown VM", d))
+		}
+		if d.Src == d.Dst {
+			panic("vadapt: self demand")
+		}
+		if d.Rate < 0 {
+			panic("vadapt: negative demand rate")
+		}
+	}
+}
+
+// capacity returns the usable capacity of an edge after reservations.
+func (p *Problem) capacity(e topology.Edge) float64 {
+	c := e.BW
+	if p.Reservations != nil {
+		c -= p.Reservations[[2]topology.NodeID{e.From, e.To}]
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Config is a candidate solution: an injective VM-to-host mapping and a
+// path per demand. Paths[i] connects Mapping[Demands[i].Src] to
+// Mapping[Demands[i].Dst]; a nil path means the demand is unmapped
+// (infeasible configuration).
+type Config struct {
+	Mapping []topology.NodeID
+	Paths   []topology.Path
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{
+		Mapping: append([]topology.NodeID(nil), c.Mapping...),
+		Paths:   make([]topology.Path, len(c.Paths)),
+	}
+	for i, p := range c.Paths {
+		out.Paths[i] = p.Clone()
+	}
+	return out
+}
+
+// Valid checks structural integrity: injective mapping, every path simple,
+// endpoint-consistent, and edge-valid in the host graph.
+func (c *Config) Valid(p *Problem) error {
+	if len(c.Mapping) != p.NumVMs {
+		return fmt.Errorf("mapping covers %d of %d VMs", len(c.Mapping), p.NumVMs)
+	}
+	used := make(map[topology.NodeID]bool)
+	for vm, h := range c.Mapping {
+		if h < 0 || int(h) >= p.Hosts.NumNodes() {
+			return fmt.Errorf("vm%d mapped to unknown host %d", vm, h)
+		}
+		if used[h] {
+			return fmt.Errorf("host %d used twice", h)
+		}
+		used[h] = true
+	}
+	if len(c.Paths) != len(p.Demands) {
+		return fmt.Errorf("paths cover %d of %d demands", len(c.Paths), len(p.Demands))
+	}
+	for i, path := range c.Paths {
+		if path == nil {
+			continue
+		}
+		d := p.Demands[i]
+		src, dst := c.Mapping[d.Src], c.Mapping[d.Dst]
+		if path[0] != src || path[len(path)-1] != dst {
+			return fmt.Errorf("path %d endpoints %v-%v, want %v-%v",
+				i, path[0], path[len(path)-1], src, dst)
+		}
+		if !path.Simple() {
+			return fmt.Errorf("path %d not simple: %v", i, path)
+		}
+		if !path.Valid(p.Hosts) {
+			return fmt.Errorf("path %d uses missing edges: %v", i, path)
+		}
+	}
+	return nil
+}
+
+// Residuals computes the residual capacity rc_e of every host edge under
+// the configuration: capacity minus the demand routed across it.
+func (p *Problem) Residuals(c *Config) map[[2]topology.NodeID]float64 {
+	rc := make(map[[2]topology.NodeID]float64, p.Hosts.NumEdges())
+	for _, e := range p.Hosts.Edges() {
+		rc[[2]topology.NodeID{e.From, e.To}] = p.capacity(e)
+	}
+	for i, path := range c.Paths {
+		if path == nil {
+			continue
+		}
+		rate := p.Demands[i].Rate
+		for k := 0; k+1 < len(path); k++ {
+			rc[[2]topology.NodeID{path[k], path[k+1]}] -= rate
+		}
+	}
+	return rc
+}
+
+// Evaluation is the scored breakdown of a configuration.
+type Evaluation struct {
+	Score      float64 // objective value (with infeasibility penalty applied)
+	Raw        float64 // objective value ignoring penalties
+	Feasible   bool    // all demands mapped and all residuals >= 0
+	Unmapped   int     // demands without a path
+	Violation  float64 // total negative residual (Mbit/s)
+	Bottleneck float64 // sum of per-path residual bottlenecks (equation 1 term)
+	LatTerm    float64 // sum of latency terms (equation 3 term; 0 for ResidualBW)
+}
+
+// Objective scores configurations; higher is better.
+type Objective interface {
+	// Evaluate scores c. Infeasible configurations are penalized, not
+	// rejected, so simulated annealing can traverse them.
+	Evaluate(p *Problem, c *Config) Evaluation
+	Name() string
+}
+
+// infeasiblePenalty weights constraint violations: steep enough that no
+// feasible configuration ever scores below an infeasible one in our
+// experiment scales, while keeping the landscape smooth for annealing.
+const infeasiblePenalty = 1e3
+
+// ResidualBW is equation 1: maximize the total residual bottleneck
+// bandwidth over all mapped paths, subject to non-negative residuals.
+type ResidualBW struct{}
+
+// Name implements Objective.
+func (ResidualBW) Name() string { return "residual-bw" }
+
+// Evaluate implements Objective.
+func (ResidualBW) Evaluate(p *Problem, c *Config) Evaluation {
+	return evaluate(p, c, 0)
+}
+
+// BWLatency is equation 3: each path contributes its residual bottleneck
+// plus C divided by its latency, penalizing long paths.
+type BWLatency struct {
+	C float64 // the constant c of equation 3
+}
+
+// Name implements Objective.
+func (o BWLatency) Name() string { return fmt.Sprintf("bw+%g/latency", o.C) }
+
+// Evaluate implements Objective.
+func (o BWLatency) Evaluate(p *Problem, c *Config) Evaluation {
+	return evaluate(p, c, o.C)
+}
+
+func evaluate(p *Problem, c *Config, latC float64) Evaluation {
+	ev := Evaluation{Feasible: true}
+	rc := p.Residuals(c)
+	for _, v := range rc {
+		if v < 0 {
+			ev.Violation -= v
+			ev.Feasible = false
+		}
+	}
+	for i, path := range c.Paths {
+		if path == nil {
+			ev.Unmapped++
+			ev.Feasible = false
+			continue
+		}
+		if len(path) < 2 {
+			continue // colocated endpoints consume no network
+		}
+		bottleneck := math.Inf(1)
+		for k := 0; k+1 < len(path); k++ {
+			if v := rc[[2]topology.NodeID{path[k], path[k+1]}]; v < bottleneck {
+				bottleneck = v
+			}
+		}
+		ev.Bottleneck += bottleneck
+		if latC > 0 {
+			lat := path.Latency(p.Hosts)
+			if lat > 0 {
+				ev.LatTerm += latC / lat
+			}
+		}
+		_ = i
+	}
+	ev.Raw = ev.Bottleneck + ev.LatTerm
+	ev.Score = ev.Raw - infeasiblePenalty*(ev.Violation+float64(ev.Unmapped))
+	return ev
+}

@@ -1,0 +1,196 @@
+package vadapt
+
+import (
+	"math"
+	"testing"
+
+	"freemeasure/internal/topology"
+)
+
+// lineHosts builds hosts 0-1-2 with the given duplex capacities and unit
+// latencies, as a non-complete graph for path validity tests.
+func lineHosts(c01, c12 float64) *topology.Graph {
+	g := topology.New(3)
+	g.AddBiEdge(0, 1, c01, 1)
+	g.AddBiEdge(1, 2, c12, 1)
+	return g
+}
+
+func TestValidatePanics(t *testing.T) {
+	cases := []Problem{
+		{Hosts: topology.New(1), NumVMs: 2},
+		{Hosts: topology.New(3), NumVMs: 2, Demands: []Demand{{Src: 0, Dst: 5, Rate: 1}}},
+		{Hosts: topology.New(3), NumVMs: 2, Demands: []Demand{{Src: 1, Dst: 1, Rate: 1}}},
+		{Hosts: topology.New(3), NumVMs: 2, Demands: []Demand{{Src: 0, Dst: 1, Rate: -1}}},
+	}
+	for i := range cases {
+		p := cases[i]
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			p.Validate()
+		}()
+	}
+}
+
+func TestResidualsArithmetic(t *testing.T) {
+	p := &Problem{
+		Hosts:   lineHosts(10, 20),
+		NumVMs:  2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 4}},
+	}
+	c := &Config{
+		Mapping: []topology.NodeID{0, 2},
+		Paths:   []topology.Path{{0, 1, 2}},
+	}
+	rc := p.Residuals(c)
+	if rc[[2]topology.NodeID{0, 1}] != 6 {
+		t.Fatalf("rc(0,1) = %v, want 6", rc[[2]topology.NodeID{0, 1}])
+	}
+	if rc[[2]topology.NodeID{1, 2}] != 16 {
+		t.Fatalf("rc(1,2) = %v, want 16", rc[[2]topology.NodeID{1, 2}])
+	}
+	if rc[[2]topology.NodeID{1, 0}] != 10 {
+		t.Fatalf("reverse edge touched: %v", rc[[2]topology.NodeID{1, 0}])
+	}
+}
+
+func TestEvaluateFeasible(t *testing.T) {
+	p := &Problem{
+		Hosts:   lineHosts(10, 20),
+		NumVMs:  2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 4}},
+	}
+	c := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1, 2}}}
+	ev := ResidualBW{}.Evaluate(p, c)
+	if !ev.Feasible {
+		t.Fatalf("eval = %+v", ev)
+	}
+	if ev.Bottleneck != 6 { // min(6, 16)
+		t.Fatalf("bottleneck = %v, want 6", ev.Bottleneck)
+	}
+	if ev.Score != 6 || ev.Raw != 6 {
+		t.Fatalf("score = %v raw = %v", ev.Score, ev.Raw)
+	}
+}
+
+func TestEvaluateInfeasibleOverCapacity(t *testing.T) {
+	p := &Problem{
+		Hosts:   lineHosts(10, 20),
+		NumVMs:  2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 15}}, // exceeds edge 0-1
+	}
+	c := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1, 2}}}
+	ev := ResidualBW{}.Evaluate(p, c)
+	if ev.Feasible {
+		t.Fatal("over-capacity config reported feasible")
+	}
+	if ev.Violation != 5 {
+		t.Fatalf("violation = %v, want 5", ev.Violation)
+	}
+	if ev.Score >= 0 {
+		t.Fatalf("score = %v, want heavily negative", ev.Score)
+	}
+}
+
+func TestEvaluateUnmappedDemand(t *testing.T) {
+	p := &Problem{
+		Hosts:   lineHosts(10, 20),
+		NumVMs:  2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 1}},
+	}
+	c := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{nil}}
+	ev := ResidualBW{}.Evaluate(p, c)
+	if ev.Feasible || ev.Unmapped != 1 {
+		t.Fatalf("eval = %+v", ev)
+	}
+	if ev.Score >= 0 {
+		t.Fatalf("score = %v", ev.Score)
+	}
+}
+
+func TestEvaluateColocated(t *testing.T) {
+	g := topology.Complete(3, func(a, b topology.NodeID) (float64, float64) { return 10, 1 })
+	p := &Problem{Hosts: g, NumVMs: 2, Demands: []Demand{{Src: 0, Dst: 1, Rate: 5}}}
+	// Both VMs on the same host is not allowed (injective), so colocated
+	// paths only arise transiently; Evaluate must still handle a 1-node
+	// path without blowing up.
+	c := &Config{Mapping: []topology.NodeID{0, 1}, Paths: []topology.Path{{0}}}
+	ev := ResidualBW{}.Evaluate(p, c)
+	if ev.Bottleneck != 0 {
+		t.Fatalf("colocated bottleneck = %v", ev.Bottleneck)
+	}
+	if math.IsInf(ev.Score, 0) || math.IsNaN(ev.Score) {
+		t.Fatalf("score = %v", ev.Score)
+	}
+}
+
+func TestBWLatencyObjective(t *testing.T) {
+	p := &Problem{
+		Hosts:   lineHosts(10, 20),
+		NumVMs:  2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 4}},
+	}
+	c := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1, 2}}}
+	ev := (BWLatency{C: 10}).Evaluate(p, c)
+	// Latency of the path is 2 ms; term = 10/2 = 5; bottleneck 6.
+	if ev.LatTerm != 5 {
+		t.Fatalf("latTerm = %v, want 5", ev.LatTerm)
+	}
+	if ev.Score != 11 {
+		t.Fatalf("score = %v, want 11", ev.Score)
+	}
+	if (BWLatency{C: 10}).Name() == "" || (ResidualBW{}).Name() == "" {
+		t.Fatal("objective names empty")
+	}
+}
+
+func TestReservationsReduceCapacity(t *testing.T) {
+	p := &Problem{
+		Hosts:   lineHosts(10, 20),
+		NumVMs:  2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 4}},
+		Reservations: map[[2]topology.NodeID]float64{
+			{0, 1}: 5,
+		},
+	}
+	c := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1, 2}}}
+	ev := ResidualBW{}.Evaluate(p, c)
+	if ev.Bottleneck != 1 { // (10-5) - 4
+		t.Fatalf("bottleneck with reservation = %v, want 1", ev.Bottleneck)
+	}
+}
+
+func TestConfigValid(t *testing.T) {
+	p := &Problem{Hosts: lineHosts(10, 10), NumVMs: 2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 1}}}
+	good := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1, 2}}}
+	if err := good.Valid(p); err != nil {
+		t.Fatal(err)
+	}
+	dup := &Config{Mapping: []topology.NodeID{1, 1}, Paths: []topology.Path{{1}}}
+	if dup.Valid(p) == nil {
+		t.Fatal("duplicate host mapping accepted")
+	}
+	badEnds := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1}}}
+	if badEnds.Valid(p) == nil {
+		t.Fatal("wrong path endpoints accepted")
+	}
+	missingEdge := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 2}}}
+	if missingEdge.Valid(p) == nil {
+		t.Fatal("path over missing edge accepted")
+	}
+}
+
+func TestConfigCloneIndependent(t *testing.T) {
+	c := &Config{Mapping: []topology.NodeID{0, 1}, Paths: []topology.Path{{0, 1}}}
+	d := c.Clone()
+	d.Mapping[0] = 9
+	d.Paths[0][0] = 9
+	if c.Mapping[0] != 0 || c.Paths[0][0] != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}

@@ -1,0 +1,184 @@
+package vadapt
+
+import (
+	"math"
+	"math/rand"
+
+	"freemeasure/internal/topology"
+)
+
+// This file implements the paper's simulated annealing approach (section
+// 4.3): states are configurations; the perturbation function modifies
+// every forwarding path (add / delete / swap a vertex, probability 1/3
+// each) and occasionally the VM mapping (which resets the paths); worse
+// states are accepted with probability e^{dE/T} under a geometrically
+// cooling temperature.
+
+// SAConfig tunes the annealer.
+type SAConfig struct {
+	Iterations  int     // default 5000
+	InitTemp    float64 // default 100
+	Cooling     float64 // geometric cooling factor per iteration, default 0.999
+	MappingProb float64 // probability an iteration perturbs the mapping, default 0.1
+	TraceEvery  int     // record a trace point every k iterations, default 1
+	Seed        int64
+}
+
+func (c SAConfig) withDefaults() SAConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 5000
+	}
+	if c.InitTemp == 0 {
+		c.InitTemp = 100
+	}
+	if c.Cooling == 0 {
+		c.Cooling = 0.999
+	}
+	if c.MappingProb == 0 {
+		c.MappingProb = 0.1
+	}
+	if c.TraceEvery == 0 {
+		c.TraceEvery = 1
+	}
+	return c
+}
+
+// TracePoint is one sample of the annealing progress — the data behind the
+// paper's figures 8, 10 and 11 (current objective value and best-so-far).
+type TracePoint struct {
+	Iter    int
+	Current float64
+	Best    float64
+}
+
+// RandomConfig draws a uniform injective mapping and routes demands
+// greedily on it — plain SA's starting state.
+func RandomConfig(p *Problem, seed int64) *Config {
+	p.Validate()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(p.Hosts.NumNodes())
+	mapping := make([]topology.NodeID, p.NumVMs)
+	for vm := range mapping {
+		mapping[vm] = topology.NodeID(perm[vm])
+	}
+	return &Config{Mapping: mapping, Paths: GreedyPaths(p, mapping)}
+}
+
+// Anneal runs simulated annealing from the initial configuration (use
+// Greedy(p) for the paper's SA+GH variant, RandomConfig for plain SA). It
+// returns the best configuration found and the progress trace.
+func Anneal(p *Problem, obj Objective, initial *Config, cfg SAConfig) (*Config, []TracePoint) {
+	p.Validate()
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := initial.Clone()
+	curScore := obj.Evaluate(p, cur).Score
+	best := cur.Clone()
+	bestScore := curScore
+
+	trace := make([]TracePoint, 0, cfg.Iterations/cfg.TraceEvery+1)
+	temp := cfg.InitTemp
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		next := perturb(p, cur, rng, cfg.MappingProb)
+		nextScore := obj.Evaluate(p, next).Score
+		de := nextScore - curScore
+		if de >= 0 || rng.Float64() < math.Exp(de/temp) {
+			cur = next
+			curScore = nextScore
+		}
+		if curScore > bestScore {
+			best = cur.Clone()
+			bestScore = curScore
+		}
+		if iter%cfg.TraceEvery == 0 {
+			trace = append(trace, TracePoint{Iter: iter, Current: curScore, Best: bestScore})
+		}
+		temp *= cfg.Cooling
+		if temp < 1e-9 {
+			temp = 1e-9
+		}
+	}
+	return best, trace
+}
+
+// perturb returns a random neighbor of c (section 4.3.1).
+func perturb(p *Problem, c *Config, rng *rand.Rand, mappingProb float64) *Config {
+	next := c.Clone()
+	if rng.Float64() < mappingProb && p.NumVMs > 0 {
+		perturbMapping(p, next, rng)
+		return next
+	}
+	for i := range next.Paths {
+		perturbPath(p, next, i, rng)
+	}
+	return next
+}
+
+// perturbMapping moves a random VM to a random host (swapping if the host
+// is taken), then resets the forwarding paths, as the paper prescribes.
+func perturbMapping(p *Problem, c *Config, rng *rand.Rand) {
+	vm := rng.Intn(p.NumVMs)
+	target := topology.NodeID(rng.Intn(p.Hosts.NumNodes()))
+	for other, h := range c.Mapping {
+		if h == target {
+			c.Mapping[other] = c.Mapping[vm]
+			break
+		}
+	}
+	c.Mapping[vm] = target
+	c.Paths = GreedyPaths(p, c.Mapping)
+}
+
+// perturbPath applies one of the three path operations with probability
+// 1/3 each: insert a random vertex, delete a random interior vertex, or
+// swap two interior vertices. Operations that would produce an invalid
+// path (missing edge, repeated vertex) leave the path unchanged.
+func perturbPath(p *Problem, c *Config, i int, rng *rand.Rand) {
+	path := c.Paths[i]
+	if path == nil || len(path) < 2 {
+		return // unmapped or colocated: nothing to perturb
+	}
+	candidate := path.Clone()
+	switch rng.Intn(3) {
+	case 0: // add a random vertex somewhere in the interior
+		in := make(map[topology.NodeID]bool, len(candidate))
+		for _, v := range candidate {
+			in[v] = true
+		}
+		var free []topology.NodeID
+		for h := 0; h < p.Hosts.NumNodes(); h++ {
+			if !in[topology.NodeID(h)] {
+				free = append(free, topology.NodeID(h))
+			}
+		}
+		if len(free) == 0 {
+			return
+		}
+		v := free[rng.Intn(len(free))]
+		pos := 1 + rng.Intn(len(candidate)) // insert before index pos in [1,len]
+		if pos >= len(candidate) {
+			pos = len(candidate) - 1
+			if pos < 1 {
+				return
+			}
+		}
+		candidate = append(candidate[:pos], append(topology.Path{v}, candidate[pos:]...)...)
+	case 1: // delete a random interior vertex
+		if len(candidate) <= 2 {
+			return
+		}
+		pos := 1 + rng.Intn(len(candidate)-2)
+		candidate = append(candidate[:pos], candidate[pos+1:]...)
+	case 2: // swap two interior vertices
+		if len(candidate) <= 3 {
+			return
+		}
+		a := 1 + rng.Intn(len(candidate)-2)
+		b := 1 + rng.Intn(len(candidate)-2)
+		candidate[a], candidate[b] = candidate[b], candidate[a]
+	}
+	if candidate.Valid(p.Hosts) && candidate.Simple() {
+		c.Paths[i] = candidate
+	}
+}

@@ -1,0 +1,173 @@
+package vadapt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"freemeasure/internal/topology"
+)
+
+func TestRandomConfigValid(t *testing.T) {
+	p := challengeProblem()
+	for seed := int64(0); seed < 5; seed++ {
+		c := RandomConfig(p, seed)
+		if err := c.Valid(p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAnnealNeverWorseThanStart(t *testing.T) {
+	p := challengeProblem()
+	obj := ResidualBW{}
+	initial := RandomConfig(p, 1)
+	start := obj.Evaluate(p, initial).Score
+	best, trace := Anneal(p, obj, initial, SAConfig{Iterations: 2000, Seed: 2})
+	got := obj.Evaluate(p, best).Score
+	if got < start {
+		t.Fatalf("best %v < start %v", got, start)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Best-so-far is monotone nondecreasing (the +B curve).
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Best < trace[i-1].Best {
+			t.Fatalf("best-so-far decreased at %d: %v -> %v", i, trace[i-1].Best, trace[i].Best)
+		}
+	}
+	if final := trace[len(trace)-1].Best; final != got {
+		t.Fatalf("trace best %v != returned best %v", final, got)
+	}
+}
+
+func TestAnnealPlusGreedyBeatsOrMatchesGreedy(t *testing.T) {
+	p := challengeProblem()
+	obj := ResidualBW{}
+	gh := Greedy(p)
+	ghScore := obj.Evaluate(p, gh).Score
+	best, _ := Anneal(p, obj, gh, SAConfig{Iterations: 3000, Seed: 3})
+	if got := obj.Evaluate(p, best).Score; got < ghScore {
+		t.Fatalf("SA+GH %v < GH %v", got, ghScore)
+	}
+}
+
+func TestAnnealFindsChallengeOptimum(t *testing.T) {
+	p := challengeProblem()
+	obj := ResidualBW{}
+	_, optEval := Enumerate(p, obj)
+	best, _ := Anneal(p, obj, RandomConfig(p, 7), SAConfig{Iterations: 8000, Seed: 7})
+	got := obj.Evaluate(p, best)
+	if !got.Feasible {
+		t.Fatalf("SA result infeasible: %+v", got)
+	}
+	// SA should come close to the enumerated optimum (within 10%).
+	if got.Score < 0.9*optEval.Score {
+		t.Fatalf("SA score %v far from optimum %v", got.Score, optEval.Score)
+	}
+	// And the chatty VMs must be in the fast domain.
+	for vm := 0; vm < 3; vm++ {
+		if !inFastDomain(best.Mapping[vm]) {
+			t.Fatalf("vm%d on slow host in SA optimum (mapping %v)", vm, best.Mapping)
+		}
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	p := challengeProblem()
+	obj := ResidualBW{}
+	run := func() []TracePoint {
+		_, trace := Anneal(p, obj, RandomConfig(p, 5), SAConfig{Iterations: 500, Seed: 5})
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d", i)
+		}
+	}
+}
+
+func TestAnnealTraceEvery(t *testing.T) {
+	p := challengeProblem()
+	_, trace := Anneal(p, ResidualBW{}, RandomConfig(p, 1),
+		SAConfig{Iterations: 1000, TraceEvery: 100, Seed: 1})
+	if len(trace) != 10 {
+		t.Fatalf("trace points = %d, want 10", len(trace))
+	}
+}
+
+// TestPerturbPreservesValidity: any number of perturbations keeps the
+// configuration structurally valid (the annealer relies on this).
+func TestPerturbPreservesValidity(t *testing.T) {
+	p := challengeProblem()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := RandomConfig(p, seed)
+		for i := 0; i < 50; i++ {
+			c = perturb(p, c, rng, 0.2)
+			if err := c.Valid(p); err != nil {
+				t.Logf("seed %d iter %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerturbPathOpsOnSparseGraph(t *testing.T) {
+	// On a non-complete graph most insertions/swaps are invalid; the
+	// perturbation must leave paths valid (unchanged when the op fails).
+	g := topology.New(4)
+	g.AddBiEdge(0, 1, 10, 1)
+	g.AddBiEdge(1, 2, 10, 1)
+	g.AddBiEdge(2, 3, 10, 1)
+	p := &Problem{Hosts: g, NumVMs: 2, Demands: []Demand{{Src: 0, Dst: 1, Rate: 1}}}
+	rng := rand.New(rand.NewSource(1))
+	c := &Config{Mapping: []topology.NodeID{0, 3}, Paths: []topology.Path{{0, 1, 2, 3}}}
+	for i := 0; i < 200; i++ {
+		perturbPath(p, c, 0, rng)
+		if err := c.Valid(p); err != nil {
+			t.Fatalf("iter %d: %v (path %v)", i, err, c.Paths[0])
+		}
+	}
+}
+
+func TestEnumerateSmall(t *testing.T) {
+	p := challengeProblem()
+	best, ev := Enumerate(p, ResidualBW{})
+	if best == nil || !ev.Feasible {
+		t.Fatalf("enumerate: %+v", ev)
+	}
+	if err := best.Valid(p); err != nil {
+		t.Fatal(err)
+	}
+	// The enumerated optimum has the unique good shape.
+	for vm := 0; vm < 3; vm++ {
+		if !inFastDomain(best.Mapping[vm]) {
+			t.Fatalf("optimal mapping %v has vm%d on slow host", best.Mapping, vm)
+		}
+	}
+	if inFastDomain(best.Mapping[3]) {
+		t.Fatalf("optimal mapping %v wasted a fast host on vm3", best.Mapping)
+	}
+	// No heuristic beats the enumerated optimum.
+	if gh := (ResidualBW{}).Evaluate(p, Greedy(p)); gh.Score > ev.Score+1e-9 {
+		t.Fatalf("greedy %v beat enumeration %v", gh.Score, ev.Score)
+	}
+}
+
+func TestEnumerateTooLargePanics(t *testing.T) {
+	g := topology.Complete(30, func(a, b topology.NodeID) (float64, float64) { return 10, 1 })
+	p := &Problem{Hosts: g, NumVMs: 12}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for huge enumeration")
+		}
+	}()
+	Enumerate(p, ResidualBW{})
+}

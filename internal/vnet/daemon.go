@@ -1,0 +1,534 @@
+package vnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/pcap"
+	"freemeasure/internal/vttif"
+)
+
+// VMPort delivers frames to a locally attached VM.
+type VMPort func(f *ethernet.Frame)
+
+// ControlHandler receives control payloads pushed by peer daemons.
+type ControlHandler func(fromPeer string, payload []byte)
+
+// DaemonStats counts daemon-level events.
+type DaemonStats struct {
+	FramesFromVMs   uint64
+	FramesDelivered uint64
+	FramesForwarded uint64
+	FramesFlooded   uint64
+	FramesDropped   uint64
+	TTLExpired      uint64
+}
+
+// Daemon is one VNET daemon. Every physical host that can run VMs runs
+// one; one more (the Proxy) provides the network presence on the user's
+// LAN and the hub of the initial star topology.
+type Daemon struct {
+	name string
+
+	mu      sync.RWMutex
+	ln      net.Listener
+	links   map[string]*Link
+	vms     map[ethernet.MAC]VMPort
+	rules   map[ethernet.MAC]string // explicit forwarding rules: dst MAC -> peer
+	learned map[ethernet.MAC]string // learned MAC locations (proxy/bridge behaviour)
+	deflt   string                  // default route peer ("" = none)
+	closed  bool
+
+	// Virtual-UDP link state: one shared socket, links demultiplexed by
+	// remote address, pending dials awaiting the peer's hello reply.
+	udpSock  *net.UDPConn
+	udpLinks map[string]*Link
+	udpDials map[string]chan string
+
+	traffic   *vttif.Local
+	wrenFeed  func(pcap.Record)
+	onControl ControlHandler
+	onLinkUp  func(peer string)
+
+	stats DaemonStats
+	wg    sync.WaitGroup
+}
+
+// NewDaemon creates a daemon named name (names must be unique across the
+// overlay; they identify link endpoints in Wren records and rules).
+func NewDaemon(name string) *Daemon {
+	return &Daemon{
+		name:     name,
+		links:    make(map[string]*Link),
+		vms:      make(map[ethernet.MAC]VMPort),
+		rules:    make(map[ethernet.MAC]string),
+		learned:  make(map[ethernet.MAC]string),
+		udpLinks: make(map[string]*Link),
+		udpDials: make(map[string]chan string),
+		traffic:  vttif.NewLocal(),
+	}
+}
+
+// Name returns the daemon's name.
+func (d *Daemon) Name() string { return d.name }
+
+// Traffic returns the daemon's local VTTIF accumulator.
+func (d *Daemon) Traffic() *vttif.Local { return d.traffic }
+
+// Stats returns a copy of the daemon's counters.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats
+}
+
+// SetWrenFeed installs the capture sink for this daemon's link traffic
+// (typically wren.Monitor.Feed).
+func (d *Daemon) SetWrenFeed(fn func(pcap.Record)) {
+	d.mu.Lock()
+	d.wrenFeed = fn
+	d.mu.Unlock()
+}
+
+// SetControlHandler installs the handler for control pushes from peers.
+func (d *Daemon) SetControlHandler(fn ControlHandler) {
+	d.mu.Lock()
+	d.onControl = fn
+	d.mu.Unlock()
+}
+
+// SetLinkUpHandler installs a callback fired when a link becomes usable.
+func (d *Daemon) SetLinkUpHandler(fn func(peer string)) {
+	d.mu.Lock()
+	d.onLinkUp = fn
+	d.mu.Unlock()
+}
+
+func (d *Daemon) feedWren(r pcap.Record) {
+	d.mu.RLock()
+	fn := d.wrenFeed
+	d.mu.RUnlock()
+	if fn != nil {
+		fn(r)
+	}
+}
+
+// Listen starts accepting incoming links on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (d *Daemon) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		ln.Close()
+		return "", errors.New("vnet: daemon closed")
+	}
+	d.ln = ln
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (d *Daemon) acceptLoop(ln net.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			if err := d.handshake(conn, false); err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+// Connect dials a peer daemon and establishes a link. It returns the
+// peer's name.
+func (d *Daemon) Connect(addr string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return "", err
+	}
+	peer, err := d.handshakeNamed(conn, true)
+	if err != nil {
+		conn.Close()
+		return "", err
+	}
+	return peer, nil
+}
+
+func (d *Daemon) handshake(conn net.Conn, initiator bool) error {
+	_, err := d.handshakeNamed(conn, initiator)
+	return err
+}
+
+// handshakeNamed exchanges hello messages (initiator speaks first) and
+// registers the link.
+func (d *Daemon) handshakeNamed(conn net.Conn, initiator bool) (string, error) {
+	if initiator {
+		if err := writeMessage(conn, msgHello, []byte(d.name)); err != nil {
+			return "", err
+		}
+	}
+	typ, payload, err := readMessage(conn)
+	if err != nil {
+		return "", err
+	}
+	if typ != msgHello {
+		return "", fmt.Errorf("vnet: expected hello, got type %d", typ)
+	}
+	peer := string(payload)
+	if peer == "" || peer == d.name {
+		return "", fmt.Errorf("vnet: invalid peer name %q", peer)
+	}
+	if !initiator {
+		if err := writeMessage(conn, msgHello, []byte(d.name)); err != nil {
+			return "", err
+		}
+	}
+	link := &Link{daemon: d, peer: peer, tr: &tcpTransport{conn: conn}}
+	if err := d.registerLink(link); err != nil {
+		return "", err
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.dropLink(link)
+		for {
+			typ, payload, err := readMessage(conn)
+			if err != nil {
+				return
+			}
+			d.handleMessage(link, typ, payload)
+		}
+	}()
+	return peer, nil
+}
+
+// registerLink stores a freshly handshaked link and fires the up callback.
+func (d *Daemon) registerLink(link *Link) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("vnet: daemon closed")
+	}
+	if old, ok := d.links[link.peer]; ok {
+		old.close()
+	}
+	d.links[link.peer] = link
+	up := d.onLinkUp
+	d.mu.Unlock()
+	if up != nil {
+		up(link.peer)
+	}
+	return nil
+}
+
+// dropLink tears a link down and removes it from the tables.
+func (d *Daemon) dropLink(link *Link) {
+	link.close()
+	d.mu.Lock()
+	if d.links[link.peer] == link {
+		delete(d.links, link.peer)
+	}
+	d.mu.Unlock()
+}
+
+// handleMessage processes one link message; shared by the TCP stream
+// reader and the UDP datagram demultiplexer.
+func (d *Daemon) handleMessage(link *Link, typ byte, payload []byte) {
+	switch typ {
+	case msgFrame:
+		if len(payload) < frameHeaderLen {
+			return
+		}
+		link.mu.Lock()
+		link.stats.FramesReceived++
+		link.stats.BytesReceived += uint64(len(payload))
+		link.mu.Unlock()
+		seq := int64(binary.BigEndian.Uint64(payload[1:9]))
+		if end := seq + int64(len(payload)); end > link.recvBytes {
+			link.recvBytes = end
+		}
+		// Acknowledge immediately (the self-clocking Wren observes).
+		// Highest-byte semantics keep the cumulative ACK meaningful even
+		// when virtual-UDP links lose datagrams.
+		link.sendAck(link.recvBytes)
+		ttl := payload[0]
+		f, err := ethernet.Unmarshal(payload[frameHeaderLen:])
+		if err != nil {
+			return
+		}
+		d.handleFrame(f, link.peer, ttl)
+	case msgAck:
+		if len(payload) != 8 {
+			return
+		}
+		cum := int64(binary.BigEndian.Uint64(payload))
+		link.ackedBytes = cum
+		d.feedWren(pcap.Record{
+			At:    time.Now().UnixNano(),
+			Dir:   pcap.In,
+			Flow:  pcap.FlowKey{Local: d.name, Remote: link.peer},
+			Size:  13,
+			IsAck: true,
+			Ack:   cum,
+		})
+	case msgControl:
+		d.mu.RLock()
+		fn := d.onControl
+		d.mu.RUnlock()
+		if fn != nil {
+			fn(link.peer, payload)
+		}
+	}
+}
+
+// AttachVM registers a local VM's virtual interface: frames addressed to
+// mac are delivered through port.
+func (d *Daemon) AttachVM(mac ethernet.MAC, port VMPort) {
+	d.mu.Lock()
+	d.vms[mac] = port
+	d.mu.Unlock()
+}
+
+// DetachVM removes a VM (e.g. after migration away).
+func (d *Daemon) DetachVM(mac ethernet.MAC) {
+	d.mu.Lock()
+	delete(d.vms, mac)
+	d.mu.Unlock()
+}
+
+// AddRule installs an explicit forwarding rule: frames to dst leave via the
+// link to peer. Explicit rules take precedence over learned locations.
+func (d *Daemon) AddRule(dst ethernet.MAC, peer string) {
+	d.mu.Lock()
+	d.rules[dst] = peer
+	d.mu.Unlock()
+}
+
+// RemoveRule deletes an explicit rule.
+func (d *Daemon) RemoveRule(dst ethernet.MAC) {
+	d.mu.Lock()
+	delete(d.rules, dst)
+	d.mu.Unlock()
+}
+
+// Rules returns a copy of the explicit forwarding table.
+func (d *Daemon) Rules() map[ethernet.MAC]string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[ethernet.MAC]string, len(d.rules))
+	for k, v := range d.rules {
+		out[k] = v
+	}
+	return out
+}
+
+// SetDefaultRoute points unknown destinations at the link to peer — every
+// non-proxy daemon defaults to the Proxy, forming the initial star.
+func (d *Daemon) SetDefaultRoute(peer string) {
+	d.mu.Lock()
+	d.deflt = peer
+	d.mu.Unlock()
+}
+
+// Link returns the live link to peer, if any.
+func (d *Daemon) Link(peer string) (*Link, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	l, ok := d.links[peer]
+	return l, ok
+}
+
+// Peers lists currently connected peer daemons.
+func (d *Daemon) Peers() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.links))
+	for p := range d.links {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SendControl pushes an opaque control payload to a peer daemon.
+func (d *Daemon) SendControl(peer string, payload []byte) error {
+	link, ok := d.Link(peer)
+	if !ok {
+		return fmt.Errorf("vnet: no link to %s", peer)
+	}
+	return link.sendControl(payload)
+}
+
+// InjectFrame is the virtual-interface capture path: a local VM sent f.
+// The frame is counted by VTTIF and forwarded.
+func (d *Daemon) InjectFrame(f *ethernet.Frame) {
+	d.traffic.AddFrame(f.Src, f.Dst, f.WireLen())
+	d.mu.Lock()
+	d.stats.FramesFromVMs++
+	d.mu.Unlock()
+	d.handleFrame(f, "", DefaultTTL)
+}
+
+// handleFrame implements the forwarding table: local delivery, explicit
+// rule, learned location, broadcast flood, or default route.
+func (d *Daemon) handleFrame(f *ethernet.Frame, fromPeer string, ttl byte) {
+	if fromPeer != "" {
+		// Learn where the source lives (bridge learning), so replies avoid
+		// extra hops through the default route.
+		d.mu.Lock()
+		d.learned[f.Src] = fromPeer
+		d.mu.Unlock()
+	}
+	if f.Dst.IsBroadcast() {
+		d.flood(f, fromPeer, ttl)
+		return
+	}
+	d.mu.RLock()
+	port, isLocal := d.vms[f.Dst]
+	peer, haveRule := d.rules[f.Dst]
+	if !haveRule {
+		peer, haveRule = d.learned[f.Dst]
+	}
+	deflt := d.deflt
+	d.mu.RUnlock()
+
+	if isLocal {
+		d.mu.Lock()
+		d.stats.FramesDelivered++
+		d.mu.Unlock()
+		port(f)
+		return
+	}
+	target := ""
+	switch {
+	case haveRule && peer != fromPeer:
+		target = peer
+	case deflt != "" && deflt != fromPeer:
+		target = deflt
+	}
+	if target == "" {
+		d.drop()
+		return
+	}
+	d.forward(f, target, fromPeer, ttl)
+}
+
+func (d *Daemon) forward(f *ethernet.Frame, peer, fromPeer string, ttl byte) {
+	if fromPeer != "" { // transiting the overlay costs a hop
+		if ttl <= 1 {
+			d.mu.Lock()
+			d.stats.TTLExpired++
+			d.mu.Unlock()
+			return
+		}
+		ttl--
+	}
+	link, ok := d.Link(peer)
+	if !ok {
+		d.drop()
+		return
+	}
+	raw, err := f.Marshal()
+	if err != nil {
+		d.drop()
+		return
+	}
+	if err := link.sendFrame(ttl, raw); err != nil {
+		d.drop()
+		return
+	}
+	d.mu.Lock()
+	d.stats.FramesForwarded++
+	d.mu.Unlock()
+}
+
+// flood sends a broadcast everywhere except where it came from.
+func (d *Daemon) flood(f *ethernet.Frame, fromPeer string, ttl byte) {
+	d.mu.RLock()
+	ports := make([]VMPort, 0, len(d.vms))
+	for mac, port := range d.vms {
+		if mac != f.Src {
+			ports = append(ports, port)
+		}
+	}
+	peers := make([]string, 0, len(d.links))
+	for p := range d.links {
+		if p != fromPeer {
+			peers = append(peers, p)
+		}
+	}
+	d.mu.RUnlock()
+	for _, port := range ports {
+		port(f)
+	}
+	if fromPeer != "" {
+		if ttl <= 1 {
+			d.mu.Lock()
+			d.stats.TTLExpired++
+			d.mu.Unlock()
+			return
+		}
+		ttl--
+	}
+	raw, err := f.Marshal()
+	if err != nil {
+		return
+	}
+	for _, p := range peers {
+		if link, ok := d.Link(p); ok {
+			if err := link.sendFrame(ttl, raw); err == nil {
+				d.mu.Lock()
+				d.stats.FramesFlooded++
+				d.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (d *Daemon) drop() {
+	d.mu.Lock()
+	d.stats.FramesDropped++
+	d.mu.Unlock()
+}
+
+// Close shuts the daemon down: listener and all links.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	ln := d.ln
+	udp := d.udpSock
+	links := make([]*Link, 0, len(d.links))
+	for _, l := range d.links {
+		links = append(links, l)
+	}
+	d.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if udp != nil {
+		udp.Close()
+	}
+	for _, l := range links {
+		l.close()
+	}
+	d.wg.Wait()
+}

@@ -1,0 +1,170 @@
+package vnet
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"freemeasure/internal/pcap"
+)
+
+// LinkStats counts a link's lifetime traffic.
+type LinkStats struct {
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+}
+
+// transport abstracts how a link's messages reach the peer: a TCP stream
+// or a "virtual UDP connection" (paper section 3.1) — one message per
+// datagram demultiplexed by source address.
+type transport interface {
+	send(typ byte, payload []byte) error
+	close()
+	kind() string // "tcp" or "udp"
+}
+
+// tcpTransport wraps a stream connection.
+type tcpTransport struct{ conn net.Conn }
+
+func (t *tcpTransport) send(typ byte, payload []byte) error {
+	return writeMessage(t.conn, typ, payload)
+}
+func (t *tcpTransport) close()       { t.conn.Close() }
+func (t *tcpTransport) kind() string { return "tcp" }
+
+// Link is one VNET link: a TCP or virtual-UDP connection to a peer daemon,
+// with an optional token-bucket rate limit emulating the capacity of the
+// physical path underneath (on a localhost testbed every path would
+// otherwise be equally instant).
+type Link struct {
+	daemon *Daemon
+	peer   string
+	tr     transport
+
+	writeMu sync.Mutex
+	// Token bucket (guarded by writeMu).
+	rateMbps float64 // 0 = unlimited
+	tokens   float64 // bytes available
+	burst    float64 // bucket depth in bytes
+	refillAt time.Time
+
+	// Wren bookkeeping: cumulative payload bytes, as TCP sequence numbers.
+	sentBytes  int64
+	recvBytes  int64
+	ackedBytes int64
+
+	mu     sync.Mutex
+	stats  LinkStats
+	closed bool
+}
+
+// Peer returns the remote daemon's name.
+func (l *Link) Peer() string { return l.peer }
+
+// Stats returns a copy of the counters.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// SetRateMbps installs or changes the link's token-bucket rate limit
+// (0 removes it).
+func (l *Link) SetRateMbps(mbps float64) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.rateMbps = mbps
+	// Keep the burst allowance small (a few frames): a deep bucket would
+	// let message-sized bursts through at wire speed, hiding the link's
+	// rate from Wren's passive trains.
+	l.burst = 4 * 1500
+	l.tokens = l.burst
+	l.refillAt = time.Now()
+}
+
+// throttle blocks until the bucket holds n bytes. Called with writeMu held.
+func (l *Link) throttle(n int) {
+	if l.rateMbps <= 0 {
+		return
+	}
+	for {
+		now := time.Now()
+		elapsed := now.Sub(l.refillAt).Seconds()
+		l.refillAt = now
+		l.tokens += elapsed * l.rateMbps * 1e6 / 8
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		if l.tokens >= float64(n) {
+			l.tokens -= float64(n)
+			return
+		}
+		need := float64(n) - l.tokens
+		time.Sleep(time.Duration(need / (l.rateMbps * 1e6 / 8) * float64(time.Second)))
+	}
+}
+
+// sendFrame writes an encoded frame with a hop limit, emitting the Wren
+// departure record.
+func (l *Link) sendFrame(ttl byte, frame []byte) error {
+	payload := make([]byte, frameHeaderLen+len(frame))
+	payload[0] = ttl
+	copy(payload[frameHeaderLen:], frame)
+
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	l.throttle(len(payload) + 5)
+	seq := l.sentBytes
+	for i := 0; i < 8; i++ {
+		payload[1+i] = byte(uint64(seq) >> (56 - 8*i))
+	}
+	if err := l.tr.send(msgFrame, payload); err != nil {
+		return err
+	}
+	l.sentBytes += int64(len(payload))
+	l.mu.Lock()
+	l.stats.FramesSent++
+	l.stats.BytesSent += uint64(len(payload))
+	l.mu.Unlock()
+	l.daemon.feedWren(pcap.Record{
+		At:   time.Now().UnixNano(),
+		Dir:  pcap.Out,
+		Flow: pcap.FlowKey{Local: l.daemon.name, Remote: l.peer},
+		Size: len(payload) + 5,
+		Seq:  seq,
+		Len:  len(payload),
+	})
+	return nil
+}
+
+// sendAck writes a cumulative acknowledgment (not rate limited: acks are
+// tiny and limiting them would deadlock a saturated duplex link).
+func (l *Link) sendAck(cum int64) error {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(cum >> (56 - 8*i))
+	}
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	return l.tr.send(msgAck, buf[:])
+}
+
+// sendControl writes an opaque control payload (VTTIF/Wren matrix pushes).
+func (l *Link) sendControl(payload []byte) error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	return l.tr.send(msgControl, payload)
+}
+
+// close tears the link down.
+func (l *Link) close() {
+	l.mu.Lock()
+	already := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if !already {
+		l.tr.close()
+	}
+}

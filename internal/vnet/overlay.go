@@ -1,0 +1,332 @@
+package vnet
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// This file assembles whole overlays: the initial star around the Proxy
+// (paper section 3.1) and the control plane that carries each daemon's
+// VTTIF local matrix and Wren measurements to the Proxy (section 3.3),
+// giving it the global application view and physical-network view VADAPT
+// consumes.
+
+// controlMsg is the JSON payload of msgControl pushes.
+type controlMsg struct {
+	Kind        string      `json:"kind"` // "vttif" or "wren"
+	IntervalSec float64     `json:"intervalSec,omitempty"`
+	Pairs       []pairBytes `json:"pairs,omitempty"`
+	Wren        []wrenEntry `json:"wren,omitempty"`
+}
+
+type pairBytes struct {
+	Src   string `json:"src"` // hex MAC
+	Dst   string `json:"dst"`
+	Bytes uint64 `json:"bytes"`
+}
+
+type wrenEntry struct {
+	Remote    string  `json:"remote"`
+	Mbps      float64 `json:"mbps"`
+	Kind      string  `json:"kind"`
+	Quality   float64 `json:"quality"`
+	BWFound   bool    `json:"bwFound"`
+	LatencyMs float64 `json:"latencyMs"`
+	LatFound  bool    `json:"latFound"`
+}
+
+func macToHex(m ethernet.MAC) string { return hex.EncodeToString(m[:]) }
+
+func hexToMAC(s string) (ethernet.MAC, error) {
+	var m ethernet.MAC
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 6 {
+		return m, fmt.Errorf("vnet: bad mac %q", s)
+	}
+	copy(m[:], b)
+	return m, nil
+}
+
+// PathMeasurement is one entry of the Proxy's global physical-network view.
+type PathMeasurement struct {
+	Mbps      float64
+	Kind      string
+	Quality   float64
+	BWFound   bool
+	LatencyMs float64
+	LatFound  bool
+	UpdatedAt time.Time
+}
+
+// GlobalView lives at the Proxy: the global traffic matrix (via the VTTIF
+// aggregator) plus the available bandwidth and latency between every pair
+// of VNET daemons that exchange traffic. "In practice, only those pairs
+// whose VNET daemons exchange messages have entries."
+type GlobalView struct {
+	mu    sync.Mutex
+	Agg   *vttif.Aggregator
+	paths map[[2]string]PathMeasurement
+}
+
+// NewGlobalView creates an empty view.
+func NewGlobalView(cfg vttif.Config) *GlobalView {
+	return &GlobalView{
+		Agg:   vttif.NewAggregator(cfg),
+		paths: make(map[[2]string]PathMeasurement),
+	}
+}
+
+// HandleControl is the Proxy's control handler: mount it with
+// SetControlHandler.
+func (g *GlobalView) HandleControl(fromPeer string, payload []byte) {
+	var msg controlMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return
+	}
+	switch msg.Kind {
+	case "vttif":
+		local := make(map[vttif.Pair]uint64, len(msg.Pairs))
+		for _, p := range msg.Pairs {
+			src, err1 := hexToMAC(p.Src)
+			dst, err2 := hexToMAC(p.Dst)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			local[vttif.Pair{Src: src, Dst: dst}] = p.Bytes
+		}
+		interval := msg.IntervalSec
+		if interval <= 0 {
+			interval = 1
+		}
+		g.Agg.Update(fromPeer, local, interval)
+	case "wren":
+		for _, w := range msg.Wren {
+			g.SetPath(fromPeer, w.Remote, PathMeasurement{
+				Mbps: w.Mbps, Kind: w.Kind, Quality: w.Quality, BWFound: w.BWFound,
+				LatencyMs: w.LatencyMs, LatFound: w.LatFound, UpdatedAt: time.Now(),
+			})
+		}
+	}
+}
+
+// SetPath records one measurement directly (used by the Proxy's own Wren
+// monitor, which has no link to push through).
+func (g *GlobalView) SetPath(from, to string, p PathMeasurement) {
+	g.mu.Lock()
+	g.paths[[2]string{from, to}] = p
+	g.mu.Unlock()
+}
+
+// Path returns the measurement for the daemon pair (from, to).
+func (g *GlobalView) Path(from, to string) (PathMeasurement, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.paths[[2]string{from, to}]
+	return p, ok
+}
+
+// Paths returns a copy of the whole physical-network view.
+func (g *GlobalView) Paths() map[[2]string]PathMeasurement {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[[2]string]PathMeasurement, len(g.paths))
+	for k, v := range g.paths {
+		out[k] = v
+	}
+	return out
+}
+
+// Node is one assembled overlay member: a daemon plus its Wren monitor and
+// reporting machinery.
+type Node struct {
+	Daemon *Daemon
+	Wren   *wren.Monitor
+	addr   string
+}
+
+// Addr returns the daemon's listen address.
+func (n *Node) Addr() string { return n.addr }
+
+// Overlay is a running star overlay on localhost.
+type Overlay struct {
+	Proxy     *Node
+	Nodes     []*Node // host daemons (excludes the proxy)
+	View      *GlobalView
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	reporters sync.WaitGroup
+}
+
+// NewStar builds and starts a star overlay: a Proxy plus one daemon per
+// name, each listening on 127.0.0.1, connected to the Proxy, defaulting
+// unknown destinations to it, with a Wren monitor observing its links.
+func NewStar(names []string, vttifCfg vttif.Config, wrenCfg wren.Config) (*Overlay, error) {
+	o := &Overlay{View: NewGlobalView(vttifCfg), stopCh: make(chan struct{})}
+	mk := func(name string) (*Node, error) {
+		d := NewDaemon(name)
+		addr, err := d.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		m := wren.NewMonitor(name, wrenCfg)
+		d.SetWrenFeed(m.Feed)
+		return &Node{Daemon: d, Wren: m, addr: addr}, nil
+	}
+	proxy, err := mk("proxy")
+	if err != nil {
+		return nil, err
+	}
+	proxy.Daemon.SetControlHandler(o.View.HandleControl)
+	o.Proxy = proxy
+	for _, name := range names {
+		n, err := mk(name)
+		if err != nil {
+			o.Close()
+			return nil, err
+		}
+		if _, err := n.Daemon.Connect(proxy.addr); err != nil {
+			o.Close()
+			return nil, err
+		}
+		n.Daemon.SetDefaultRoute("proxy")
+		o.Nodes = append(o.Nodes, n)
+	}
+	return o, nil
+}
+
+// Node returns the named non-proxy node.
+func (o *Overlay) Node(name string) *Node {
+	for _, n := range o.Nodes {
+		if n.Daemon.Name() == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// ConnectPair adds a direct link between two member daemons (a VADAPT
+// topology change) and returns an error if either is unknown.
+func (o *Overlay) ConnectPair(a, b string) error {
+	na, nb := o.Node(a), o.Node(b)
+	if na == nil || nb == nil {
+		return fmt.Errorf("vnet: unknown node %s or %s", a, b)
+	}
+	_, err := na.Daemon.Connect(nb.addr)
+	return err
+}
+
+// ConnectPairUDP adds a direct virtual-UDP link between two member
+// daemons, opening b's UDP endpoint on demand.
+func (o *Overlay) ConnectPairUDP(a, b string) error {
+	na, nb := o.Node(a), o.Node(b)
+	if na == nil || nb == nil {
+		return fmt.Errorf("vnet: unknown node %s or %s", a, b)
+	}
+	addr, ok := nb.Daemon.UDPAddr()
+	if !ok {
+		var err error
+		addr, err = nb.Daemon.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+	}
+	_, err := na.Daemon.ConnectUDP(addr)
+	return err
+}
+
+// StartReporting launches each node's periodic control pushes to the
+// Proxy: the VTTIF local matrix and the local Wren measurements, every
+// interval. It also polls each Wren monitor, including the Proxy's own
+// (which sees the proxy->host legs of every star path).
+func (o *Overlay) StartReporting(interval time.Duration) {
+	for _, n := range o.Nodes {
+		n := n
+		o.reporters.Add(1)
+		go func() {
+			defer o.reporters.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-o.stopCh:
+					return
+				case <-ticker.C:
+					n.Wren.Poll()
+					o.pushReports(n, interval.Seconds())
+				}
+			}
+		}()
+	}
+	o.reporters.Add(1)
+	go func() {
+		defer o.reporters.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-o.stopCh:
+				return
+			case <-ticker.C:
+				o.Proxy.Wren.Poll()
+				for _, remote := range o.Proxy.Wren.Remotes() {
+					est, bwOK := o.Proxy.Wren.AvailableBandwidth(remote)
+					lat, latOK := o.Proxy.Wren.Latency(remote)
+					o.View.SetPath("proxy", remote, PathMeasurement{
+						Mbps: est.Mbps, Kind: est.Kind.String(), Quality: est.Quality,
+						BWFound: bwOK, LatencyMs: lat, LatFound: latOK, UpdatedAt: time.Now(),
+					})
+				}
+			}
+		}
+	}()
+}
+
+func (o *Overlay) pushReports(n *Node, intervalSec float64) {
+	// VTTIF local matrix.
+	local := n.Daemon.Traffic().Snapshot()
+	if len(local) > 0 {
+		msg := controlMsg{Kind: "vttif", IntervalSec: intervalSec}
+		for p, b := range local {
+			msg.Pairs = append(msg.Pairs, pairBytes{Src: macToHex(p.Src), Dst: macToHex(p.Dst), Bytes: b})
+		}
+		if raw, err := json.Marshal(msg); err == nil {
+			n.Daemon.SendControl("proxy", raw)
+		}
+	}
+	// Wren measurements toward every measured remote.
+	remotes := n.Wren.Remotes()
+	if len(remotes) == 0 {
+		return
+	}
+	msg := controlMsg{Kind: "wren"}
+	for _, r := range remotes {
+		est, bwOK := n.Wren.AvailableBandwidth(r)
+		lat, latOK := n.Wren.Latency(r)
+		msg.Wren = append(msg.Wren, wrenEntry{
+			Remote: r, Mbps: est.Mbps, Kind: est.Kind.String(), Quality: est.Quality,
+			BWFound: bwOK, LatencyMs: lat, LatFound: latOK,
+		})
+	}
+	if raw, err := json.Marshal(msg); err == nil {
+		n.Daemon.SendControl("proxy", raw)
+	}
+}
+
+// Close stops reporting and shuts every daemon down.
+func (o *Overlay) Close() {
+	o.stopOnce.Do(func() { close(o.stopCh) })
+	o.reporters.Wait()
+	for _, n := range o.Nodes {
+		n.Daemon.Close()
+	}
+	if o.Proxy != nil {
+		o.Proxy.Daemon.Close()
+	}
+}

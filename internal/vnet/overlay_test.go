@@ -1,0 +1,106 @@
+package vnet
+
+import (
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+func vmMAC(id int) ethernet.MAC { return ethernet.VMMAC(id) }
+
+func frameTo(dst, src ethernet.MAC, payload int) *ethernet.Frame {
+	return &ethernet.Frame{Dst: dst, Src: src, Type: ethernet.TypeApp, Payload: make([]byte, payload)}
+}
+
+func TestNewStarConnectsEveryone(t *testing.T) {
+	o, err := NewStar([]string{"h1", "h2", "h3"}, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	waitFor(t, "star links", func() bool { return len(o.Proxy.Daemon.Peers()) == 3 })
+	for _, n := range o.Nodes {
+		if _, ok := n.Daemon.Link("proxy"); !ok {
+			t.Fatalf("%s has no proxy link", n.Daemon.Name())
+		}
+	}
+	if o.Node("h2") == nil || o.Node("nope") != nil {
+		t.Fatal("Node lookup broken")
+	}
+}
+
+func TestConnectPairAddsDirectLink(t *testing.T) {
+	o, err := NewStar([]string{"h1", "h2"}, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if err := o.ConnectPair("h1", "h2"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "direct link", func() bool {
+		_, ok := o.Node("h1").Daemon.Link("h2")
+		return ok
+	})
+	if err := o.ConnectPair("h1", "ghost"); err == nil {
+		t.Fatal("ConnectPair with unknown node should error")
+	}
+}
+
+func TestGlobalViewVTTIFAggregation(t *testing.T) {
+	o, err := NewStar([]string{"h1", "h2"}, vttif.Config{Alpha: 1, HoldUpdates: 1}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	o.StartReporting(20 * time.Millisecond)
+
+	// Simulate VM traffic counted at h1's daemon.
+	h1 := o.Node("h1").Daemon
+	src, dst := vmMAC(1), vmMAC(2)
+	for i := 0; i < 50; i++ {
+		h1.Traffic().AddFrame(src, dst, 1500)
+	}
+	waitFor(t, "vttif push", func() bool {
+		return o.View.Agg.Rates()[vttif.Pair{Src: src, Dst: dst}] > 0
+	})
+}
+
+func TestGlobalViewWrenPush(t *testing.T) {
+	o, err := NewStar([]string{"h1", "h2"}, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	o.StartReporting(20 * time.Millisecond)
+
+	// Drive real frames h1 -> h2 so h1's Wren sees link traffic: the
+	// frames go via the proxy; the h1->proxy link is what Wren measures.
+	h1 := o.Node("h1").Daemon
+	h1.SetDefaultRoute("proxy")
+	var sink collector
+	o.Node("h2").Daemon.AttachVM(vmMAC(2), sink.port())
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// A burst of frames, then a pause: Wren train material.
+			for i := 0; i < 30; i++ {
+				h1.InjectFrame(frameTo(vmMAC(2), vmMAC(1), 1400))
+			}
+			time.Sleep(30 * time.Millisecond)
+		}
+	}()
+	defer close(stop)
+	waitFor(t, "wren path measurement at proxy", func() bool {
+		p, ok := o.View.Path("h1", "proxy")
+		return ok && (p.BWFound || p.LatFound)
+	})
+}

@@ -1,0 +1,72 @@
+// Package vnet reproduces VNET, Virtuoso's layer-2 overlay network (paper
+// section 3.1): one daemon per host, each VM attached to its daemon through
+// a virtual interface, daemons connected by TCP links in a star around a
+// Proxy plus any extra links VADAPT configures, and a forwarding table
+// mapping destination MACs to links or local interfaces.
+//
+// Links carry length-prefixed messages over real TCP sockets. Each frame a
+// link delivers is acknowledged with a cumulative byte count; together with
+// wall-clock timestamps on sends and ACK arrivals, this gives Wren the same
+// (departure, cumulative-ack) stream its kernel extension extracted from
+// TCP itself — the substitution documented in DESIGN.md.
+package vnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types on a VNET link.
+const (
+	msgHello byte = 1 // payload: daemon name (UTF-8)
+	// msgFrame payload: [ttl:1][seq:8][ethernet frame]. seq is the
+	// cumulative payload-byte count before this message; carrying it
+	// explicitly lets the cumulative ACK semantics survive datagram loss
+	// on virtual-UDP links (the ACK is the highest byte seen, so later
+	// frames cover earlier losses, exactly as Wren's analysis expects).
+	msgFrame   byte = 2
+	msgAck     byte = 3 // payload: [highest received payload byte:8]
+	msgControl byte = 4 // payload: opaque control blob (VTTIF/Wren pushes)
+)
+
+// frameHeaderLen is the ttl+seq prefix inside a msgFrame payload.
+const frameHeaderLen = 9
+
+// maxMessage bounds a single link message.
+const maxMessage = 1 << 16
+
+// DefaultTTL is the hop limit stamped on frames entering the overlay;
+// it bounds flooding loops when redundant links exist.
+const DefaultTTL = 8
+
+// writeMessage frames and writes one message.
+func writeMessage(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxMessage {
+		return fmt.Errorf("vnet: message %d bytes exceeds limit", len(payload))
+	}
+	hdr := [5]byte{typ}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMessage reads one message.
+func readMessage(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxMessage {
+		return 0, nil, fmt.Errorf("vnet: message length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

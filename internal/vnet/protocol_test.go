@@ -1,0 +1,171 @@
+package vnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello overlay")
+	if err := writeMessage(&buf, msgFrame, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgFrame || !bytes.Equal(got, payload) {
+		t.Fatalf("typ=%d payload=%q", typ, got)
+	}
+}
+
+func TestMessageEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, msgAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readMessage(&buf)
+	if err != nil || typ != msgAck || len(got) != 0 {
+		t.Fatalf("typ=%d len=%d err=%v", typ, len(got), err)
+	}
+}
+
+func TestMessageOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, msgFrame, make([]byte, maxMessage+1)); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+	// Forged oversize length on the wire is rejected by the reader.
+	buf.Reset()
+	buf.Write([]byte{msgFrame, 0xff, 0xff, 0xff, 0xff})
+	if _, _, err := readMessage(&buf); err == nil {
+		t.Fatal("oversize length accepted by reader")
+	}
+}
+
+func TestMessageTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	writeMessage(&buf, msgFrame, []byte("full message"))
+	raw := buf.Bytes()[:buf.Len()-3] // cut mid-payload
+	_, _, err := readMessage(bytes.NewReader(raw))
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+// dialRaw opens a raw TCP connection to the daemon's listener.
+func dialRaw(t *testing.T, d *Daemon) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", d.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestDaemonRejectsGarbageHandshake(t *testing.T) {
+	d := NewDaemon("victim")
+	if _, err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn := dialRaw(t, d)
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\nlots of garbage that is not a hello"))
+	// The daemon must drop the connection without registering a link.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // closed by daemon (or deadline, checked below)
+		}
+	}
+	if peers := d.Peers(); len(peers) != 0 {
+		t.Fatalf("garbage handshake registered peers: %v", peers)
+	}
+}
+
+func TestDaemonRejectsWrongFirstMessage(t *testing.T) {
+	d := NewDaemon("victim")
+	if _, err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn := dialRaw(t, d)
+	// A well-formed message of the wrong type instead of hello.
+	if err := writeMessage(conn, msgFrame, []byte{8, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(d.Peers()) == 0 {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		t.Fatal("non-hello first message registered a peer")
+	}
+}
+
+func TestDaemonSurvivesMalformedFrames(t *testing.T) {
+	// A properly-handshaked peer that then sends junk frame payloads must
+	// not crash the daemon or corrupt other links.
+	d := NewDaemon("victim")
+	if _, err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn := dialRaw(t, d)
+	if err := writeMessage(conn, msgHello, []byte("attacker")); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := readMessage(conn); err != nil || typ != msgHello {
+		t.Fatalf("handshake reply: typ=%d err=%v", typ, err)
+	}
+	// Frame payload shorter than a TTL byte + Ethernet header.
+	writeMessage(conn, msgFrame, []byte{})
+	writeMessage(conn, msgFrame, []byte{8, 1, 2, 3})
+	// ACK with the wrong length.
+	writeMessage(conn, msgAck, []byte{1, 2, 3})
+	// Unknown message type.
+	writeMessage(conn, 0xEE, []byte("mystery"))
+	// The daemon still functions: a real peer can connect and exchange
+	// traffic afterwards.
+	good := NewDaemon("good")
+	defer good.Close()
+	if _, err := good.Connect(d.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	var sink collector
+	d.AttachVM(ethernet.VMMAC(1), sink.port())
+	good.AddRule(ethernet.VMMAC(1), "victim")
+	good.InjectFrame(&ethernet.Frame{Dst: ethernet.VMMAC(1), Src: ethernet.VMMAC(2), Type: ethernet.TypeApp})
+	waitFor(t, "delivery after malformed traffic", func() bool { return sink.count() == 1 })
+}
+
+func TestHandshakeEmptyNameRejected(t *testing.T) {
+	d := NewDaemon("victim")
+	if _, err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	conn := dialRaw(t, d)
+	if err := writeMessage(conn, msgHello, nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if len(d.Peers()) != 0 {
+		t.Fatal("empty peer name accepted")
+	}
+}
+
+func TestDefaultTTLSane(t *testing.T) {
+	if DefaultTTL < 2 || DefaultTTL > 64 {
+		t.Fatalf("DefaultTTL = %d", DefaultTTL)
+	}
+}

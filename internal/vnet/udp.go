@@ -1,0 +1,239 @@
+package vnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// This file implements "virtual UDP connection" links (paper section 3.1):
+// each VNET message travels as one datagram on a shared per-daemon UDP
+// socket, demultiplexed by remote address. Frame loss is acceptable — the
+// overlay carries Ethernet, which never promised delivery — and the
+// explicit per-frame sequence number keeps the cumulative ACK stream (and
+// thus Wren's analysis) meaningful across losses.
+
+// maxDatagram bounds one UDP message on the wire.
+const maxDatagram = 65000
+
+// Hello flags: a request expects an acknowledgment; an acknowledgment is
+// terminal.
+const (
+	helloRequest byte = 0
+	helloAck     byte = 1
+)
+
+func helloPayload(flag byte, name string) []byte {
+	out := make([]byte, 1+len(name))
+	out[0] = flag
+	copy(out[1:], name)
+	return out
+}
+
+// udpTransport sends link messages as datagrams on the daemon's shared
+// socket.
+type udpTransport struct {
+	sock  *net.UDPConn
+	raddr *net.UDPAddr
+	drop  func() // removes this link from the demux table
+}
+
+func (t *udpTransport) send(typ byte, payload []byte) error {
+	if len(payload)+5 > maxDatagram {
+		return fmt.Errorf("vnet: udp message %d bytes exceeds datagram limit", len(payload))
+	}
+	buf := make([]byte, 5+len(payload))
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[5:], payload)
+	_, err := t.sock.WriteToUDP(buf, t.raddr)
+	return err
+}
+
+func (t *udpTransport) close() {
+	if t.drop != nil {
+		t.drop()
+	}
+}
+
+func (t *udpTransport) kind() string { return "udp" }
+
+// ListenUDP opens the daemon's virtual-UDP endpoint and returns its bound
+// address. A daemon has at most one; ConnectUDP opens it on demand.
+func (d *Daemon) ListenUDP(addr string) (string, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", err
+	}
+	sock, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	if d.closed || d.udpSock != nil {
+		d.mu.Unlock()
+		sock.Close()
+		if d.udpSock != nil {
+			return d.udpSock.LocalAddr().String(), nil
+		}
+		return "", errors.New("vnet: daemon closed")
+	}
+	d.udpSock = sock
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.udpReadLoop(sock)
+	}()
+	return sock.LocalAddr().String(), nil
+}
+
+// UDPAddr returns the daemon's virtual-UDP address, if listening.
+func (d *Daemon) UDPAddr() (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.udpSock == nil {
+		return "", false
+	}
+	return d.udpSock.LocalAddr().String(), true
+}
+
+func (d *Daemon) udpReadLoop(sock *net.UDPConn) {
+	buf := make([]byte, maxDatagram+1)
+	for {
+		n, raddr, err := sock.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 5 {
+			continue
+		}
+		typ := buf[0]
+		ln := binary.BigEndian.Uint32(buf[1:5])
+		if int(ln) != n-5 {
+			continue // malformed datagram framing
+		}
+		payload := append([]byte(nil), buf[5:n]...)
+		key := raddr.String()
+
+		d.mu.RLock()
+		link := d.udpLinks[key]
+		pending := d.udpDials[key]
+		d.mu.RUnlock()
+
+		if typ == msgHello {
+			// Hello datagrams carry [flag][name]: flag 0 is a dial request
+			// (always acknowledged with flag 1), flag 1 is the
+			// acknowledgment (never answered, so retries cannot ping-pong).
+			if len(payload) < 2 {
+				continue
+			}
+			isAck := payload[0] == helloAck
+			peer := string(payload[1:])
+			if peer == "" || peer == d.name {
+				continue
+			}
+			if link == nil {
+				if l := d.acceptUDPLink(sock, raddr, peer, !isAck); l == nil {
+					continue
+				}
+			} else if !isAck {
+				// Retry of a dial we already accepted: re-acknowledge.
+				link.tr.send(msgHello, helloPayload(helloAck, d.name))
+			}
+			if isAck && pending != nil {
+				select {
+				case pending <- peer:
+				default:
+				}
+			}
+			continue
+		}
+		if link == nil {
+			continue // non-hello traffic from an unknown peer
+		}
+		d.handleMessage(link, typ, payload)
+	}
+}
+
+// acceptUDPLink registers a virtual-UDP link for raddr. When reply is
+// true (we are the acceptor) a hello acknowledgment is sent back.
+func (d *Daemon) acceptUDPLink(sock *net.UDPConn, raddr *net.UDPAddr, peer string, reply bool) *Link {
+	key := raddr.String()
+	tr := &udpTransport{sock: sock, raddr: raddr}
+	link := &Link{daemon: d, peer: peer, tr: tr}
+	tr.drop = func() {
+		d.mu.Lock()
+		if d.udpLinks[key] == link {
+			delete(d.udpLinks, key)
+		}
+		d.mu.Unlock()
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.udpLinks[key] = link
+	d.mu.Unlock()
+	if err := d.registerLink(link); err != nil {
+		return nil
+	}
+	if reply {
+		tr.send(msgHello, helloPayload(helloAck, d.name))
+	}
+	return link
+}
+
+// ConnectUDP establishes a virtual-UDP link to a peer daemon's UDP
+// endpoint, opening the local endpoint on an ephemeral port if needed.
+// Hellos are retried because datagrams may be lost.
+func (d *Daemon) ConnectUDP(addr string) (string, error) {
+	d.mu.RLock()
+	sock := d.udpSock
+	d.mu.RUnlock()
+	if sock == nil {
+		if _, err := d.ListenUDP("127.0.0.1:0"); err != nil {
+			return "", err
+		}
+		d.mu.RLock()
+		sock = d.udpSock
+		d.mu.RUnlock()
+	}
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", err
+	}
+	key := raddr.String()
+	reply := make(chan string, 1)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return "", errors.New("vnet: daemon closed")
+	}
+	d.udpDials[key] = reply
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.udpDials, key)
+		d.mu.Unlock()
+	}()
+
+	hello := &udpTransport{sock: sock, raddr: raddr}
+	deadline := time.After(3 * time.Second)
+	for {
+		if err := hello.send(msgHello, helloPayload(helloRequest, d.name)); err != nil {
+			return "", err
+		}
+		select {
+		case peer := <-reply:
+			return peer, nil
+		case <-deadline:
+			return "", fmt.Errorf("vnet: udp handshake with %s timed out", addr)
+		case <-time.After(100 * time.Millisecond):
+			// retry the hello
+		}
+	}
+}

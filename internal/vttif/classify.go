@@ -1,0 +1,97 @@
+package vttif
+
+import "freemeasure/internal/ethernet"
+
+// PatternKind names the application communication patterns VTTIF's
+// companion work recognized from inferred topologies (the BSP benchmarks
+// the paper's evaluation runs: all-to-all, ring/neighbor exchanges, and
+// irregular meshes).
+type PatternKind string
+
+const (
+	PatternEmpty     PatternKind = "empty"
+	PatternAllToAll  PatternKind = "all-to-all"
+	PatternRing      PatternKind = "ring"      // unidirectional cycle
+	PatternNeighbors PatternKind = "neighbors" // bidirectional ring (BSP exchange)
+	PatternMesh      PatternKind = "mesh"      // anything else
+)
+
+// Classify inspects a pruned topology (as returned by Aggregator.Topology)
+// and names its pattern. Classification is structural: it considers only
+// which directed edges exist among the VMs present in the topology.
+func Classify(topo map[Pair]bool) PatternKind {
+	if len(topo) == 0 {
+		return PatternEmpty
+	}
+	vms := map[ethernet.MAC]bool{}
+	out := map[ethernet.MAC]int{}
+	in := map[ethernet.MAC]int{}
+	for p := range topo {
+		vms[p.Src] = true
+		vms[p.Dst] = true
+		out[p.Src]++
+		in[p.Dst]++
+	}
+	n := len(vms)
+	if n < 2 {
+		return PatternMesh
+	}
+	// All-to-all: every ordered pair present.
+	if len(topo) == n*(n-1) {
+		return PatternAllToAll
+	}
+	// Ring: every VM has out-degree 1 and in-degree 1, edges form one cycle.
+	if len(topo) == n && allDegree(vms, out, 1) && allDegree(vms, in, 1) && oneCycle(topo, n) {
+		return PatternRing
+	}
+	// Neighbors: every edge is reciprocated, every VM has exactly two
+	// outgoing edges, and the union forms one cycle (a bidirectional ring).
+	if n > 2 && len(topo) == 2*n && allDegree(vms, out, 2) && allDegree(vms, in, 2) && reciprocated(topo) {
+		return PatternNeighbors
+	}
+	return PatternMesh
+}
+
+func allDegree(vms map[ethernet.MAC]bool, deg map[ethernet.MAC]int, want int) bool {
+	for vm := range vms {
+		if deg[vm] != want {
+			return false
+		}
+	}
+	return true
+}
+
+func reciprocated(topo map[Pair]bool) bool {
+	for p := range topo {
+		if !topo[Pair{Src: p.Dst, Dst: p.Src}] {
+			return false
+		}
+	}
+	return true
+}
+
+// oneCycle checks that following the unique out-edges visits every VM.
+func oneCycle(topo map[Pair]bool, n int) bool {
+	next := map[ethernet.MAC]ethernet.MAC{}
+	var start ethernet.MAC
+	for p := range topo {
+		next[p.Src] = p.Dst
+		start = p.Src
+	}
+	seen := 0
+	cur := start
+	for {
+		nxt, ok := next[cur]
+		if !ok {
+			return false
+		}
+		seen++
+		cur = nxt
+		if cur == start {
+			return seen == n
+		}
+		if seen > n {
+			return false
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package vttif reproduces VTTIF, Virtuoso's virtual topology and traffic
+// inference framework (paper section 3.2). Each VNET daemon counts the
+// Ethernet traffic its local VMs send (Local); the daemons periodically
+// push those local matrices to the Proxy, whose Aggregator maintains a
+// global traffic matrix, applies a low-pass filter over the updates, and
+// recovers the application topology by normalization and pruning. Reaction
+// damping keeps adaptation from oscillating: a topology change is reported
+// only after it persists across several updates.
+package vttif
+
+import (
+	"sort"
+	"sync"
+
+	"freemeasure/internal/ethernet"
+)
+
+// Pair is a directed VM-to-VM edge keyed by MAC addresses.
+type Pair struct {
+	Src, Dst ethernet.MAC
+}
+
+// Local accumulates per-pair byte counts at one VNET daemon. It is written
+// from the daemon's forwarding hot path, so the critical section is a map
+// increment.
+type Local struct {
+	mu    sync.Mutex
+	bytes map[Pair]uint64
+}
+
+// NewLocal returns an empty accumulator.
+func NewLocal() *Local {
+	return &Local{bytes: make(map[Pair]uint64)}
+}
+
+// AddFrame records one frame sent by a local VM.
+func (l *Local) AddFrame(src, dst ethernet.MAC, wireBytes int) {
+	l.mu.Lock()
+	l.bytes[Pair{src, dst}] += uint64(wireBytes)
+	l.mu.Unlock()
+}
+
+// Snapshot returns the accumulated byte counts, resetting them: the local
+// matrix a daemon pushes to the Proxy each reporting period.
+func (l *Local) Snapshot() map[Pair]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.bytes
+	l.bytes = make(map[Pair]uint64)
+	return out
+}
+
+// Config tunes the Aggregator.
+type Config struct {
+	// Alpha is the low-pass EWMA weight applied to each rate update
+	// (default 0.3): a sliding aggregation that keeps momentary bursts
+	// from flapping the inferred topology.
+	Alpha float64
+	// PruneFraction drops matrix entries below this fraction of the
+	// maximum entry when recovering the topology (default 0.1).
+	PruneFraction float64
+	// HoldUpdates is how many consecutive updates a new topology must
+	// persist before it replaces the reported one (default 3) — the
+	// anti-oscillation damping of the paper's earlier work.
+	HoldUpdates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.PruneFraction == 0 {
+		c.PruneFraction = 0.1
+	}
+	if c.HoldUpdates == 0 {
+		c.HoldUpdates = 3
+	}
+	return c
+}
+
+// Aggregator runs at the Proxy: it fuses the daemons' local matrices into
+// the global smoothed traffic matrix and the damped application topology.
+type Aggregator struct {
+	mu    sync.Mutex
+	cfg   Config
+	rates map[Pair]float64 // smoothed bytes/sec
+	owner map[Pair]string  // which daemon reports each pair
+
+	reported     map[Pair]bool // last reported (damped) topology
+	pending      map[Pair]bool
+	pendingCount int
+	changes      uint64
+	updates      uint64
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator(cfg Config) *Aggregator {
+	return &Aggregator{
+		cfg:      cfg.withDefaults(),
+		rates:    make(map[Pair]float64),
+		owner:    make(map[Pair]string),
+		reported: make(map[Pair]bool),
+	}
+}
+
+// Update fuses one daemon's local matrix covering intervalSec seconds.
+// Pairs this daemon reported before but omitted now decay toward zero.
+func (a *Aggregator) Update(from string, local map[Pair]uint64, intervalSec float64) {
+	if intervalSec <= 0 {
+		panic("vttif: non-positive interval")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	alpha := a.cfg.Alpha
+	for p, bytes := range local {
+		rate := float64(bytes) / intervalSec
+		a.rates[p] = alpha*rate + (1-alpha)*a.rates[p]
+		a.owner[p] = from
+	}
+	for p, o := range a.owner {
+		if o != from {
+			continue
+		}
+		if _, ok := local[p]; !ok {
+			a.rates[p] *= 1 - alpha
+			if a.rates[p] < 1 { // below 1 byte/s: gone
+				delete(a.rates, p)
+				delete(a.owner, p)
+			}
+		}
+	}
+	a.updates++
+	a.refreshTopologyLocked()
+}
+
+// rawTopologyLocked prunes the smoothed matrix by PruneFraction of its max.
+func (a *Aggregator) rawTopologyLocked() map[Pair]bool {
+	max := 0.0
+	for _, r := range a.rates {
+		if r > max {
+			max = r
+		}
+	}
+	topo := make(map[Pair]bool)
+	if max == 0 {
+		return topo
+	}
+	threshold := max * a.cfg.PruneFraction
+	for p, r := range a.rates {
+		if r >= threshold {
+			topo[p] = true
+		}
+	}
+	return topo
+}
+
+func sameTopo(a, b map[Pair]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Aggregator) refreshTopologyLocked() {
+	raw := a.rawTopologyLocked()
+	if sameTopo(raw, a.reported) {
+		a.pending = nil
+		a.pendingCount = 0
+		return
+	}
+	if a.pending != nil && sameTopo(raw, a.pending) {
+		a.pendingCount++
+	} else {
+		a.pending = raw
+		a.pendingCount = 1
+	}
+	if a.pendingCount >= a.cfg.HoldUpdates {
+		a.reported = a.pending
+		a.pending = nil
+		a.pendingCount = 0
+		a.changes++
+	}
+}
+
+// Rates returns a copy of the smoothed global traffic matrix (bytes/sec).
+func (a *Aggregator) Rates() map[Pair]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[Pair]float64, len(a.rates))
+	for p, r := range a.rates {
+		out[p] = r
+	}
+	return out
+}
+
+// Topology returns the damped, pruned application topology.
+func (a *Aggregator) Topology() map[Pair]bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[Pair]bool, len(a.reported))
+	for p := range a.reported {
+		out[p] = true
+	}
+	return out
+}
+
+// Changes returns how many topology changes have been reported — the
+// quantity damping keeps small under bursty traffic.
+func (a *Aggregator) Changes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.changes
+}
+
+// Updates returns how many local matrices have been fused.
+func (a *Aggregator) Updates() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.updates
+}
+
+// VMs lists every MAC appearing in the smoothed matrix, sorted by string
+// form, giving a stable index order for matrix renderings.
+func (a *Aggregator) VMs() []ethernet.MAC {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set := make(map[ethernet.MAC]bool)
+	for p := range a.rates {
+		set[p.Src] = true
+		set[p.Dst] = true
+	}
+	out := make([]ethernet.MAC, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Matrix renders the smoothed rates as a dense matrix in the given MAC
+// order, normalized so the largest entry is 1 (all-zero stays zero).
+func (a *Aggregator) Matrix(order []ethernet.MAC) [][]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(order)
+	idx := make(map[ethernet.MAC]int, n)
+	for i, m := range order {
+		idx[m] = i
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	max := 0.0
+	for p, r := range a.rates {
+		si, ok1 := idx[p.Src]
+		di, ok2 := idx[p.Dst]
+		if ok1 && ok2 {
+			out[si][di] = r
+			if r > max {
+				max = r
+			}
+		}
+	}
+	if max > 0 {
+		for i := range out {
+			for j := range out[i] {
+				out[i][j] /= max
+			}
+		}
+	}
+	return out
+}

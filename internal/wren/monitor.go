@@ -1,0 +1,273 @@
+package wren
+
+import (
+	"sort"
+	"sync"
+
+	"freemeasure/internal/pcap"
+)
+
+// Config assembles the online monitor's tunables.
+type Config struct {
+	Scan      ScanConfig
+	SIC       SICConfig
+	Estimator EstimatorConfig
+	// DeferLimit bounds how long a train waits for its ACKs before being
+	// abandoned (ns, default 2 s). ACKs lost to congestion would otherwise
+	// pin pending state forever.
+	DeferLimit int64
+	// MaxPending bounds per-flow buffered records (default 1<<16); beyond
+	// it the oldest pending data is abandoned.
+	MaxPending int
+}
+
+func (c Config) withDefaults() Config {
+	c.Scan = c.Scan.withDefaults()
+	c.SIC = c.SIC.withDefaults()
+	c.Estimator = c.Estimator.withDefaults()
+	if c.DeferLimit == 0 {
+		c.DeferLimit = 2_000_000_000
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 1 << 16
+	}
+	return c
+}
+
+// flowStream buffers one unidirectional connection's pending records.
+type flowStream struct {
+	outs []pcap.Record // unconsumed data departures, time-ordered
+	acks []pcap.Record // pending ACK arrivals, time-ordered
+}
+
+// pathState aggregates all flows to one remote endpoint.
+type pathState struct {
+	bw     *BandwidthEstimator
+	lat    *LatencyEstimator
+	recent []Observation // capped log for the SOAP GetObservations call
+}
+
+// Monitor is Wren's online analysis engine (the user-level daemon): feed it
+// capture records, poll it periodically, query it for per-remote available
+// bandwidth and latency. It is safe for concurrent use, so the same code
+// serves the single-threaded simulator and the multi-goroutine VNET
+// overlay.
+type Monitor struct {
+	mu      sync.Mutex
+	cfg     Config
+	local   string
+	flows   map[pcap.FlowKey]*flowStream
+	paths   map[string]*pathState
+	lastAt  int64 // newest record timestamp seen
+	fedOut  uint64
+	fedAck  uint64
+	emitted uint64
+}
+
+// NewMonitor creates a monitor for the host named local.
+func NewMonitor(local string, cfg Config) *Monitor {
+	return &Monitor{
+		cfg:   cfg.withDefaults(),
+		local: local,
+		flows: make(map[pcap.FlowKey]*flowStream),
+		paths: make(map[string]*pathState),
+	}
+}
+
+// Local returns the monitored host's endpoint name.
+func (m *Monitor) Local() string { return m.local }
+
+// Feed ingests one capture record. Outgoing data packets and incoming ACKs
+// drive the measurement; everything else is ignored (incoming data and
+// outgoing ACKs belong to the reverse path, measured by the peer's Wren).
+func (m *Monitor) Feed(r pcap.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r.At > m.lastAt {
+		m.lastAt = r.At
+	}
+	switch {
+	case r.Dir == pcap.Out && !r.IsAck:
+		fs := m.flow(r.Flow)
+		fs.outs = append(fs.outs, r)
+		m.fedOut++
+		if len(fs.outs) > m.cfg.MaxPending {
+			fs.outs = append(fs.outs[:0], fs.outs[len(fs.outs)-m.cfg.MaxPending/2:]...)
+		}
+	case r.Dir == pcap.In && r.IsAck:
+		// The ACK stream for local->remote data arrives from the remote:
+		// key it under the same (local, remote) flow.
+		key := pcap.FlowKey{Local: r.Flow.Local, Remote: r.Flow.Remote}
+		fs := m.flow(key)
+		fs.acks = append(fs.acks, r)
+		m.fedAck++
+		if len(fs.acks) > m.cfg.MaxPending {
+			fs.acks = append(fs.acks[:0], fs.acks[len(fs.acks)-m.cfg.MaxPending/2:]...)
+		}
+	}
+}
+
+// FeedAll ingests a batch of records.
+func (m *Monitor) FeedAll(rs []pcap.Record) {
+	for _, r := range rs {
+		m.Feed(r)
+	}
+}
+
+func (m *Monitor) flow(key pcap.FlowKey) *flowStream {
+	fs, ok := m.flows[key]
+	if !ok {
+		fs = &flowStream{}
+		m.flows[key] = fs
+	}
+	return fs
+}
+
+func (m *Monitor) path(remote string) *pathState {
+	ps, ok := m.paths[remote]
+	if !ok {
+		ps = &pathState{
+			bw:  NewBandwidthEstimator(m.cfg.Estimator),
+			lat: NewLatencyEstimator(m.cfg.Estimator),
+		}
+		m.paths[remote] = ps
+	}
+	return ps
+}
+
+// Poll runs the analysis over pending traffic and returns the number of new
+// observations produced. Call it periodically (the observation thread of
+// the paper's user-level component).
+func (m *Monitor) Poll() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	produced := 0
+	for key, fs := range m.flows {
+		produced += m.pollFlow(key, fs)
+		if len(fs.outs) == 0 && len(fs.acks) == 0 {
+			delete(m.flows, key)
+		}
+	}
+	return produced
+}
+
+func (m *Monitor) pollFlow(key pcap.FlowKey, fs *flowStream) int {
+	trains, tailStart := ScanTrains(fs.outs, m.lastAt, m.cfg.Scan)
+	produced := 0
+	keepFrom := tailStart
+	for _, tr := range trains {
+		tr := tr
+		obs, status := AnalyzeTrain(&tr, fs.acks, m.cfg.SIC)
+		switch status {
+		case AnalyzeOK:
+			ps := m.path(key.Remote)
+			ps.bw.Add(obs)
+			ps.lat.Add(obs.At, obs.MinRTT)
+			ps.recent = append(ps.recent, obs)
+			if len(ps.recent) > 4*m.cfg.Estimator.Window {
+				ps.recent = append(ps.recent[:0], ps.recent[len(ps.recent)-2*m.cfg.Estimator.Window:]...)
+			}
+			m.emitted++
+			produced++
+		case AnalyzeWaiting:
+			if m.lastAt-tr.End < m.cfg.DeferLimit {
+				// Wait for the ACKs; everything from this train on stays
+				// pending and the scan repeats next poll.
+				idx := m.indexOf(fs.outs, tr.Start)
+				if idx >= 0 && idx < keepFrom {
+					keepFrom = idx
+				}
+			}
+			// Too old: abandon (ACKs lost).
+		case AnalyzeDiscard:
+			// Unusable train; consumed silently.
+		}
+		if keepFrom < tailStart {
+			break // deferred: later trains will be rescanned anyway
+		}
+	}
+	fs.outs = append(fs.outs[:0], fs.outs[keepFrom:]...)
+	// Keep only ACKs that can still match pending data.
+	if len(fs.outs) > 0 {
+		cut := fs.outs[0].At
+		i := sort.Search(len(fs.acks), func(j int) bool { return fs.acks[j].At >= cut })
+		fs.acks = append(fs.acks[:0], fs.acks[i:]...)
+	} else {
+		fs.acks = fs.acks[:0]
+	}
+	return produced
+}
+
+func (m *Monitor) indexOf(outs []pcap.Record, at int64) int {
+	i := sort.Search(len(outs), func(j int) bool { return outs[j].At >= at })
+	if i < len(outs) && outs[i].At == at {
+		return i
+	}
+	return -1
+}
+
+// AvailableBandwidth returns the current estimate toward remote.
+func (m *Monitor) AvailableBandwidth(remote string) (Estimate, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.paths[remote]
+	if !ok {
+		return Estimate{}, false
+	}
+	return ps.bw.Estimate()
+}
+
+// Latency returns the one-way latency estimate toward remote in ms.
+func (m *Monitor) Latency(remote string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.paths[remote]
+	if !ok {
+		return 0, false
+	}
+	return ps.lat.LatencyMs()
+}
+
+// Remotes lists the endpoints with measurement state, sorted.
+func (m *Monitor) Remotes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.paths))
+	for r := range m.paths {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Observations returns the logged observations for remote newer than
+// sinceNs, oldest first — the stream the SOAP interface serves to clients.
+func (m *Monitor) Observations(remote string, sinceNs int64) []Observation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.paths[remote]
+	if !ok {
+		return nil
+	}
+	var out []Observation
+	for _, o := range ps.recent {
+		if o.At > sinceNs {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// MonitorStats reports ingest/emit counters.
+type MonitorStats struct {
+	OutRecords   uint64
+	AckRecords   uint64
+	Observations uint64
+}
+
+// Stats returns the monitor's counters.
+func (m *Monitor) Stats() MonitorStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MonitorStats{OutRecords: m.fedOut, AckRecords: m.fedAck, Observations: m.emitted}
+}

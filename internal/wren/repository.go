@@ -1,0 +1,257 @@
+package wren
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"freemeasure/internal/pcap"
+)
+
+// This file implements the paper's second deployment mode (section 2):
+// instead of analyzing locally, "the packet traces can be filtered for
+// useful observations and transmitted to a remote repository for
+// analysis". A Forwarder runs where the traffic is captured, filters the
+// trace down to the records Wren needs (outgoing data, incoming ACKs) and
+// ships them in batches; the Repository runs one Monitor per origin host
+// and answers the same queries the local mode does.
+
+// traceBatch is the wire unit between Forwarder and Repository.
+type traceBatch struct {
+	Origin  string
+	Records []pcap.Record
+}
+
+// Repository collects remote traces and analyzes them centrally.
+type Repository struct {
+	cfg Config
+
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+	batches  uint64
+	records  uint64
+}
+
+// NewRepository creates an empty repository; monitors are created lazily
+// per origin with cfg.
+func NewRepository(cfg Config) *Repository {
+	return &Repository{cfg: cfg, monitors: make(map[string]*Monitor)}
+}
+
+// Listen accepts forwarder connections on addr and returns the bound
+// address.
+func (r *Repository) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("wren: repository closed")
+	}
+	r.ln = ln
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				defer conn.Close()
+				r.serve(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (r *Repository) serve(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var batch traceBatch
+		if err := dec.Decode(&batch); err != nil {
+			return
+		}
+		if batch.Origin == "" {
+			continue
+		}
+		m := r.monitor(batch.Origin)
+		m.FeedAll(batch.Records)
+		r.mu.Lock()
+		r.batches++
+		r.records += uint64(len(batch.Records))
+		r.mu.Unlock()
+	}
+}
+
+func (r *Repository) monitor(origin string) *Monitor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.monitors[origin]
+	if !ok {
+		m = NewMonitor(origin, r.cfg)
+		r.monitors[origin] = m
+	}
+	return m
+}
+
+// Monitor returns the analysis state for one origin host, if any traces
+// arrived from it.
+func (r *Repository) Monitor(origin string) (*Monitor, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.monitors[origin]
+	return m, ok
+}
+
+// Origins lists hosts that have shipped traces, sorted.
+func (r *Repository) Origins() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.monitors))
+	for o := range r.monitors {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PollAll runs analysis for every origin and returns total new
+// observations.
+func (r *Repository) PollAll() int {
+	r.mu.Lock()
+	ms := make([]*Monitor, 0, len(r.monitors))
+	for _, m := range r.monitors {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	total := 0
+	for _, m := range ms {
+		total += m.Poll()
+	}
+	return total
+}
+
+// Received reports ingest counters (batches, records).
+func (r *Repository) Received() (batches, records uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.batches, r.records
+}
+
+// Close stops the listener and waits for connection handlers.
+func (r *Repository) Close() {
+	r.mu.Lock()
+	r.closed = true
+	ln := r.ln
+	r.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	r.wg.Wait()
+}
+
+// Forwarder ships filtered capture records to a Repository.
+type Forwarder struct {
+	origin string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	batch   []pcap.Record
+	batchSz int
+	sent    uint64
+	dropped uint64 // filtered out (not Wren-relevant)
+	err     error
+}
+
+// DialRepository connects to a repository. batchSize bounds how many
+// records accumulate before a flush (default 128).
+func DialRepository(addr, origin string, batchSize int) (*Forwarder, error) {
+	if origin == "" {
+		return nil, fmt.Errorf("wren: forwarder needs an origin name")
+	}
+	if batchSize <= 0 {
+		batchSize = 128
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Forwarder{
+		origin:  origin,
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		batchSz: batchSize,
+	}, nil
+}
+
+// Feed accepts one capture record, applying the same filter the local
+// monitor does (outgoing data, incoming ACKs) so irrelevant traffic never
+// crosses the network.
+func (f *Forwarder) Feed(r pcap.Record) {
+	relevant := (r.Dir == pcap.Out && !r.IsAck) || (r.Dir == pcap.In && r.IsAck)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !relevant {
+		f.dropped++
+		return
+	}
+	f.batch = append(f.batch, r)
+	if len(f.batch) >= f.batchSz {
+		f.flushLocked()
+	}
+}
+
+// Flush ships any buffered records immediately.
+func (f *Forwarder) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushLocked()
+	return f.err
+}
+
+func (f *Forwarder) flushLocked() {
+	if len(f.batch) == 0 || f.err != nil {
+		return
+	}
+	err := f.enc.Encode(traceBatch{Origin: f.origin, Records: f.batch})
+	if err != nil {
+		f.err = err
+		return
+	}
+	f.sent += uint64(len(f.batch))
+	f.batch = f.batch[:0]
+}
+
+// Stats returns (records shipped, records filtered out).
+func (f *Forwarder) Stats() (sent, filtered uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sent, f.dropped
+}
+
+// Close flushes and closes the connection.
+func (f *Forwarder) Close() error {
+	f.mu.Lock()
+	f.flushLocked()
+	err := f.err
+	conn := f.conn
+	f.mu.Unlock()
+	if cerr := conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,145 @@
+package wren
+
+import (
+	"testing"
+	"time"
+
+	"freemeasure/internal/pcap"
+)
+
+func repoPair(t *testing.T) (*Repository, *Forwarder) {
+	t.Helper()
+	repo := NewRepository(Config{})
+	addr, err := repo.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(repo.Close)
+	fw, err := DialRepository(addr, "origin-1", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fw.Close() })
+	return repo, fw
+}
+
+func waitRepo(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestRepositoryEndToEnd(t *testing.T) {
+	repo, fw := repoPair(t)
+	// A congested synthetic train plus its ACKs, then a closing record.
+	outs := mkOuts(0, 20, 100*us, 1500, 0)
+	acks := mkAcks(outs, func(i int) int64 { return 1000*us + int64(i)*60*us })
+	for _, r := range outs {
+		fw.Feed(r)
+	}
+	for _, r := range acks {
+		fw.Feed(r)
+	}
+	fw.Feed(pcap.Record{At: outs[19].At + 200_000_000, Dir: pcap.In, IsAck: true,
+		Flow: pcap.FlowKey{Local: "a", Remote: "z"}})
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitRepo(t, "records at repository", func() bool {
+		_, recs := repo.Received()
+		return recs == 41
+	})
+	if n := repo.PollAll(); n != 1 {
+		t.Fatalf("PollAll = %d, want 1 observation", n)
+	}
+	m, ok := repo.Monitor("origin-1")
+	if !ok {
+		t.Fatal("origin monitor missing")
+	}
+	est, ok := m.AvailableBandwidth("b")
+	if !ok || est.Kind != EstimateUpperBound {
+		t.Fatalf("est = %+v ok=%v", est, ok)
+	}
+	if got := repo.Origins(); len(got) != 1 || got[0] != "origin-1" {
+		t.Fatalf("origins = %v", got)
+	}
+}
+
+func TestForwarderFilters(t *testing.T) {
+	_, fw := repoPair(t)
+	flow := pcap.FlowKey{Local: "a", Remote: "b"}
+	fw.Feed(pcap.Record{Dir: pcap.Out, Flow: flow, Size: 1500})            // kept
+	fw.Feed(pcap.Record{Dir: pcap.In, IsAck: true, Flow: flow})            // kept
+	fw.Feed(pcap.Record{Dir: pcap.In, Flow: flow, Size: 1500})             // filtered
+	fw.Feed(pcap.Record{Dir: pcap.Out, IsAck: true, Flow: flow, Size: 40}) // filtered
+	fw.Flush()
+	sent, filtered := fw.Stats()
+	if sent != 2 || filtered != 2 {
+		t.Fatalf("sent=%d filtered=%d", sent, filtered)
+	}
+}
+
+func TestForwarderBatching(t *testing.T) {
+	repo, fw := repoPair(t)
+	flow := pcap.FlowKey{Local: "a", Remote: "b"}
+	// batchSize is 32: 31 records stay buffered, the 32nd triggers a send.
+	for i := 0; i < 31; i++ {
+		fw.Feed(pcap.Record{At: int64(i), Dir: pcap.Out, Flow: flow, Size: 1500})
+	}
+	time.Sleep(30 * time.Millisecond)
+	if b, _ := repo.Received(); b != 0 {
+		t.Fatalf("premature flush: %d batches", b)
+	}
+	fw.Feed(pcap.Record{At: 31, Dir: pcap.Out, Flow: flow, Size: 1500})
+	waitRepo(t, "auto flush", func() bool {
+		b, _ := repo.Received()
+		return b == 1
+	})
+}
+
+func TestForwarderCloseFlushes(t *testing.T) {
+	repo, fw := repoPair(t)
+	fw.Feed(pcap.Record{At: 1, Dir: pcap.Out,
+		Flow: pcap.FlowKey{Local: "a", Remote: "b"}, Size: 1500})
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitRepo(t, "flush on close", func() bool {
+		_, recs := repo.Received()
+		return recs == 1
+	})
+}
+
+func TestRepositoryMultipleOrigins(t *testing.T) {
+	repo := NewRepository(Config{})
+	addr, err := repo.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	for _, origin := range []string{"hostA", "hostB"} {
+		fw, err := DialRepository(addr, origin, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Feed(pcap.Record{At: 1, Dir: pcap.Out,
+			Flow: pcap.FlowKey{Local: origin, Remote: "x"}, Size: 1500})
+		fw.Close()
+	}
+	waitRepo(t, "both origins", func() bool { return len(repo.Origins()) == 2 })
+}
+
+func TestDialRepositoryValidation(t *testing.T) {
+	if _, err := DialRepository("127.0.0.1:1", "", 0); err == nil {
+		t.Fatal("empty origin accepted")
+	}
+	if _, err := DialRepository("127.0.0.1:1", "x", 0); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}

@@ -1,0 +1,224 @@
+package wren
+
+import (
+	"sort"
+
+	"freemeasure/internal/pcap"
+)
+
+// Observation is one self-induced-congestion measurement: a train's rate
+// and whether the path showed congestion at that rate.
+type Observation struct {
+	At        int64   // train end timestamp (ns)
+	ISRMbps   float64 // initial sending rate
+	Congested bool    // RTTs increased across the train
+	TrainLen  int
+	MinRTT    int64 // smallest per-packet RTT in the train (ns)
+}
+
+// AnalyzeStatus classifies the outcome of analyzing one train.
+type AnalyzeStatus int
+
+const (
+	// AnalyzeOK: the train produced an observation.
+	AnalyzeOK AnalyzeStatus = iota
+	// AnalyzeWaiting: some packets have no matching ACK yet; retry after
+	// more ACKs arrive.
+	AnalyzeWaiting
+	// AnalyzeDiscard: the train is unusable (retransmissions, ambiguous
+	// trend, RTO-inflated samples).
+	AnalyzeDiscard
+)
+
+// SICConfig tunes the congestion trend test. The two metrics are the
+// pairwise comparison test (PCT: fraction of successive RTT increases) and
+// the pairwise difference test (PDT: net RTT change normalized by total
+// variation), the standard self-induced-congestion statistics.
+type SICConfig struct {
+	PCTCongested   float64 // >= declares increasing (default 0.66)
+	PCTClear       float64 // <= declares flat (default 0.54)
+	PDTCongested   float64 // >= declares increasing (default 0.50)
+	PDTClear       float64 // <= declares flat (default 0.30)
+	MaxRTTInflate  float64 // discard trains whose max/min RTT exceeds this (default 20)
+	MinMatchedFrac float64 // required fraction of packets with RTT samples (default 0.9)
+}
+
+func (c SICConfig) withDefaults() SICConfig {
+	if c.PCTCongested == 0 {
+		c.PCTCongested = 0.66 // pathload's increasing-trend threshold
+	}
+	if c.PCTClear == 0 {
+		c.PCTClear = 0.54 // pathload's no-trend threshold
+	}
+	if c.PDTCongested == 0 {
+		c.PDTCongested = 0.50
+	}
+	if c.PDTClear == 0 {
+		c.PDTClear = 0.30
+	}
+	if c.MaxRTTInflate == 0 {
+		c.MaxRTTInflate = 20
+	}
+	if c.MinMatchedFrac == 0 {
+		c.MinMatchedFrac = 0.9
+	}
+	return c
+}
+
+// MatchRTTs computes per-packet round-trip times for a train against the
+// flow's time-ordered cumulative ACK stream. A data packet's RTT is the
+// delay until the first ACK that (a) covers its last payload byte and (b)
+// arrives after its departure. Packets with no covering ACK yet yield -1.
+func MatchRTTs(train *Train, acks []pcap.Record) (rtts []int64, unmatched int) {
+	rtts = make([]int64, len(train.Packets))
+	for i, p := range train.Packets {
+		rtts[i] = -1
+		target := p.Seq + int64(p.Len)
+		// Cumulative ACK values are nondecreasing over time, so binary
+		// search on Ack finds the earliest covering ACK.
+		idx := sort.Search(len(acks), func(j int) bool { return acks[j].Ack >= target })
+		for idx < len(acks) && acks[idx].At <= p.At {
+			idx++
+		}
+		if idx == len(acks) {
+			unmatched++
+			continue
+		}
+		rtts[i] = acks[idx].At - p.At
+	}
+	return rtts, unmatched
+}
+
+// MaxDupAckRun returns the longest run of duplicate cumulative ACKs whose
+// arrival falls in [from, to]. Three or more duplicates signal packet loss
+// — the congestion signature of a saturated droptail queue, where delay
+// stops growing and SIC's RTT-trend test alone would go blind.
+func MaxDupAckRun(acks []pcap.Record, from, to int64) int {
+	i := sort.Search(len(acks), func(j int) bool { return acks[j].At >= from })
+	run, maxRun := 0, 0
+	var prev int64 = -1
+	for ; i < len(acks) && acks[i].At <= to; i++ {
+		if acks[i].Ack == prev {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+			prev = acks[i].Ack
+		}
+	}
+	return maxRun + 1
+}
+
+// TrendStats holds the two SIC trend metrics for a train's RTT series.
+type TrendStats struct {
+	PCT float64 // fraction of successive increases
+	PDT float64 // (last-first) / total variation
+}
+
+// Trend computes PCT and PDT over the RTT series (entries < 0 are skipped).
+func Trend(rtts []int64) TrendStats {
+	var inc, cmp int
+	var first, last, prev int64 = -1, -1, -1
+	var variation float64
+	for _, r := range rtts {
+		if r < 0 {
+			continue
+		}
+		if first < 0 {
+			first = r
+		}
+		if prev >= 0 {
+			cmp++
+			if r > prev {
+				inc++
+			}
+			d := float64(r - prev)
+			if d < 0 {
+				d = -d
+			}
+			variation += d
+		}
+		prev = r
+		last = r
+	}
+	st := TrendStats{}
+	if cmp > 0 {
+		st.PCT = float64(inc) / float64(cmp)
+	}
+	if variation > 0 {
+		st.PDT = float64(last-first) / variation
+	}
+	return st
+}
+
+// AnalyzeTrain runs the full SIC analysis of one train. acks must be the
+// flow's ACK records in arrival order.
+func AnalyzeTrain(train *Train, acks []pcap.Record, cfg SICConfig) (Observation, AnalyzeStatus) {
+	cfg = cfg.withDefaults()
+	// Retransmissions reorder the sequence space and poison both the ISR
+	// and the RTT matching; skip such trains outright.
+	for i := 1; i < len(train.Packets); i++ {
+		if train.Packets[i].Seq < train.Packets[i-1].Seq+int64(train.Packets[i-1].Len) {
+			return Observation{}, AnalyzeDiscard
+		}
+	}
+	rtts, unmatched := MatchRTTs(train, acks)
+	matchedFrac := 1 - float64(unmatched)/float64(len(train.Packets))
+	if matchedFrac < cfg.MinMatchedFrac {
+		return Observation{}, AnalyzeWaiting
+	}
+	var minRTT, maxRTT int64 = -1, -1
+	lastAck := train.End
+	for i, r := range rtts {
+		if r < 0 {
+			continue
+		}
+		if minRTT < 0 || r < minRTT {
+			minRTT = r
+		}
+		if r > maxRTT {
+			maxRTT = r
+		}
+		if at := train.Packets[i].At + r; at > lastAck {
+			lastAck = at
+		}
+	}
+	if minRTT <= 0 {
+		return Observation{}, AnalyzeDiscard
+	}
+	obs := Observation{
+		At:       train.End,
+		ISRMbps:  train.ISRMbps(),
+		TrainLen: train.Len(),
+		MinRTT:   minRTT,
+	}
+	// Packet loss while the train's ACKs returned (three or more duplicate
+	// cumulative ACKs) means the path could not absorb the train's rate:
+	// on a saturated droptail queue delay stops rising and drops take
+	// over, so loss must count as congestion alongside the RTT trend.
+	loss := MaxDupAckRun(acks, train.Start, lastAck) >= 3
+	if float64(maxRTT) > cfg.MaxRTTInflate*float64(minRTT) {
+		// An RTO or loss recovery inflated a sample by an order of
+		// magnitude; the trend is meaningless. With a loss signal the
+		// verdict is still clear; otherwise discard.
+		if loss {
+			obs.Congested = true
+			return obs, AnalyzeOK
+		}
+		return Observation{}, AnalyzeDiscard
+	}
+	st := Trend(rtts)
+	switch {
+	case loss || st.PCT >= cfg.PCTCongested || st.PDT >= cfg.PDTCongested:
+		obs.Congested = true
+		return obs, AnalyzeOK
+	case st.PCT <= cfg.PCTClear && st.PDT <= cfg.PDTClear:
+		obs.Congested = false
+		return obs, AnalyzeOK
+	default:
+		// Ambiguous trend: neither clearly increasing nor clearly flat.
+		return Observation{}, AnalyzeDiscard
+	}
+}

@@ -1,0 +1,208 @@
+package wren
+
+import (
+	"math"
+	"testing"
+
+	"freemeasure/internal/pcap"
+)
+
+// mkAcks builds the cumulative ACK stream matching outs, each ack arriving
+// rtt(i) after the corresponding departure.
+func mkAcks(outs []pcap.Record, rtt func(i int) int64) []pcap.Record {
+	acks := make([]pcap.Record, len(outs))
+	for i, o := range outs {
+		acks[i] = pcap.Record{
+			At:    o.At + rtt(i),
+			Dir:   pcap.In,
+			Flow:  o.Flow,
+			Size:  40,
+			IsAck: true,
+			Ack:   o.Seq + int64(o.Len),
+		}
+	}
+	return acks
+}
+
+func mustTrain(t *testing.T, outs []pcap.Record) Train {
+	t.Helper()
+	trains, _ := ScanTrains(outs, farFuture, ScanConfig{})
+	if len(trains) != 1 {
+		t.Fatalf("expected 1 train, got %d", len(trains))
+	}
+	return trains[0]
+}
+
+func TestMatchRTTsExact(t *testing.T) {
+	outs := mkOuts(0, 10, 100*us, 1500, 0)
+	acks := mkAcks(outs, func(i int) int64 { return 1000 * us })
+	tr := mustTrain(t, outs)
+	rtts, unmatched := MatchRTTs(&tr, acks)
+	if unmatched != 0 {
+		t.Fatalf("unmatched = %d", unmatched)
+	}
+	for i, r := range rtts {
+		if r != 1000*us {
+			t.Fatalf("rtt[%d] = %d", i, r)
+		}
+	}
+}
+
+func TestMatchRTTsCumulativeAckCoversSeveral(t *testing.T) {
+	outs := mkOuts(0, 6, 100*us, 1500, 0)
+	// One cumulative ACK at the end covers everything.
+	acks := []pcap.Record{{
+		At: outs[5].At + 500*us, IsAck: true, Dir: pcap.In,
+		Ack: outs[5].Seq + int64(outs[5].Len),
+	}}
+	tr := mustTrain(t, outs)
+	rtts, unmatched := MatchRTTs(&tr, acks)
+	if unmatched != 0 {
+		t.Fatalf("unmatched = %d", unmatched)
+	}
+	// The single ack gives each packet rtt = ackAt - departure, strictly
+	// decreasing across the train.
+	for i := 1; i < len(rtts); i++ {
+		if rtts[i] >= rtts[i-1] {
+			t.Fatalf("rtts not decreasing: %v", rtts)
+		}
+	}
+}
+
+func TestMatchRTTsMissingAcks(t *testing.T) {
+	outs := mkOuts(0, 5, 100*us, 1500, 0)
+	acks := mkAcks(outs[:2], func(i int) int64 { return 500 * us })
+	tr := mustTrain(t, outs)
+	_, unmatched := MatchRTTs(&tr, acks)
+	if unmatched != 3 {
+		t.Fatalf("unmatched = %d, want 3", unmatched)
+	}
+}
+
+func TestTrendIncreasing(t *testing.T) {
+	rtts := []int64{100, 110, 120, 130, 140, 150}
+	st := Trend(rtts)
+	if st.PCT != 1 || st.PDT != 1 {
+		t.Fatalf("trend = %+v, want PCT=1 PDT=1", st)
+	}
+}
+
+func TestTrendFlatNoisy(t *testing.T) {
+	rtts := []int64{100, 102, 99, 101, 100, 98, 101, 100}
+	st := Trend(rtts)
+	if st.PCT > 0.55 {
+		t.Fatalf("PCT = %v for flat noise", st.PCT)
+	}
+	if math.Abs(st.PDT) > 0.3 {
+		t.Fatalf("PDT = %v for flat noise", st.PDT)
+	}
+}
+
+func TestTrendSkipsUnmatched(t *testing.T) {
+	rtts := []int64{100, -1, 120, -1, 140}
+	st := Trend(rtts)
+	if st.PCT != 1 || st.PDT != 1 {
+		t.Fatalf("trend with gaps = %+v", st)
+	}
+}
+
+func TestTrendDegenerate(t *testing.T) {
+	if st := Trend(nil); st.PCT != 0 || st.PDT != 0 {
+		t.Fatalf("empty trend = %+v", st)
+	}
+	if st := Trend([]int64{100}); st.PCT != 0 || st.PDT != 0 {
+		t.Fatalf("singleton trend = %+v", st)
+	}
+	// Constant series: no variation, PDT must not divide by zero.
+	if st := Trend([]int64{5, 5, 5}); st.PDT != 0 {
+		t.Fatalf("constant trend = %+v", st)
+	}
+}
+
+func TestAnalyzeTrainCongested(t *testing.T) {
+	outs := mkOuts(0, 10, 100*us, 1500, 0)
+	acks := mkAcks(outs, func(i int) int64 { return 1000*us + int64(i)*80*us })
+	tr := mustTrain(t, outs)
+	obs, status := AnalyzeTrain(&tr, acks, SICConfig{})
+	if status != AnalyzeOK {
+		t.Fatalf("status = %v", status)
+	}
+	if !obs.Congested {
+		t.Fatal("rising RTTs not flagged congested")
+	}
+	if obs.TrainLen != 10 || obs.MinRTT != 1000*us {
+		t.Fatalf("obs = %+v", obs)
+	}
+}
+
+func TestAnalyzeTrainUncongested(t *testing.T) {
+	outs := mkOuts(0, 10, 100*us, 1500, 0)
+	jitter := []int64{3, 2, 3, 1, 2, 0, 1, -1, 0, -2}
+	acks := mkAcks(outs, func(i int) int64 { return 1000*us + jitter[i]*us })
+	tr := mustTrain(t, outs)
+	obs, status := AnalyzeTrain(&tr, acks, SICConfig{})
+	if status != AnalyzeOK {
+		t.Fatalf("status = %v", status)
+	}
+	if obs.Congested {
+		t.Fatal("flat RTTs flagged congested")
+	}
+}
+
+func TestAnalyzeTrainWaitsForAcks(t *testing.T) {
+	outs := mkOuts(0, 10, 100*us, 1500, 0)
+	acks := mkAcks(outs[:5], func(i int) int64 { return 1000 * us })
+	tr := mustTrain(t, outs)
+	_, status := AnalyzeTrain(&tr, acks, SICConfig{})
+	if status != AnalyzeWaiting {
+		t.Fatalf("status = %v, want AnalyzeWaiting", status)
+	}
+}
+
+func TestAnalyzeTrainDiscardsRetransmission(t *testing.T) {
+	outs := mkOuts(0, 10, 100*us, 1500, 0)
+	outs[5].Seq = outs[2].Seq // a retransmitted segment inside the train
+	acks := mkAcks(outs, func(i int) int64 { return 1000 * us })
+	trains, _ := ScanTrains(outs, farFuture, ScanConfig{})
+	if len(trains) != 1 {
+		t.Fatalf("trains = %d", len(trains))
+	}
+	_, status := AnalyzeTrain(&trains[0], acks, SICConfig{})
+	if status != AnalyzeDiscard {
+		t.Fatalf("status = %v, want AnalyzeDiscard", status)
+	}
+}
+
+func TestAnalyzeTrainDiscardsRTOInflation(t *testing.T) {
+	outs := mkOuts(0, 10, 100*us, 1500, 0)
+	acks := mkAcks(outs, func(i int) int64 {
+		if i == 7 {
+			return 300_000 * us // a 300 ms outlier: an RTO, not congestion
+		}
+		return 1000 * us
+	})
+	tr := mustTrain(t, outs)
+	_, status := AnalyzeTrain(&tr, acks, SICConfig{})
+	if status != AnalyzeDiscard {
+		t.Fatalf("status = %v, want AnalyzeDiscard", status)
+	}
+}
+
+func TestAnalyzeTrainAmbiguousDiscarded(t *testing.T) {
+	outs := mkOuts(0, 10, 100*us, 1500, 0)
+	// Alternating with a mild net rise: PCT ~ 0.56 (between the clear-flat
+	// 0.45 and congested 0.60 thresholds) and PDT ~ 0.2 -> ambiguous.
+	rtts := []int64{1000, 1100, 1000, 1100, 1000, 1100, 1050, 1000, 1100, 1150}
+	acks := mkAcks(outs, func(i int) int64 { return rtts[i] * us })
+	tr := mustTrain(t, outs)
+	_, status := AnalyzeTrain(&tr, acks, SICConfig{})
+	if status != AnalyzeDiscard {
+		t.Fatalf("status = %v, want AnalyzeDiscard (ambiguous)", status)
+	}
+}
+
+func TestAnalyzeStatusValues(t *testing.T) {
+	if AnalyzeOK == AnalyzeWaiting || AnalyzeWaiting == AnalyzeDiscard {
+		t.Fatal("status values collide")
+	}
+}

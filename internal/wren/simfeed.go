@@ -1,0 +1,52 @@
+package wren
+
+import (
+	"fmt"
+
+	"freemeasure/internal/pcap"
+	"freemeasure/internal/simnet"
+)
+
+// HostName renders a simulated host ID as a Wren endpoint name.
+func HostName(id simnet.HostID) string { return fmt.Sprintf("host%d", int(id)) }
+
+// AttachSim installs a capture hook on a simulated host that feeds the
+// monitor, exactly as the Wren kernel extension feeds the user-level
+// daemon. Outgoing data packets and incoming ACKs are forwarded; the rest
+// is filtered at the hook to keep the hot path minimal.
+func AttachSim(m *Monitor, net *simnet.Network, host simnet.HostID) {
+	local := HostName(host)
+	net.Host(host).AddCapture(func(pkt *simnet.Packet, at simnet.Time, dir simnet.Direction) {
+		switch {
+		case dir == simnet.Out && !pkt.IsAck:
+			m.Feed(pcap.Record{
+				At:   int64(at),
+				Dir:  pcap.Out,
+				Flow: pcap.FlowKey{Local: local, Remote: HostName(pkt.Dst)},
+				Size: pkt.Size,
+				Seq:  pkt.Seq,
+				Len:  pkt.Len,
+			})
+		case dir == simnet.In && pkt.IsAck:
+			m.Feed(pcap.Record{
+				At:    int64(at),
+				Dir:   pcap.In,
+				Flow:  pcap.FlowKey{Local: local, Remote: HostName(pkt.Src)},
+				Size:  pkt.Size,
+				IsAck: true,
+				Ack:   pkt.Ack,
+			})
+		}
+	})
+}
+
+// StartPolling schedules periodic Poll calls on the simulator clock,
+// mirroring the observation thread of the real user-level daemon.
+func StartPolling(m *Monitor, net *simnet.Network, every simnet.Duration) {
+	var tick func()
+	tick = func() {
+		m.Poll()
+		net.After(every, tick)
+	}
+	net.After(every, tick)
+}

@@ -1,0 +1,234 @@
+package wren
+
+import (
+	"math"
+	"testing"
+
+	"freemeasure/internal/pcap"
+)
+
+const us = int64(1000) // one microsecond in ns
+
+// mkOuts builds n uniform outgoing data records: size bytes, gap ns apart,
+// starting at t0 with sequence numbers from seq0.
+func mkOuts(t0 int64, n int, gap int64, size int, seq0 int64) []pcap.Record {
+	flow := pcap.FlowKey{Local: "a", Remote: "b"}
+	out := make([]pcap.Record, n)
+	seq := seq0
+	for i := range out {
+		out[i] = pcap.Record{
+			At:   t0 + int64(i)*gap,
+			Dir:  pcap.Out,
+			Flow: flow,
+			Size: size,
+			Seq:  seq,
+			Len:  size - 40,
+		}
+		seq += int64(size - 40)
+	}
+	return out
+}
+
+const farFuture = int64(1e15)
+
+func TestScanUniformTrain(t *testing.T) {
+	recs := mkOuts(0, 10, 100*us, 1500, 0)
+	// While the run is fresh it stays pending.
+	trains, tail := ScanTrains(recs, recs[len(recs)-1].At, ScanConfig{})
+	if len(trains) != 0 || tail != 0 {
+		t.Fatalf("fresh run: trains=%d tail=%d, want pending", len(trains), tail)
+	}
+	// Once idle beyond MaxGap it closes.
+	trains, tail = ScanTrains(recs, farFuture, ScanConfig{})
+	if len(trains) != 1 {
+		t.Fatalf("trains = %d, want 1", len(trains))
+	}
+	if tail != len(recs) {
+		t.Fatalf("tail = %d, want %d", tail, len(recs))
+	}
+	tr := trains[0]
+	if tr.Len() != 10 {
+		t.Fatalf("train len = %d", tr.Len())
+	}
+	// ISR: 9 packets of 1500 B over 900 us = 120 Mbit/s.
+	want := 1500.0 * 8 / (100e-6) / 1e6
+	if math.Abs(tr.ISRMbps()-want) > 0.01 {
+		t.Fatalf("ISR = %v, want %v", tr.ISRMbps(), want)
+	}
+}
+
+func TestScanSplitsOnIdleGap(t *testing.T) {
+	a := mkOuts(0, 8, 100*us, 1500, 0)
+	b := mkOuts(a[7].At+100_000_000, 8, 100*us, 1500, a[7].Seq+1460) // 100 ms later
+	recs := append(a, b...)
+	trains, tail := ScanTrains(recs, b[7].At, ScanConfig{})
+	if len(trains) != 1 {
+		t.Fatalf("trains = %d, want 1 (first closed, second pending)", len(trains))
+	}
+	if tail != 8 {
+		t.Fatalf("tail = %d, want 8", tail)
+	}
+}
+
+func TestScanSplitsOnRateChange(t *testing.T) {
+	a := mkOuts(0, 8, 100*us, 1500, 0)
+	// Continue immediately but 8x slower: same flow, period jump breaks the
+	// tolerance band (default band is [mean/2, mean*2]).
+	b := mkOuts(a[7].At+800*us, 8, 800*us, 1500, a[7].Seq+1460)
+	recs := append(a, b...)
+	trains, _ := ScanTrains(recs, farFuture, ScanConfig{})
+	if len(trains) != 2 {
+		t.Fatalf("trains = %d, want 2 (rate change splits)", len(trains))
+	}
+	if r1, r2 := trains[0].ISRMbps(), trains[1].ISRMbps(); r1 < 7*r2 || r1 > 9*r2 {
+		t.Fatalf("ISRs %v and %v should differ 8x", r1, r2)
+	}
+}
+
+func TestScanMergesBurstsIntoTrain(t *testing.T) {
+	// Ack-clocked slow start: pairs back-to-back (12 us apart), pairs every
+	// 200 us. One train spanning all pairs.
+	var recs []pcap.Record
+	seq := int64(0)
+	for p := 0; p < 10; p++ {
+		base := int64(p) * 200 * us
+		for k := 0; k < 2; k++ {
+			recs = append(recs, pcap.Record{
+				At: base + int64(k)*12*us, Dir: pcap.Out,
+				Flow: pcap.FlowKey{Local: "a", Remote: "b"},
+				Size: 1500, Seq: seq, Len: 1460,
+			})
+			seq += 1460
+		}
+	}
+	trains, _ := ScanTrains(recs, farFuture, ScanConfig{})
+	if len(trains) != 1 {
+		t.Fatalf("trains = %d, want 1 merged pair-train", len(trains))
+	}
+	if trains[0].Len() != 20 {
+		t.Fatalf("train len = %d, want 20", trains[0].Len())
+	}
+	// ISR ~ 19*1500*8 B over 1812 us ~ 125 Mbit/s: the flow rate, not the
+	// NIC line rate.
+	isr := trains[0].ISRMbps()
+	if isr < 100 || isr > 150 {
+		t.Fatalf("ISR = %v, want ~126 (flow rate)", isr)
+	}
+}
+
+func TestScanShortRunDropped(t *testing.T) {
+	recs := mkOuts(0, 3, 100*us, 1500, 0)
+	trains, tail := ScanTrains(recs, farFuture, ScanConfig{})
+	if len(trains) != 0 {
+		t.Fatalf("trains = %d, want 0 for 3-packet run", len(trains))
+	}
+	if tail != len(recs) {
+		t.Fatalf("tail = %d; closed short runs must still be consumed", tail)
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	trains, tail := ScanTrains(nil, farFuture, ScanConfig{})
+	if trains != nil || tail != 0 {
+		t.Fatalf("empty scan: %v %d", trains, tail)
+	}
+}
+
+func TestScanMinTrainConfigurable(t *testing.T) {
+	recs := mkOuts(0, 3, 100*us, 1500, 0)
+	trains, _ := ScanTrains(recs, farFuture, ScanConfig{MinTrain: 3})
+	if len(trains) != 1 {
+		t.Fatalf("trains = %d, want 1 with MinTrain=3", len(trains))
+	}
+}
+
+func TestISRZeroSpan(t *testing.T) {
+	tr := Train{Start: 5, End: 5, Bytes: 100}
+	if tr.ISRMbps() != 0 {
+		t.Fatal("zero-span ISR should be 0")
+	}
+}
+
+func TestScanFixedVsVariable(t *testing.T) {
+	// A 23-packet uniform run: the variable scanner forms one maximal
+	// train; fixed length 10 forms 2 trains and wastes 3 packets; fixed
+	// length 30 forms none. This is the section 2.1 ablation.
+	recs := mkOuts(0, 23, 100*us, 1500, 0)
+	variable, _ := ScanTrains(recs, farFuture, ScanConfig{})
+	if len(variable) != 1 || variable[0].Len() != 23 {
+		t.Fatalf("variable scan: %d trains", len(variable))
+	}
+	fixed10 := ScanFixedTrains(recs, farFuture, 10, ScanConfig{})
+	if len(fixed10) != 2 {
+		t.Fatalf("fixed-10 trains = %d, want 2", len(fixed10))
+	}
+	for _, tr := range fixed10 {
+		if tr.Len() != 10 {
+			t.Fatalf("fixed train len = %d", tr.Len())
+		}
+	}
+	fixed30 := ScanFixedTrains(recs, farFuture, 30, ScanConfig{})
+	if len(fixed30) != 0 {
+		t.Fatalf("fixed-30 trains = %d, want 0", len(fixed30))
+	}
+}
+
+func TestScanFixedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length < 2")
+		}
+	}()
+	ScanFixedTrains(nil, 0, 1, ScanConfig{})
+}
+
+func TestScanMaxTrainChopsContinuousStream(t *testing.T) {
+	// A perfectly uniform continuous stream must still yield trains: the
+	// MaxTrain cap chops it.
+	recs := mkOuts(0, 1000, 3_000_000, 1500, 0) // 3 ms apart, never idle
+	trains, tail := ScanTrains(recs, recs[len(recs)-1].At, ScanConfig{MaxTrain: 100})
+	if len(trains) < 9 {
+		t.Fatalf("trains = %d, want ~10 chopped trains", len(trains))
+	}
+	for _, tr := range trains {
+		if tr.Len() > 101 {
+			t.Fatalf("train len %d exceeds cap", tr.Len())
+		}
+		isr := tr.ISRMbps()
+		if isr < 3.5 || isr > 4.5 {
+			t.Fatalf("chopped train ISR = %v, want ~4", isr)
+		}
+	}
+	// Every record is either in an emitted train or pending.
+	covered := 0
+	for _, tr := range trains {
+		covered += tr.Len()
+	}
+	if covered+(len(recs)-tail) != len(recs) {
+		t.Fatalf("coverage: %d in trains + %d pending != %d", covered, len(recs)-tail, len(recs))
+	}
+	// Trains are disjoint and ordered.
+	last := int64(-1)
+	for _, tr := range trains {
+		if tr.Start <= last {
+			t.Fatal("trains overlap or unordered")
+		}
+		last = tr.End
+	}
+}
+
+func TestScanPendingRunKeepsWholeTail(t *testing.T) {
+	// First run closed by rate change; the second, still fresh, must be
+	// fully pending from its first record.
+	a := mkOuts(0, 8, 100*us, 1500, 0)
+	b := mkOuts(a[7].At+800*us, 4, 800*us, 1500, a[7].Seq+1460)
+	recs := append(a, b...)
+	now := b[3].At + 10*us
+	trains, tail := ScanTrains(recs, now, ScanConfig{})
+	if len(trains) != 1 {
+		t.Fatalf("trains = %d, want 1", len(trains))
+	}
+	if tail != 8 {
+		t.Fatalf("tail = %d, want 8 (start of pending run)", tail)
+	}
+}
