@@ -16,8 +16,10 @@ import (
 	"syscall"
 	"time"
 
+	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
 	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
 	"freemeasure/internal/wren"
 )
 
@@ -33,6 +35,7 @@ func main() {
 		forward  = flag.String("forward", "", "also ship filtered traces to a wrenrepod at this address")
 		rate     = flag.Float64("rate", 0, "token-bucket rate limit (Mbit/s) for dialed links; 0 = unlimited")
 		poll     = flag.Duration("poll", 500*time.Millisecond, "Wren analysis poll interval")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (see docs/OPERATIONS.md)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -45,6 +48,19 @@ func main() {
 	monitor := wren.NewMonitor(*name, wren.Config{
 		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 3_000_000},
 	})
+	if *metrics != "" {
+		// Attach instrumentation before any link or traffic exists; a nil
+		// registry would make every collector a free no-op instead.
+		reg := obs.NewRegistry()
+		d.SetMetrics(vnet.NewMetrics(reg))
+		monitor.SetMetrics(wren.NewMonitorMetrics(reg))
+		d.Traffic().SetMetrics(vttif.NewLocalMetrics(reg))
+		maddr, err := obs.Serve(*metrics, reg, nil)
+		if err != nil {
+			log.Fatalf("vnetd: metrics-addr: %v", err)
+		}
+		log.Printf("vnetd %q metrics/pprof on http://%s/metrics", *name, maddr)
+	}
 	if *forward != "" {
 		fw, err := wren.DialRepository(*forward, *name, 0)
 		if err != nil {

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"freemeasure/internal/obs"
 	"freemeasure/internal/wren"
 )
 
@@ -25,12 +26,25 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7000", "address for trace forwarders")
 		httpAddr = flag.String("http", "127.0.0.1:7080", "address for the SOAP/HTTP interface")
 		poll     = flag.Duration("poll", 500*time.Millisecond, "analysis poll interval")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (see docs/OPERATIONS.md)")
 	)
 	flag.Parse()
 
 	repo := wren.NewRepository(wren.Config{
 		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 1_000_000},
 	})
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		repo.SetMetrics(wren.NewRepositoryMetrics(reg))
+		reg.GaugeFunc("wren_repo_origins",
+			"Origin hosts that have shipped traces.",
+			func() float64 { return float64(len(repo.Origins())) })
+		maddr, err := obs.Serve(*metrics, reg, nil)
+		if err != nil {
+			log.Fatalf("wrenrepod: metrics-addr: %v", err)
+		}
+		log.Printf("wrenrepod: metrics/pprof on http://%s/metrics", maddr)
+	}
 	addr, err := repo.Listen(*listen)
 	if err != nil {
 		log.Fatalf("wrenrepod: %v", err)

@@ -13,5 +13,8 @@
 // See DESIGN.md for the system inventory and the per-figure experiment
 // index, EXPERIMENTS.md for paper-vs-measured results, and the examples/
 // directory for runnable entry points. The benchmarks in bench_test.go
-// regenerate every figure of the paper's evaluation section.
+// regenerate every quantitative figure of the paper's evaluation section
+// (Figures 2-4 and 6-11; Figures 1 and 5 are architecture diagrams, not
+// measurements). docs/OPERATIONS.md documents the daemons' runtime
+// metrics and profiling endpoints.
 package freemeasure

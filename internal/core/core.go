@@ -1,13 +1,3 @@
-// Package core assembles the complete system the paper describes: a
-// Virtuoso deployment where VNET carries the VMs' traffic, Wren passively
-// measures the physical paths from that same traffic, VTTIF infers the
-// application's topology and load, and VADAPT uses both views to pick a
-// better configuration — VM-to-host mapping, overlay topology, and
-// forwarding rules — which the system then applies by migrating VMs and
-// editing forwarding tables.
-//
-// The closed loop is: application traffic -> (Wren, VTTIF) -> Proxy's
-// global views -> VADAPT -> migrations + rules -> application runs faster.
 package core
 
 import (

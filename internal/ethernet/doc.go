@@ -1,0 +1,7 @@
+// Package ethernet provides the Ethernet framing VNET forwards: VNET
+// (paper section 3.1) is a layer-2 overlay, so everything it moves between
+// daemons is a raw frame captured from a VM's virtual interface, exactly
+// as a VMM's bridged virtual NIC would emit it. The encoding is classic
+// Ethernet II (dst, src, ethertype, payload) without FCS; VMMAC mints the
+// deterministic locally-administered addresses the simulated VMs use.
+package ethernet

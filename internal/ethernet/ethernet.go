@@ -1,7 +1,3 @@
-// Package ethernet provides the Ethernet framing VNET forwards: VNET is a
-// layer-2 overlay, so everything it moves between daemons is a raw frame
-// captured from a VM's virtual interface. The encoding is classic Ethernet
-// II (dst, src, ethertype, payload) without FCS.
 package ethernet
 
 import (

@@ -1,0 +1,13 @@
+// Package experiments contains one harness per table/figure of the
+// paper's evaluation (sections 2.3, 3.3, and 4.3). Each harness builds the
+// workload, runs it on the appropriate substrate (discrete-event simulator
+// or the real-socket VNET overlay), and returns the same series/rows the
+// paper plots, so the benchmarks in the repository root regenerate the
+// paper's quantitative figures. EXPERIMENTS.md records paper-vs-measured
+// for each.
+//
+// Figure map: fig2.go (Wren vs ground truth under stepped cross traffic),
+// fig3.go (intermittent BSP application), fig4.go (measurement overhead),
+// fig6.go (VTTIF topology inference), fig7.go (reaction damping),
+// fig8measured.go and adapt.go (VADAPT adaptation results, Figures 8-11).
+package experiments

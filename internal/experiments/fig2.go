@@ -1,9 +1,3 @@
-// Package experiments contains one harness per table/figure of the
-// paper's evaluation. Each harness builds the workload, runs it on the
-// appropriate substrate (discrete-event simulator or the real-socket VNET
-// overlay), and returns the same series/rows the paper plots, so the
-// benchmarks in the repository root regenerate every figure. EXPERIMENTS.md
-// records paper-vs-measured for each.
 package experiments
 
 import (

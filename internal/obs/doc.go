@@ -1,0 +1,19 @@
+// Package obs is the reproduction's observability layer: a small,
+// dependency-free metrics subsystem (atomic Counter, Gauge and fixed-bucket
+// Histogram registered in a named Registry, rendered in the Prometheus text
+// exposition format) plus the HTTP operator surface (/metrics, /healthz and
+// the net/http/pprof profiles) that cmd/vnetd and cmd/wrenrepod expose via
+// -metrics-addr.
+//
+// The paper's premise is measurement without perturbation — Wren watches
+// the application's existing traffic instead of probing — and this package
+// applies the same discipline to the system itself: every collector is
+// nil-safe, so instrumented hot paths (wren.Monitor.Feed, the VNET
+// forwarding loop, VTTIF classification, VADAPT annealing) call Inc/Add/
+// Observe unconditionally and pay only a pointer nil check when no
+// registry is attached. Attaching a Registry is the only switch; there is
+// no global state and no allocation on the fast path.
+//
+// docs/OPERATIONS.md documents every exported metric name and a worked
+// curl example against a running vnetd.
+package obs

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// ServeHTTP serves the registry's metrics in Prometheus text format, so a
+// *Registry can be mounted directly as the /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	var b strings.Builder
+	r.Render(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// NewMux builds the operator surface around a registry:
+//
+//	/metrics            Prometheus text exposition of reg
+//	/healthz            200 "ok" (503 + error text when healthy() fails)
+//	/debug/pprof/...    the standard net/http/pprof profiles
+//
+// healthy may be nil, in which case the process is reported healthy
+// whenever it can answer at all. Process-level gauges (goroutines, uptime)
+// are registered on reg as a side effect.
+func NewMux(reg *Registry, healthy func() error) *http.ServeMux {
+	start := time.Now()
+	reg.GaugeFunc("process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the metrics endpoint was created.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the operator surface on addr (e.g. "127.0.0.1:9100" or
+// ":0") in a background goroutine and returns the bound address.
+func Serve(addr string, reg *Registry, healthy func() error) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewMux(reg, healthy)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

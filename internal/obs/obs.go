@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use, and a nil *Counter is a valid no-op: instrumented code holds plain
+// *Counter fields and calls Inc/Add unconditionally, paying only a nil
+// check when no registry is attached.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. Like Counter, a nil *Gauge is
+// a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (cumulative on render,
+// per-bucket internally). A nil *Histogram is a valid no-op. Buckets are
+// fixed at construction; observation is lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n bucket upper bounds starting at start and growing
+// geometrically by factor — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets spans 10 µs to ~10 s, suiting both per-poll analysis
+// latencies and slow control-plane round trips.
+var DefLatencyBuckets = ExpBuckets(10e-6, math.Sqrt(10), 13)
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one (metric name, label set) time series.
+type series struct {
+	labels string // rendered {k="v",...} suffix, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	order  []string
+	series map[string]*series
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. A nil *Registry is valid: every constructor returns a
+// nil collector, so an entire instrumentation tree wired from a nil
+// registry costs nothing at runtime.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelSuffix renders ("k","v",...) pairs as a deterministic {...} suffix.
+func labelSuffix(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key,value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// lookup finds or creates the (family, series) slot for name+labels,
+// enforcing kind consistency. Returns nil when the series is new.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string) (*family, *series) {
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, fam.kind))
+	}
+	ls := labelSuffix(labels)
+	if s, ok := fam.series[ls]; ok {
+		return fam, s
+	}
+	s := &series{labels: ls}
+	fam.series[ls] = s
+	fam.order = append(fam.order, ls)
+	return fam, s
+}
+
+// Counter registers (or returns the already registered) counter name with
+// optional "key", "value" label pairs. On a nil registry it returns nil,
+// which is a valid no-op collector.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s := r.lookup(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or returns the already registered) gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s := r.lookup(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at render
+// time — for values the program already tracks (map sizes, goroutine
+// counts) where mirroring into a Gauge would be racy or wasteful. A
+// duplicate registration keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s := r.lookup(name, help, kindGaugeFunc, labels)
+	if s.fn == nil {
+		s.fn = fn
+	}
+}
+
+// Histogram registers (or returns the already registered) histogram with
+// the given upper bucket bounds (a +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s := r.lookup(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = newHistogram(bounds)
+	}
+	return s.h
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels splices extra into an existing rendered label suffix — used
+// for the per-bucket "le" label.
+func mergeLabels(suffix, extra string) string {
+	if suffix == "" {
+		return "{" + extra + "}"
+	}
+	return suffix[:len(suffix)-1] + "," + extra + "}"
+}
+
+// Render writes every registered metric in Prometheus text exposition
+// format (version 0.0.4), families in registration order, series in
+// creation order within each family.
+func (r *Registry) Render(b *strings.Builder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		fam := r.families[name]
+		fmt.Fprintf(b, "# HELP %s %s\n", fam.name, fam.help)
+		fmt.Fprintf(b, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, ls := range fam.order {
+			s := fam.series[ls]
+			switch fam.kind {
+			case kindCounter:
+				fmt.Fprintf(b, "%s%s %d\n", fam.name, s.labels, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(b, "%s%s %s\n", fam.name, s.labels, formatFloat(s.g.Value()))
+			case kindGaugeFunc:
+				fmt.Fprintf(b, "%s%s %s\n", fam.name, s.labels, formatFloat(s.fn()))
+			case kindHistogram:
+				cum := uint64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					le := mergeLabels(s.labels, `le="`+formatFloat(bound)+`"`)
+					fmt.Fprintf(b, "%s_bucket%s %d\n", fam.name, le, cum)
+				}
+				le := mergeLabels(s.labels, `le="+Inf"`)
+				fmt.Fprintf(b, "%s_bucket%s %d\n", fam.name, le, s.h.Count())
+				fmt.Fprintf(b, "%s_sum%s %s\n", fam.name, s.labels, formatFloat(s.h.Sum()))
+				fmt.Fprintf(b, "%s_count%s %d\n", fam.name, s.labels, s.h.Count())
+			}
+		}
+	}
+}
+
+// String renders the registry to a string (mainly for tests and logs).
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}

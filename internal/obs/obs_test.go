@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCollectorsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+}
+
+func TestNilRegistryMintsNilCollectors(t *testing.T) {
+	var r *Registry
+	if r.Counter("x_total", "h") != nil {
+		t.Fatal("nil registry must return nil counter")
+	}
+	if r.Gauge("x", "h") != nil {
+		t.Fatal("nil registry must return nil gauge")
+	}
+	if r.Histogram("x_seconds", "h", DefLatencyBuckets) != nil {
+		t.Fatal("nil registry must return nil histogram")
+	}
+	r.GaugeFunc("y", "h", func() float64 { return 1 })
+	if got := r.String(); got != "" {
+		t.Fatalf("nil registry renders %q, want empty", got)
+	}
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vnet_frames_forwarded_total", "Frames forwarded to peer daemons.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("vadapt_best_objective", "Best objective value found so far.")
+	g.Set(12.5)
+	want := strings.Join([]string{
+		"# HELP vnet_frames_forwarded_total Frames forwarded to peer daemons.",
+		"# TYPE vnet_frames_forwarded_total counter",
+		"vnet_frames_forwarded_total 42",
+		"# HELP vadapt_best_objective Best objective value found so far.",
+		"# TYPE vadapt_best_objective gauge",
+		"vadapt_best_objective 12.5",
+		"",
+	}, "\n")
+	if got := r.String(); got != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabeledSeriesRenderSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vnet_link_frames_sent_total", "Frames sent per link.", "peer", "hostB", "daemon", "hostA").Inc()
+	r.Counter("vnet_link_frames_sent_total", "Frames sent per link.", "daemon", "hostA", "peer", `we"ird\`).Add(2)
+	out := r.String()
+	if !strings.Contains(out, `vnet_link_frames_sent_total{daemon="hostA",peer="hostB"} 1`) {
+		t.Fatalf("labels not sorted/rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `vnet_link_frames_sent_total{daemon="hostA",peer="we\"ird\\"} 2`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE vnet_link_frames_sent_total") != 1 {
+		t.Fatalf("family header must appear once:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationReturnsSameCollector(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h")
+	b := r.Counter("x_total", "h")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter must share state")
+	}
+	l1 := r.Counter("x_total", "h", "k", "v")
+	l2 := r.Counter("x_total", "h", "k", "w")
+	if l1 == l2 {
+		t.Fatal("different labels must be distinct series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wren_poll_duration_seconds", "Poll latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	out := r.String()
+	for _, line := range []string{
+		"# TYPE wren_poll_duration_seconds histogram",
+		`wren_poll_duration_seconds_bucket{le="0.01"} 1`,
+		`wren_poll_duration_seconds_bucket{le="0.1"} 3`,
+		`wren_poll_duration_seconds_bucket{le="1"} 4`,
+		`wren_poll_duration_seconds_bucket{le="+Inf"} 5`,
+		"wren_poll_duration_seconds_sum 5.605",
+		"wren_poll_duration_seconds_count 5",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", "h", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le="1" is inclusive
+	out := r.String()
+	if !strings.Contains(out, `x_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation must land in its le bucket:\n%s", out)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 3
+	r.GaugeFunc("vnet_links_active", "Live links.", func() float64 { return float64(n) })
+	if !strings.Contains(r.String(), "vnet_links_active 3") {
+		t.Fatal("gauge func not sampled at render")
+	}
+	n = 7
+	if !strings.Contains(r.String(), "vnet_links_active 7") {
+		t.Fatal("gauge func must resample per render")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if diff := b[i]/want[i] - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "h")
+	g := r.Gauge("y", "h")
+	h := r.Histogram("z_seconds", "h", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+				r.Counter("x_total", "h") // concurrent re-lookup
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "h").Inc()
+	srv := httptest.NewServer(NewMux(reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "x_total 1") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+	if !strings.Contains(string(body), "process_goroutines") {
+		t.Fatalf("metrics body missing process gauges:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+func TestMuxUnhealthy(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewMux(reg, func() error { return errTest }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "not ready" }
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("x_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("x_seconds", "h", DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.001)
+	}
+}

@@ -1,9 +1,3 @@
-// Package pcap is the reproduction's stand-in for Wren's kernel-level
-// packet trace facility: it records per-packet headers with precise
-// timestamps at a host's NIC, cheaply enough to stay out of the data path.
-// Records can come from the discrete-event simulator's capture hooks
-// (simulated time) or from instrumented VNET overlay links (wall-clock
-// time); Wren's analyzer consumes both identically.
 package pcap
 
 import (

@@ -1,12 +1,3 @@
-// Package simnet is a deterministic discrete-event network simulator: hosts
-// connected by links with a transmission rate, propagation delay, and a
-// droptail queue. It is the substitute for the paper's physical testbed
-// (NWU/W&M hosts, Nistnet WAN emulation): Wren's self-induced-congestion
-// analysis depends only on queueing physics — a packet train whose rate
-// exceeds the spare bottleneck capacity builds queue, so round-trip times
-// increase across the train — and simnet reproduces exactly that mechanism
-// while also providing the ground-truth available bandwidth the paper could
-// only approximate by polling routers over SNMP.
 package simnet
 
 import "fmt"

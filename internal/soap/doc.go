@@ -1,0 +1,9 @@
+// Package soap implements the minimal subset of SOAP 1.1 that Wren's
+// measurement interface needs (paper section 2.2: Wren "exports the
+// measurements through a SOAP interface" so grid middleware can query
+// them): document-style request/response bodies in a standard envelope
+// over HTTP POST, with SOAP Faults for errors. It is stdlib-only
+// (net/http + encoding/xml) and deliberately tiny — the paper used a
+// 2005-era SOAP toolkit, and clients only ever exchange one body element
+// per call.
+package soap

@@ -1,0 +1,12 @@
+// Package tcpsim models TCP Reno-style transport on top of simnet. Wren's
+// passive self-induced-congestion analysis (paper section 2) works because
+// real TCP emits naturally spaced packet trains at many different rates —
+// slow-start window bursts, ack-clocked runs at the current throughput,
+// restart bursts after idle periods. This model reproduces those
+// mechanisms: slow start, congestion avoidance, fast retransmit/recovery,
+// retransmission timeouts with Karn's algorithm and Jacobson RTT
+// estimation, and congestion-window validation (cwnd decay across idle
+// periods, RFC 2861), which is what regenerates slow-start trains for
+// every message burst of an intermittent application — the paper's key
+// observation about BSP-style workloads (section 2.3, Figure 3).
+package tcpsim

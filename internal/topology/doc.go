@@ -1,0 +1,12 @@
+// Package topology provides directed, weighted network graphs used
+// throughout the reproduction: the physical underlay (e.g. BRITE/Waxman
+// topologies like the paper's section 4.3 evaluation inputs, or the
+// NWU/W&M testbed), and the VNET overlay graphs on which VADAPT's
+// adaptation algorithms run.
+//
+// Every edge carries two weights: available bandwidth (Mbit/s) and one-way
+// latency (ms) — the two path properties Wren measures and VADAPT
+// optimizes (paper equations 1 and 3). Graphs are small (tens to hundreds
+// of nodes), so adjacency lists plus an edge index give simple and fast
+// access.
+package topology

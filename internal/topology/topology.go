@@ -1,11 +1,3 @@
-// Package topology provides directed, weighted network graphs used
-// throughout the reproduction: the physical underlay (e.g. BRITE/Waxman
-// topologies, the NWU/W&M testbed), and the VNET overlay graphs on which
-// VADAPT's adaptation algorithms run.
-//
-// Every edge carries two weights: available bandwidth (Mbit/s) and one-way
-// latency (ms). Graphs are small (tens to hundreds of nodes), so adjacency
-// lists plus an edge index give simple and fast access.
 package topology
 
 import (

@@ -1,0 +1,6 @@
+// Package trace holds the tiny time-series plumbing the experiment
+// harnesses share: named series, CSV rendering, and summary statistics
+// used when comparing measured curves against ground truth — the
+// machinery behind every "measured vs actual" plot reproduced from the
+// paper's evaluation (Figures 2, 3, 6, and 7).
+package trace

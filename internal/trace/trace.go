@@ -1,6 +1,3 @@
-// Package trace holds the tiny time-series plumbing the experiment
-// harnesses share: named series, CSV rendering, and summary statistics
-// used when comparing measured curves against ground truth.
 package trace
 
 import (

@@ -1,0 +1,16 @@
+// Package vadapt reproduces VADAPT, Virtuoso's adaptation engine (paper
+// section 4). Given the application's traffic demands from VTTIF and the
+// physical network's available bandwidth and latency from Wren, it chooses
+// a configuration — a VM-to-host mapping plus a forwarding path for every
+// communicating VM pair — that maximizes the total residual bottleneck
+// bandwidth (equation 1), optionally trading off latency (equation 3).
+// The problem is NP-hard (reduction from edge-disjoint paths, section
+// 4.1), so the package provides the paper's two heuristics (section 4.2):
+// a greedy algorithm built on an adapted widest-path Dijkstra (GH), and
+// simulated annealing (SA), plus an exhaustive enumerator for small
+// instances.
+//
+// Metrics (metrics.go) optionally counts greedy runs, SA iterations and
+// accepted moves, and tracks the best objective seen, via internal/obs;
+// instrumentation never changes the search itself.
+package vadapt

@@ -130,8 +130,14 @@ func GreedyPaths(p *Problem, mapping []topology.NodeID) []topology.Path {
 	return paths
 }
 
-// Greedy runs the full greedy heuristic: mapping, then paths.
-func Greedy(p *Problem) *Config {
+// Greedy runs the full greedy heuristic: mapping, then paths. An optional
+// *Metrics counts the run.
+func Greedy(p *Problem, ms ...*Metrics) *Config {
+	for _, m := range ms {
+		if m != nil {
+			m.GreedyRuns.Inc()
+		}
+	}
 	mapping := GreedyMapping(p)
 	return &Config{Mapping: mapping, Paths: GreedyPaths(p, mapping)}
 }

@@ -1,0 +1,28 @@
+package vadapt
+
+import (
+	"freemeasure/internal/obs"
+)
+
+// Metrics holds the adaptation-search counters. A nil *Metrics (and the
+// zero value) is the uninstrumented state; both are safe to use.
+type Metrics struct {
+	GreedyRuns    *obs.Counter // vadapt_greedy_runs_total
+	SAIterations  *obs.Counter // vadapt_sa_iterations_total
+	SAAccepted    *obs.Counter // vadapt_sa_accepted_total
+	BestObjective *obs.Gauge   // vadapt_best_objective
+}
+
+// NewMetrics registers the adaptation metrics on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		GreedyRuns: reg.Counter("vadapt_greedy_runs_total",
+			"Complete greedy-heuristic (GH) runs."),
+		SAIterations: reg.Counter("vadapt_sa_iterations_total",
+			"Simulated-annealing iterations executed."),
+		SAAccepted: reg.Counter("vadapt_sa_accepted_total",
+			"Simulated-annealing moves accepted (improvements plus Metropolis acceptances)."),
+		BestObjective: reg.Gauge("vadapt_best_objective",
+			"Best objective value found by the most recent search."),
+	}
+}

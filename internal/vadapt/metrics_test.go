@@ -1,0 +1,45 @@
+package vadapt
+
+import (
+	"strings"
+	"testing"
+
+	"freemeasure/internal/obs"
+)
+
+func TestSearchMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	p := challengeProblem()
+	obj := ResidualBW{}
+
+	Greedy(p, met)
+	best, _ := Anneal(p, obj, RandomConfig(p, 1), SAConfig{Iterations: 500, Seed: 2, Metrics: met})
+
+	out := reg.String()
+	if !strings.Contains(out, "vadapt_greedy_runs_total 1") {
+		t.Fatalf("greedy runs not counted:\n%s", out)
+	}
+	if !strings.Contains(out, "vadapt_sa_iterations_total 500") {
+		t.Fatalf("SA iterations not counted:\n%s", out)
+	}
+	if met.SAAccepted.Value() == 0 || met.SAAccepted.Value() > 500 {
+		t.Fatalf("accepted moves = %d, want in (0, 500]", met.SAAccepted.Value())
+	}
+	if got := met.BestObjective.Value(); got != obj.Evaluate(p, best).Score {
+		t.Fatalf("best-objective gauge = %v, want final best %v", got, obj.Evaluate(p, best).Score)
+	}
+}
+
+func TestAnnealWithoutMetricsUnchanged(t *testing.T) {
+	// Identical seeds must produce identical results with and without
+	// instrumentation: the metrics must not touch the search itself.
+	p := challengeProblem()
+	obj := ResidualBW{}
+	plain, _ := Anneal(p, obj, RandomConfig(p, 1), SAConfig{Iterations: 300, Seed: 7})
+	met, _ := Anneal(p, obj, RandomConfig(p, 1), SAConfig{Iterations: 300, Seed: 7,
+		Metrics: NewMetrics(obs.NewRegistry())})
+	if obj.Evaluate(p, plain).Score != obj.Evaluate(p, met).Score {
+		t.Fatal("instrumentation changed the annealing result")
+	}
+}

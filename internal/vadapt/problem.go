@@ -1,13 +1,3 @@
-// Package vadapt reproduces VADAPT, Virtuoso's adaptation engine (paper
-// section 4). Given the application's traffic demands from VTTIF and the
-// physical network's available bandwidth and latency from Wren, it chooses
-// a configuration — a VM-to-host mapping plus a forwarding path for every
-// communicating VM pair — that maximizes the total residual bottleneck
-// bandwidth (equation 1), optionally trading off latency (equation 3).
-// The problem is NP-hard (reduction from edge-disjoint paths), so the
-// package provides the paper's two heuristics: a greedy algorithm built on
-// an adapted widest-path Dijkstra, and simulated annealing, plus an
-// exhaustive enumerator for small instances.
 package vadapt
 
 import (

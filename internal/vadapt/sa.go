@@ -22,6 +22,7 @@ type SAConfig struct {
 	MappingProb float64 // probability an iteration perturbs the mapping, default 0.1
 	TraceEvery  int     // record a trace point every k iterations, default 1
 	Seed        int64
+	Metrics     *Metrics // optional search instrumentation (nil = free)
 }
 
 func (c SAConfig) withDefaults() SAConfig {
@@ -72,24 +73,32 @@ func Anneal(p *Problem, obj Objective, initial *Config, cfg SAConfig) (*Config, 
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	met := cfg.Metrics
+	if met == nil {
+		met = &Metrics{} // zero value: every field is a nil-safe no-op
+	}
 	cur := initial.Clone()
 	curScore := obj.Evaluate(p, cur).Score
 	best := cur.Clone()
 	bestScore := curScore
+	met.BestObjective.Set(bestScore)
 
 	trace := make([]TracePoint, 0, cfg.Iterations/cfg.TraceEvery+1)
 	temp := cfg.InitTemp
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		met.SAIterations.Inc()
 		next := perturb(p, cur, rng, cfg.MappingProb)
 		nextScore := obj.Evaluate(p, next).Score
 		de := nextScore - curScore
 		if de >= 0 || rng.Float64() < math.Exp(de/temp) {
 			cur = next
 			curScore = nextScore
+			met.SAAccepted.Inc()
 		}
 		if curScore > bestScore {
 			best = cur.Clone()
 			bestScore = curScore
+			met.BestObjective.Set(bestScore)
 		}
 		if iter%cfg.TraceEvery == 0 {
 			trace = append(trace, TracePoint{Iter: iter, Current: curScore, Best: bestScore})

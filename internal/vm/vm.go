@@ -1,9 +1,3 @@
-// Package vm provides simulated virtual machines for the VNET overlay: an
-// in-process stand-in for the paper's VMware VMs. A VM owns a MAC address,
-// attaches to a VNET daemon through a virtual NIC (the daemon sees only
-// Ethernet frames, exactly as it would from a real VMM), and runs a
-// traffic-pattern program — the unmodified applications of the paper (BSP
-// neighbor exchange, NAS MultiGrid, all-to-all, ring).
 package vm
 
 import (

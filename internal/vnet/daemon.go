@@ -56,6 +56,7 @@ type Daemon struct {
 	onLinkUp  func(peer string)
 
 	stats DaemonStats
+	met   Metrics
 	wg    sync.WaitGroup
 }
 
@@ -228,7 +229,10 @@ func (d *Daemon) registerLink(link *Link) error {
 	if old, ok := d.links[link.peer]; ok {
 		old.close()
 	}
+	link.mFramesSent, link.mBytesSent = d.met.linkCounters(link.peer)
 	d.links[link.peer] = link
+	d.met.Handshakes.Inc()
+	d.met.LinksOpened.Inc()
 	up := d.onLinkUp
 	d.mu.Unlock()
 	if up != nil {
@@ -244,6 +248,7 @@ func (d *Daemon) dropLink(link *Link) {
 	if d.links[link.peer] == link {
 		delete(d.links, link.peer)
 	}
+	d.met.LinksClosed.Inc()
 	d.mu.Unlock()
 }
 
@@ -380,6 +385,7 @@ func (d *Daemon) InjectFrame(f *ethernet.Frame) {
 	d.traffic.AddFrame(f.Src, f.Dst, f.WireLen())
 	d.mu.Lock()
 	d.stats.FramesFromVMs++
+	d.met.FramesFromVMs.Inc()
 	d.mu.Unlock()
 	d.handleFrame(f, "", DefaultTTL)
 }
@@ -410,6 +416,7 @@ func (d *Daemon) handleFrame(f *ethernet.Frame, fromPeer string, ttl byte) {
 	if isLocal {
 		d.mu.Lock()
 		d.stats.FramesDelivered++
+		d.met.FramesDelivered.Inc()
 		d.mu.Unlock()
 		port(f)
 		return
@@ -433,6 +440,7 @@ func (d *Daemon) forward(f *ethernet.Frame, peer, fromPeer string, ttl byte) {
 		if ttl <= 1 {
 			d.mu.Lock()
 			d.stats.TTLExpired++
+			d.met.TTLExpired.Inc()
 			d.mu.Unlock()
 			return
 		}
@@ -454,6 +462,7 @@ func (d *Daemon) forward(f *ethernet.Frame, peer, fromPeer string, ttl byte) {
 	}
 	d.mu.Lock()
 	d.stats.FramesForwarded++
+	d.met.FramesForwarded.Inc()
 	d.mu.Unlock()
 }
 
@@ -480,6 +489,7 @@ func (d *Daemon) flood(f *ethernet.Frame, fromPeer string, ttl byte) {
 		if ttl <= 1 {
 			d.mu.Lock()
 			d.stats.TTLExpired++
+			d.met.TTLExpired.Inc()
 			d.mu.Unlock()
 			return
 		}
@@ -494,6 +504,7 @@ func (d *Daemon) flood(f *ethernet.Frame, fromPeer string, ttl byte) {
 			if err := link.sendFrame(ttl, raw); err == nil {
 				d.mu.Lock()
 				d.stats.FramesFlooded++
+				d.met.FramesFlooded.Inc()
 				d.mu.Unlock()
 			}
 		}
@@ -503,6 +514,7 @@ func (d *Daemon) flood(f *ethernet.Frame, fromPeer string, ttl byte) {
 func (d *Daemon) drop() {
 	d.mu.Lock()
 	d.stats.FramesDropped++
+	d.met.FramesDropped.Inc()
 	d.mu.Unlock()
 }
 

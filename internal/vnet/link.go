@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
 )
 
@@ -54,6 +55,11 @@ type Link struct {
 	sentBytes  int64
 	recvBytes  int64
 	ackedBytes int64
+
+	// Per-peer metric series, minted at registration (nil when the daemon
+	// is uninstrumented).
+	mFramesSent *obs.Counter
+	mBytesSent  *obs.Counter
 
 	mu     sync.Mutex
 	stats  LinkStats
@@ -128,6 +134,9 @@ func (l *Link) sendFrame(ttl byte, frame []byte) error {
 	l.stats.FramesSent++
 	l.stats.BytesSent += uint64(len(payload))
 	l.mu.Unlock()
+	l.mFramesSent.Inc()
+	l.mBytesSent.Add(uint64(len(payload)))
+	l.daemon.met.BytesSent.Add(uint64(len(payload)))
 	l.daemon.feedWren(pcap.Record{
 		At:   time.Now().UnixNano(),
 		Dir:  pcap.Out,

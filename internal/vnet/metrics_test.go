@@ -1,0 +1,102 @@
+package vnet
+
+import (
+	"strings"
+	"testing"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
+)
+
+func TestDaemonMetricsOverTCPLinks(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewDaemon("a")
+	b := NewDaemon("b")
+	a.SetMetrics(NewMetrics(reg))
+	addrB, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Connect(addrB); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	waitFor(t, "handshake", func() bool {
+		_, okA := a.Link("b")
+		_, okB := b.Link("a")
+		return okA && okB
+	})
+
+	dst := ethernet.VMMAC(2)
+	var sink collector
+	b.AttachVM(dst, sink.port())
+	a.AddRule(dst, "b")
+	for i := 0; i < 3; i++ {
+		a.InjectFrame(&ethernet.Frame{Dst: dst, Src: ethernet.VMMAC(1),
+			Type: ethernet.TypeApp, Payload: []byte("hi")})
+	}
+	waitFor(t, "frame delivery", func() bool { return sink.count() == 3 })
+	// An unroutable destination counts as a drop.
+	a.InjectFrame(&ethernet.Frame{Dst: ethernet.VMMAC(9), Src: ethernet.VMMAC(1),
+		Type: ethernet.TypeApp, Payload: []byte("lost")})
+
+	out := reg.String()
+	for _, line := range []string{
+		"vnet_frames_from_vms_total 4",
+		"vnet_frames_forwarded_total 3",
+		"vnet_frames_dropped_total 1",
+		"vnet_handshakes_total 1",
+		"vnet_link_up_total 1",
+		`vnet_links_active{daemon="a"} 1`,
+		`vnet_link_frames_sent_total{peer="b"} 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("metrics missing %q:\n%s", line, out)
+		}
+	}
+	if strings.Contains(out, "vnet_bytes_sent_total 0") {
+		t.Fatalf("bytes-sent counter never moved:\n%s", out)
+	}
+}
+
+func TestDaemonMetricsOverUDPLinks(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewDaemon("a")
+	b := NewDaemon("b")
+	a.SetMetrics(NewMetrics(reg))
+	addrB, err := b.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ConnectUDP(addrB); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+
+	dst := ethernet.VMMAC(2)
+	var sink collector
+	b.AttachVM(dst, sink.port())
+	a.AddRule(dst, "b")
+	a.InjectFrame(&ethernet.Frame{Dst: dst, Src: ethernet.VMMAC(1),
+		Type: ethernet.TypeApp, Payload: []byte("hi")})
+	waitFor(t, "frame delivery", func() bool { return sink.count() == 1 })
+	waitFor(t, "udp counters", func() bool {
+		out := reg.String()
+		return strings.Contains(out, "vnet_udp_datagrams_tx_total") &&
+			!strings.Contains(out, "vnet_udp_datagrams_tx_total 0") &&
+			!strings.Contains(out, "vnet_udp_datagrams_rx_total 0")
+	})
+}
+
+func TestUninstrumentedDaemonStillWorks(t *testing.T) {
+	// The zero-value Metrics (no SetMetrics call at all) must leave the
+	// forwarding path untouched — this is the allocation-free default.
+	a, b := pairT(t)
+	dst := ethernet.VMMAC(2)
+	var sink collector
+	b.AttachVM(dst, sink.port())
+	a.AddRule(dst, "b")
+	a.InjectFrame(&ethernet.Frame{Dst: dst, Src: ethernet.VMMAC(1),
+		Type: ethernet.TypeApp, Payload: []byte("hi")})
+	waitFor(t, "frame delivery", func() bool { return sink.count() == 1 })
+}

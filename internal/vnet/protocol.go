@@ -1,14 +1,3 @@
-// Package vnet reproduces VNET, Virtuoso's layer-2 overlay network (paper
-// section 3.1): one daemon per host, each VM attached to its daemon through
-// a virtual interface, daemons connected by TCP links in a star around a
-// Proxy plus any extra links VADAPT configures, and a forwarding table
-// mapping destination MACs to links or local interfaces.
-//
-// Links carry length-prefixed messages over real TCP sockets. Each frame a
-// link delivers is acknowledged with a cumulative byte count; together with
-// wall-clock timestamps on sends and ACK arrivals, this gives Wren the same
-// (departure, cumulative-ack) stream its kernel extension extracted from
-// TCP itself — the substitution documented in DESIGN.md.
 package vnet
 
 import (

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"freemeasure/internal/obs"
 )
 
 // This file implements "virtual UDP connection" links (paper section 3.1):
@@ -37,7 +39,8 @@ func helloPayload(flag byte, name string) []byte {
 type udpTransport struct {
 	sock  *net.UDPConn
 	raddr *net.UDPAddr
-	drop  func() // removes this link from the demux table
+	drop  func()       // removes this link from the demux table
+	tx    *obs.Counter // datagrams-sent series (nil when uninstrumented)
 }
 
 func (t *udpTransport) send(typ byte, payload []byte) error {
@@ -49,6 +52,7 @@ func (t *udpTransport) send(typ byte, payload []byte) error {
 	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
 	copy(buf[5:], payload)
 	_, err := t.sock.WriteToUDP(buf, t.raddr)
+	t.tx.Inc()
 	return err
 }
 
@@ -107,12 +111,15 @@ func (d *Daemon) udpReadLoop(sock *net.UDPConn) {
 		if err != nil {
 			return
 		}
+		d.met.UDPDatagramsRx.Inc()
 		if n < 5 {
+			d.met.UDPMalformed.Inc()
 			continue
 		}
 		typ := buf[0]
 		ln := binary.BigEndian.Uint32(buf[1:5])
 		if int(ln) != n-5 {
+			d.met.UDPMalformed.Inc()
 			continue // malformed datagram framing
 		}
 		payload := append([]byte(nil), buf[5:n]...)
@@ -162,7 +169,7 @@ func (d *Daemon) udpReadLoop(sock *net.UDPConn) {
 // true (we are the acceptor) a hello acknowledgment is sent back.
 func (d *Daemon) acceptUDPLink(sock *net.UDPConn, raddr *net.UDPAddr, peer string, reply bool) *Link {
 	key := raddr.String()
-	tr := &udpTransport{sock: sock, raddr: raddr}
+	tr := &udpTransport{sock: sock, raddr: raddr, tx: d.met.UDPDatagramsTx}
 	link := &Link{daemon: d, peer: peer, tr: tr}
 	tr.drop = func() {
 		d.mu.Lock()
@@ -221,7 +228,7 @@ func (d *Daemon) ConnectUDP(addr string) (string, error) {
 		d.mu.Unlock()
 	}()
 
-	hello := &udpTransport{sock: sock, raddr: raddr}
+	hello := &udpTransport{sock: sock, raddr: raddr, tx: d.met.UDPDatagramsTx}
 	deadline := time.After(3 * time.Second)
 	for {
 		if err := hello.send(msgHello, helloPayload(helloRequest, d.name)); err != nil {

@@ -1,0 +1,11 @@
+// Package vsched reproduces VSched (Lin & Dinda, SC'05), the host
+// resource-reservation substrate Virtuoso relies on for configuration
+// element 4 of the paper's adaptation problem (section 4: "the choice of
+// resource reservations on the network and the hosts, if available"):
+// periodic real-time scheduling of VMs. A VM reserves (slice, period) —
+// "slice units of CPU every period" — admission control keeps each host's
+// total utilization feasible, and an earliest-deadline-first (EDF)
+// simulator verifies that every admitted VM meets every deadline, which is
+// the classic EDF guarantee for implicit-deadline tasks at utilization
+// <= 1.
+package vsched

@@ -1,0 +1,14 @@
+// Package vttif reproduces VTTIF, Virtuoso's virtual topology and traffic
+// inference framework (paper section 3.2). Each VNET daemon counts the
+// Ethernet traffic its local VMs send (Local); the daemons periodically
+// push those local matrices to the Proxy, whose Aggregator maintains a
+// global traffic matrix, applies a low-pass filter over the updates, and
+// recovers the application topology by normalization and pruning. Reaction
+// damping keeps adaptation from oscillating: a topology change is reported
+// only after it persists across several updates (the paper's smoothing
+// interval and detection threshold).
+//
+// LocalMetrics and AggregatorMetrics (metrics.go) export classification
+// and inference counters via internal/obs; uninstrumented instances pay
+// nothing.
+package vttif

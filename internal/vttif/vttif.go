@@ -1,11 +1,3 @@
-// Package vttif reproduces VTTIF, Virtuoso's virtual topology and traffic
-// inference framework (paper section 3.2). Each VNET daemon counts the
-// Ethernet traffic its local VMs send (Local); the daemons periodically
-// push those local matrices to the Proxy, whose Aggregator maintains a
-// global traffic matrix, applies a low-pass filter over the updates, and
-// recovers the application topology by normalization and pruning. Reaction
-// damping keeps adaptation from oscillating: a topology change is reported
-// only after it persists across several updates.
 package vttif
 
 import (
@@ -26,6 +18,7 @@ type Pair struct {
 type Local struct {
 	mu    sync.Mutex
 	bytes map[Pair]uint64
+	met   LocalMetrics
 }
 
 // NewLocal returns an empty accumulator.
@@ -37,6 +30,8 @@ func NewLocal() *Local {
 func (l *Local) AddFrame(src, dst ethernet.MAC, wireBytes int) {
 	l.mu.Lock()
 	l.bytes[Pair{src, dst}] += uint64(wireBytes)
+	l.met.FramesClassified.Inc()
+	l.met.BytesClassified.Add(uint64(wireBytes))
 	l.mu.Unlock()
 }
 
@@ -91,6 +86,7 @@ type Aggregator struct {
 	pendingCount int
 	changes      uint64
 	updates      uint64
+	met          AggregatorMetrics
 }
 
 // NewAggregator returns an empty aggregator.
@@ -126,10 +122,12 @@ func (a *Aggregator) Update(from string, local map[Pair]uint64, intervalSec floa
 			if a.rates[p] < 1 { // below 1 byte/s: gone
 				delete(a.rates, p)
 				delete(a.owner, p)
+				a.met.PairsPruned.Inc()
 			}
 		}
 	}
 	a.updates++
+	a.met.MatrixUpdates.Inc()
 	a.refreshTopologyLocked()
 }
 
@@ -184,6 +182,7 @@ func (a *Aggregator) refreshTopologyLocked() {
 		a.pending = nil
 		a.pendingCount = 0
 		a.changes++
+		a.met.TopologyChanges.Inc()
 	}
 }
 

@@ -3,6 +3,7 @@ package wren
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"freemeasure/internal/pcap"
 )
@@ -62,6 +63,7 @@ type Monitor struct {
 	fedOut  uint64
 	fedAck  uint64
 	emitted uint64
+	met     MonitorMetrics
 }
 
 // NewMonitor creates a monitor for the host named local.
@@ -83,6 +85,7 @@ func (m *Monitor) Local() string { return m.local }
 func (m *Monitor) Feed(r pcap.Record) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.met.RecordsFed.Inc()
 	if r.At > m.lastAt {
 		m.lastAt = r.At
 	}
@@ -141,6 +144,11 @@ func (m *Monitor) path(remote string) *pathState {
 func (m *Monitor) Poll() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.met.PollSeconds != nil {
+		defer func(start time.Time) {
+			m.met.PollSeconds.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	produced := 0
 	for key, fs := range m.flows {
 		produced += m.pollFlow(key, fs)
@@ -158,6 +166,9 @@ func (m *Monitor) pollFlow(key pcap.FlowKey, fs *flowStream) int {
 	for _, tr := range trains {
 		tr := tr
 		obs, status := AnalyzeTrain(&tr, fs.acks, m.cfg.SIC)
+		// A train counts as formed when it resolves (observation, discard,
+		// or abandonment) — deferred trains are rescanned next poll and
+		// would otherwise be counted repeatedly.
 		switch status {
 		case AnalyzeOK:
 			ps := m.path(key.Remote)
@@ -169,6 +180,13 @@ func (m *Monitor) pollFlow(key pcap.FlowKey, fs *flowStream) int {
 			}
 			m.emitted++
 			produced++
+			m.met.TrainsFormed.Inc()
+			m.met.EstimatesPublished.Inc()
+			if obs.Congested {
+				m.met.SICIncreasing.Inc()
+			} else {
+				m.met.SICNonIncreasing.Inc()
+			}
 		case AnalyzeWaiting:
 			if m.lastAt-tr.End < m.cfg.DeferLimit {
 				// Wait for the ACKs; everything from this train on stays
@@ -177,10 +195,15 @@ func (m *Monitor) pollFlow(key pcap.FlowKey, fs *flowStream) int {
 				if idx >= 0 && idx < keepFrom {
 					keepFrom = idx
 				}
+			} else {
+				// Too old: abandon (ACKs lost).
+				m.met.TrainsFormed.Inc()
+				m.met.SICDiscarded.Inc()
 			}
-			// Too old: abandon (ACKs lost).
 		case AnalyzeDiscard:
 			// Unusable train; consumed silently.
+			m.met.TrainsFormed.Inc()
+			m.met.SICDiscarded.Inc()
 		}
 		if keepFrom < tailStart {
 			break // deferred: later trains will be rescanned anyway

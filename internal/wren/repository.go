@@ -35,6 +35,7 @@ type Repository struct {
 	wg       sync.WaitGroup
 	batches  uint64
 	records  uint64
+	met      RepositoryMetrics
 }
 
 // NewRepository creates an empty repository; monitors are created lazily
@@ -92,6 +93,8 @@ func (r *Repository) serve(conn net.Conn) {
 		r.mu.Lock()
 		r.batches++
 		r.records += uint64(len(batch.Records))
+		r.met.Batches.Inc()
+		r.met.Records.Add(uint64(len(batch.Records)))
 		r.mu.Unlock()
 	}
 }
@@ -102,6 +105,7 @@ func (r *Repository) monitor(origin string) *Monitor {
 	m, ok := r.monitors[origin]
 	if !ok {
 		m = NewMonitor(origin, r.cfg)
+		m.SetMetrics(r.met.monitor)
 		r.monitors[origin] = m
 	}
 	return m

@@ -1,20 +1,3 @@
-// Package wren reproduces the Wren passive network measurement system: it
-// turns kernel-level packet traces of an application's own TCP traffic into
-// available-bandwidth and latency estimates, with no probe traffic at all.
-//
-// The pipeline is the paper's (sections 2 and 2.1):
-//
-//  1. Group outgoing data packets into trains — maximal runs of packets
-//     with consistent inter-departure spacing (the online improvement over
-//     the earlier fixed-size bursts).
-//  2. Compute each train's initial sending rate (ISR).
-//  3. Match the returning cumulative ACKs to the train's packets and
-//     recover per-packet round-trip times.
-//  4. Apply the self-induced congestion test: an increasing RTT trend
-//     across the train means the train's rate exceeded the path's
-//     available bandwidth (queues were building).
-//  5. Aggregate many (ISR, congested?) observations into an estimate: the
-//     rate that best separates congested from uncongested trains.
 package wren
 
 import (
