@@ -1,7 +1,9 @@
 // vadaptctl runs the adaptation algorithms over a JSON problem
-// specification read from a file or stdin.
+// specification read from a file or stdin, either as a one-shot solve or
+// as a live control loop sensing Wren SOAP services.
 //
 //	vadaptctl -algorithm sa+gh -iterations 10000 problem.json
+//	vadaptctl -live http://h1:8001/,http://h2:8002/ -interval 2s problem.json
 //
 // Specification format:
 //
@@ -10,7 +12,8 @@
 //	  "links": [{"from": 0, "to": 1, "bw": 100, "latency": 1}, ...],
 //	  "complete": {"bw": 100, "latency": 1},   // optional: full mesh default
 //	  "vms": 2,
-//	  "demands": [{"src": 0, "dst": 1, "rate": 5}]
+//	  "demands": [{"src": 0, "dst": 1, "rate": 5}],
+//	  "mapping": [0, 2]                        // optional: current VM placement (-live)
 //	}
 package main
 
@@ -21,7 +24,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
+	"freemeasure/internal/control"
 	"freemeasure/internal/topology"
 	"freemeasure/internal/vadapt"
 )
@@ -48,15 +55,16 @@ type problemSpec struct {
 	} `json:"complete"`
 	VMs     int          `json:"vms"`
 	Demands []demandSpec `json:"demands"`
+	Mapping []int        `json:"mapping"`
 }
 
-func load(r io.Reader) (*vadapt.Problem, error) {
+func load(r io.Reader) (*vadapt.Problem, *problemSpec, error) {
 	var spec problemSpec
 	if err := json.NewDecoder(r).Decode(&spec); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(spec.Hosts) == 0 {
-		return nil, fmt.Errorf("no hosts")
+		return nil, nil, fmt.Errorf("no hosts")
 	}
 	var g *topology.Graph
 	if spec.Complete != nil {
@@ -79,16 +87,95 @@ func load(r io.Reader) (*vadapt.Problem, error) {
 		})
 	}
 	p.Validate()
-	return p, nil
+	return p, &spec, nil
+}
+
+// currentMapping resolves the spec's optional "mapping" field; VM i lives
+// on host i when it is absent.
+func currentMapping(p *vadapt.Problem, spec *problemSpec) ([]topology.NodeID, error) {
+	mapping := make([]topology.NodeID, p.NumVMs)
+	if len(spec.Mapping) == 0 {
+		for i := range mapping {
+			mapping[i] = topology.NodeID(i % len(spec.Hosts))
+		}
+		return mapping, nil
+	}
+	if len(spec.Mapping) != p.NumVMs {
+		return nil, fmt.Errorf("mapping has %d entries for %d VMs", len(spec.Mapping), p.NumVMs)
+	}
+	for i, h := range spec.Mapping {
+		if h < 0 || h >= len(spec.Hosts) {
+			return nil, fmt.Errorf("mapping[%d] = %d out of range", i, h)
+		}
+		mapping[i] = topology.NodeID(h)
+	}
+	return mapping, nil
+}
+
+// runLive senses the problem from the hosts' Wren SOAP services and runs
+// the sense->decide loop, logging each decided plan (dry-run: vadaptctl
+// has no overlay to reconfigure). The spec supplies the host list, VM
+// count, demands and current mapping; bandwidth and latency come from the
+// live measurements.
+func runLive(p *vadapt.Problem, spec *problemSpec, obj vadapt.Objective,
+	endpoints string, interval time.Duration, cycles, iters int, seed int64) error {
+	eps := strings.Split(endpoints, ",")
+	for i := range eps {
+		eps[i] = strings.TrimSpace(eps[i])
+	}
+	if len(eps) != len(spec.Hosts) {
+		return fmt.Errorf("-live lists %d endpoints for %d hosts", len(eps), len(spec.Hosts))
+	}
+	mapping, err := currentMapping(p, spec)
+	if err != nil {
+		return err
+	}
+	ctl, err := control.New(control.Config{
+		Source: &control.SOAPSource{
+			Hosts:     spec.Hosts,
+			Endpoints: eps,
+			NumVMs:    p.NumVMs,
+			Demands:   p.Demands,
+			Mapping:   mapping,
+		},
+		Applier:   control.LogApplier{Logf: log.Printf},
+		Objective: obj,
+		SA:        vadapt.SAConfig{Iterations: iters, Seed: seed},
+		Interval:  interval,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for n := 0; cycles == 0 || n < cycles; n++ {
+		res := ctl.RunCycle()
+		fmt.Println(res.Summary())
+		if cycles != 0 && n == cycles-1 {
+			break
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+	}
+	return nil
 }
 
 func main() {
 	var (
-		algo    = flag.String("algorithm", "gh", "gh | sa | sa+gh | enum")
-		iters   = flag.Int("iterations", 10000, "annealing iterations")
-		seed    = flag.Int64("seed", 1, "annealing seed")
-		latC    = flag.Float64("latency-c", 0, "use the bandwidth+latency objective with this constant (0 = bandwidth only)")
-		verbose = flag.Bool("v", false, "print paths")
+		algo     = flag.String("algorithm", "gh", "gh | sa | sa+gh | enum")
+		iters    = flag.Int("iterations", 10000, "annealing iterations")
+		seed     = flag.Int64("seed", 1, "annealing seed")
+		latC     = flag.Float64("latency-c", 0, "use the bandwidth+latency objective with this constant (0 = bandwidth only)")
+		verbose  = flag.Bool("v", false, "print paths")
+		live     = flag.String("live", "", "comma-separated Wren SOAP endpoints (one per host): run the control loop over live measurements instead of a one-shot solve")
+		interval = flag.Duration("interval", 2*time.Second, "cycle period in -live mode")
+		cycles   = flag.Int("cycles", 0, "stop after this many -live cycles (0 = until interrupted)")
 	)
 	flag.Parse()
 
@@ -101,13 +188,20 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	p, err := load(in)
+	p, spec, err := load(in)
 	if err != nil {
 		log.Fatalf("vadaptctl: %v", err)
 	}
 	var obj vadapt.Objective = vadapt.ResidualBW{}
 	if *latC > 0 {
 		obj = vadapt.BWLatency{C: *latC}
+	}
+
+	if *live != "" {
+		if err := runLive(p, spec, obj, *live, *interval, *cycles, *iters, *seed); err != nil {
+			log.Fatalf("vadaptctl: %v", err)
+		}
+		return
 	}
 
 	var cfg *vadapt.Config

@@ -1,8 +1,10 @@
 // vnetd runs a standalone VNET daemon: it listens for overlay links,
 // optionally dials a proxy, and serves its Wren measurements over SOAP.
+// A hub daemon can additionally collect the peers' VTTIF/Wren control
+// reports into a global view and run the adaptation controller over it.
 //
-//	vnetd -name hostA -listen 127.0.0.1:9001 -soap 127.0.0.1:8001
-//	vnetd -name hostB -listen 127.0.0.1:9002 -connect 127.0.0.1:9001 -default-route hostA
+//	vnetd -name hostA -listen 127.0.0.1:9001 -hub -controller
+//	vnetd -name hostB -listen 127.0.0.1:9002 -connect 127.0.0.1:9001 -default-route hostA -report 250ms
 package main
 
 import (
@@ -12,12 +14,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
+	"freemeasure/internal/control"
 	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
+	"freemeasure/internal/vadapt"
 	"freemeasure/internal/vnet"
 	"freemeasure/internal/vttif"
 	"freemeasure/internal/wren"
@@ -36,6 +41,12 @@ func main() {
 		rate     = flag.Float64("rate", 0, "token-bucket rate limit (Mbit/s) for dialed links; 0 = unlimited")
 		poll     = flag.Duration("poll", 500*time.Millisecond, "Wren analysis poll interval")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (see docs/OPERATIONS.md)")
+		report   = flag.Duration("report", 0, "push VTTIF/Wren control reports to the -default-route peer at this interval (0 = off)")
+		hub      = flag.Bool("hub", false, "collect peers' control reports into a global view (the Proxy role)")
+		ctrl     = flag.Bool("controller", false, "run the adaptation control loop over the hub's global view (implies -hub; plans are logged, not applied)")
+		ctrlInt  = flag.Duration("controller-interval", 2*time.Second, "controller cycle period")
+		ctrlMin  = flag.Float64("controller-min-improvement", 0.1, "hysteresis: fractional objective gain required before acting")
+		ctrlAbs  = flag.Float64("controller-min-absolute", 1.0, "hysteresis: absolute objective gain required before acting")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -48,10 +59,11 @@ func main() {
 	monitor := wren.NewMonitor(*name, wren.Config{
 		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 3_000_000},
 	})
+	var reg *obs.Registry // stays nil (free no-op collectors) without -metrics-addr
 	if *metrics != "" {
 		// Attach instrumentation before any link or traffic exists; a nil
 		// registry would make every collector a free no-op instead.
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		d.SetMetrics(vnet.NewMetrics(reg))
 		monitor.SetMetrics(wren.NewMonitorMetrics(reg))
 		d.Traffic().SetMetrics(vttif.NewLocalMetrics(reg))
@@ -127,6 +139,61 @@ func main() {
 	}
 	if *deflt != "" {
 		d.SetDefaultRoute(*deflt)
+	}
+
+	var view *vnet.GlobalView
+	if *hub || *ctrl {
+		view = vnet.NewGlobalView(vttif.Config{})
+		d.SetControlHandler(view.HandleControl)
+		log.Printf("vnetd %q acting as control hub", *name)
+	}
+	if *report > 0 {
+		if *deflt == "" {
+			log.Fatalf("vnetd: -report needs -default-route (the hub to report to)")
+		}
+		rep := vnet.NewReporter(vnet.Reporting{Daemon: d, Wren: monitor, Peer: *deflt}, *report)
+		rep.Start()
+		defer rep.Stop()
+		log.Printf("vnetd %q reporting to %q every %s", *name, *deflt, *report)
+	}
+	if *ctrl {
+		// Sense the hub's global view: peers are the hosts, the bridge's
+		// learned MAC table locates the VMs. Plans are dry-run: a hub
+		// cannot reconfigure remote standalone daemons, so each decided
+		// step is logged instead of applied.
+		src := &control.ViewSource{
+			View: view,
+			Hub:  *name,
+			Hosts: func() []string {
+				peers := d.Peers()
+				sort.Strings(peers)
+				return peers
+			},
+			VMs: func() []control.VMInfo {
+				learned := d.Learned()
+				var out []control.VMInfo
+				for _, mac := range view.Agg.VMs() {
+					if peer, ok := learned[mac]; ok {
+						out = append(out, control.VMInfo{MAC: mac, Host: peer})
+					}
+				}
+				return out
+			},
+		}
+		ctl, err := control.New(control.Config{
+			Source:   src,
+			Applier:  control.LogApplier{Logf: log.Printf},
+			Gate:     vadapt.Gate{MinImprovement: *ctrlMin, MinAbsolute: *ctrlAbs},
+			Interval: *ctrlInt,
+			Metrics:  control.NewMetrics(reg),
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("vnetd: controller: %v", err)
+		}
+		ctl.Start()
+		defer ctl.Stop()
+		log.Printf("vnetd %q controller running every %s", *name, *ctrlInt)
 	}
 
 	go func() {

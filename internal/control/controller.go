@@ -1,0 +1,381 @@
+package control
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/topology"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vnet"
+)
+
+// Applier executes a translated reconfiguration plan against the system.
+type Applier interface {
+	Apply(plan vnet.Plan) (vnet.ApplyResult, error)
+}
+
+// OverlayApplier applies plans to a live in-process overlay. Migrator may
+// be nil when plans never migrate VMs.
+type OverlayApplier struct {
+	Overlay  *vnet.Overlay
+	Migrator vnet.Migrator
+}
+
+// Apply implements Applier.
+func (a OverlayApplier) Apply(plan vnet.Plan) (vnet.ApplyResult, error) {
+	return a.Overlay.Apply(plan, a.Migrator)
+}
+
+// LogApplier dry-runs plans: each step is logged, nothing is changed, and
+// every step counts as applied. It is the act layer for observe-only
+// deployments (standalone daemons the controller cannot reconfigure).
+type LogApplier struct {
+	Logf func(format string, args ...any)
+}
+
+// Apply implements Applier.
+func (a LogApplier) Apply(plan vnet.Plan) (vnet.ApplyResult, error) {
+	for _, s := range plan.Steps {
+		if a.Logf != nil {
+			a.Logf("dry-run: %s", s)
+		}
+	}
+	return vnet.ApplyResult{Applied: len(plan.Steps)}, nil
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	Source  ProblemSource
+	Applier Applier
+	// Objective scores configurations (default vadapt.ResidualBW{}).
+	Objective vadapt.Objective
+	// SA refines the greedy configuration when SA.Iterations > 0.
+	SA vadapt.SAConfig
+	// Gate is the cost/benefit hysteresis; the zero value means defaults
+	// (10% relative and 1.0 absolute improvement required).
+	Gate vadapt.Gate
+	// Interval is the period of Start's loop (default 1s).
+	Interval time.Duration
+	// Metrics is optional; nil disables instrumentation.
+	Metrics *Metrics
+	// Logf is optional cycle logging.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objective == nil {
+		c.Objective = vadapt.ResidualBW{}
+	}
+	if c.Gate == (vadapt.Gate{}) {
+		c.Gate = vadapt.Gate{}.WithDefaults()
+	}
+	if c.Interval == 0 {
+		c.Interval = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = &Metrics{} // zero-value collectors are no-ops
+	}
+	return c
+}
+
+// CycleResult reports what one control cycle did.
+type CycleResult struct {
+	Snapshot *Snapshot
+	// Plan is the translated overlay plan (empty when nothing to do).
+	Plan vnet.Plan
+	// Current and Target score the synthesized current configuration and
+	// the proposed one on the same sensed problem.
+	Current, Target vadapt.Evaluation
+	// Applied is true when the plan was handed to the Applier and
+	// succeeded; otherwise Reason says why not.
+	Applied bool
+	Reason  string
+	Result  vnet.ApplyResult
+	Err     error
+}
+
+// ruleSite identifies one forwarding-table entry: the daemon it lives on
+// and the destination MAC it matches.
+type ruleSite struct {
+	Host string
+	MAC  ethernet.MAC
+}
+
+// Controller runs the sense->decide->apply loop. It remembers what it
+// installed — desired paths per VM pair, forwarding rules, created links —
+// so the next cycle can synthesize the current configuration, diff against
+// it, and tear down state that no longer serves any demand.
+type Controller struct {
+	cfg Config
+
+	mu             sync.Mutex
+	lastPaths      map[[2]ethernet.MAC][]string // desired path (daemon names) per demand pair
+	installedRules map[ruleSite]string          // rule -> next hop
+	installedLinks map[[2]string]bool           // normalized name pairs
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// New builds a controller. Source and Applier are required.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Source == nil || cfg.Applier == nil {
+		return nil, fmt.Errorf("control: Source and Applier are required")
+	}
+	return &Controller{
+		cfg:            cfg.withDefaults(),
+		lastPaths:      make(map[[2]ethernet.MAC][]string),
+		installedRules: make(map[ruleSite]string),
+		installedLinks: make(map[[2]string]bool),
+		stopCh:         make(chan struct{}),
+	}, nil
+}
+
+// Start launches the periodic loop; Stop halts it.
+func (c *Controller) Start() {
+	c.done.Add(1)
+	go func() {
+		defer c.done.Done()
+		ticker := time.NewTicker(c.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-ticker.C:
+				res := c.RunCycle()
+				if c.cfg.Logf != nil && (res.Err != nil || res.Applied) {
+					c.cfg.Logf("control: %s", res.Summary())
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for the in-flight cycle to finish.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.done.Wait()
+}
+
+// Summary renders a one-line account of the cycle.
+func (r CycleResult) Summary() string {
+	switch {
+	case r.Err != nil:
+		return fmt.Sprintf("cycle error: %v", r.Err)
+	case r.Applied:
+		return fmt.Sprintf("applied %d steps (skipped %d), score %.3g -> %.3g",
+			r.Result.Applied, r.Result.Skipped, r.Current.Score, r.Target.Score)
+	default:
+		return fmt.Sprintf("skipped (%s), score %.3g", r.Reason, r.Current.Score)
+	}
+}
+
+// RunCycle executes one sense->decide->apply pass synchronously.
+func (c *Controller) RunCycle() CycleResult {
+	m := c.cfg.Metrics
+	m.Cycles.Inc()
+
+	// Sense.
+	t0 := time.Now()
+	snap, err := c.cfg.Source.Snapshot()
+	m.SenseSeconds.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		m.CycleErrors.Inc()
+		return CycleResult{Err: fmt.Errorf("sense: %w", err)}
+	}
+	res := CycleResult{Snapshot: snap}
+
+	// Decide.
+	t0 = time.Now()
+	p := snap.Problem
+	if len(p.Demands) == 0 {
+		m.DecideSeconds.Observe(time.Since(t0).Seconds())
+		m.PlansSkipped.Inc()
+		res.Reason = "no demands observed"
+		return res
+	}
+	current := c.synthesizeCurrent(snap)
+	target := vadapt.Greedy(p)
+	if c.cfg.SA.Iterations > 0 {
+		target, _ = vadapt.Anneal(p, c.cfg.Objective, target, c.cfg.SA)
+	}
+	res.Current = c.cfg.Objective.Evaluate(p, current)
+	res.Target = c.cfg.Objective.Evaluate(p, target)
+	m.Objective.Set(res.Current.Score)
+	diff := vadapt.Diff(p, current, target)
+	m.DecideSeconds.Observe(time.Since(t0).Seconds())
+	if diff.Empty() {
+		m.PlansSkipped.Inc()
+		res.Reason = "no change"
+		return res
+	}
+	if !c.cfg.Gate.Allows(res.Current, res.Target) {
+		m.PlansSkipped.Inc()
+		res.Reason = fmt.Sprintf("gate: gain %.3g below hysteresis threshold",
+			res.Target.Score-res.Current.Score)
+		return res
+	}
+
+	// Act.
+	t0 = time.Now()
+	plan := c.translate(snap, diff, target)
+	res.Plan = plan
+	result, err := c.cfg.Applier.Apply(plan)
+	m.ApplySeconds.Observe(time.Since(t0).Seconds())
+	res.Result = result
+	if err != nil {
+		m.CycleErrors.Inc()
+		if result.RolledBack > 0 {
+			m.PlansRolledBack.Inc()
+		}
+		res.Err = fmt.Errorf("apply: %w", err)
+		return res
+	}
+	c.recordApplied(snap, target)
+	m.PlansApplied.Inc()
+	m.Objective.Set(res.Target.Score)
+	res.Applied = true
+	return res
+}
+
+// synthesizeCurrent reconstructs the configuration the controller believes
+// is live: the sensed VM placement plus the previously applied paths,
+// translated into the new snapshot's numbering. A remembered path whose
+// hosts no longer exist, or whose endpoints no longer match where the VMs
+// actually are, degrades to nil (an unmapped demand the objective
+// penalizes), which naturally makes the gate favor re-planning.
+func (c *Controller) synthesizeCurrent(snap *Snapshot) *vadapt.Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := snap.hostIndex()
+	p := snap.Problem
+	cfg := &vadapt.Config{
+		Mapping: append([]topology.NodeID(nil), snap.Mapping...),
+		Paths:   make([]topology.Path, len(p.Demands)),
+	}
+	for di, d := range p.Demands {
+		pair := [2]ethernet.MAC{snap.VMs[d.Src], snap.VMs[d.Dst]}
+		names, ok := c.lastPaths[pair]
+		if !ok {
+			continue
+		}
+		path := make(topology.Path, 0, len(names))
+		for _, name := range names {
+			id, ok := idx[name]
+			if !ok {
+				path = nil
+				break
+			}
+			path = append(path, id)
+		}
+		if len(path) < 2 || path[0] != cfg.Mapping[d.Src] || path[len(path)-1] != cfg.Mapping[d.Dst] {
+			continue
+		}
+		cfg.Paths[di] = path
+	}
+	return cfg
+}
+
+// desiredState projects a target configuration into daemon-name terms:
+// every forwarding rule it needs and every direct link its paths cross.
+func desiredState(snap *Snapshot, target *vadapt.Config) (map[ruleSite]string, map[[2]string]bool) {
+	rules := make(map[ruleSite]string)
+	links := make(map[[2]string]bool)
+	for di, path := range target.Paths {
+		if len(path) < 2 {
+			continue
+		}
+		mac := snap.VMs[snap.Problem.Demands[di].Dst]
+		for k := 0; k+1 < len(path); k++ {
+			a, b := snap.Hosts[path[k]], snap.Hosts[path[k+1]]
+			rules[ruleSite{Host: a, MAC: mac}] = b
+			links[nameKey(a, b)] = true
+		}
+	}
+	return rules, links
+}
+
+func nameKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// translate converts the abstract diff into an overlay plan and appends
+// teardown for remembered rules/links that no longer serve any demand
+// (Diff only sees the current demand list, so state left behind by
+// vanished demands is reconciled here).
+func (c *Controller) translate(snap *Snapshot, diff vadapt.Plan, target *vadapt.Config) vnet.Plan {
+	var plan vnet.Plan
+	removedRules := make(map[ruleSite]bool)
+	removedLinks := make(map[[2]string]bool)
+	for _, s := range diff.Steps {
+		switch s.Kind {
+		case vadapt.StepAddLink:
+			plan.Steps = append(plan.Steps, vnet.Step{
+				Op: vnet.OpAddLink, A: snap.Hosts[s.From], B: snap.Hosts[s.To]})
+		case vadapt.StepRemoveLink:
+			key := nameKey(snap.Hosts[s.From], snap.Hosts[s.To])
+			removedLinks[key] = true
+			plan.Steps = append(plan.Steps, vnet.Step{
+				Op: vnet.OpRemoveLink, A: key[0], B: key[1]})
+		case vadapt.StepSetRule:
+			plan.Steps = append(plan.Steps, vnet.Step{
+				Op: vnet.OpAddRule, Host: snap.Hosts[s.From],
+				NextHop: snap.Hosts[s.To], MAC: snap.VMs[s.VM]})
+		case vadapt.StepRemoveRule:
+			site := ruleSite{Host: snap.Hosts[s.From], MAC: snap.VMs[s.VM]}
+			removedRules[site] = true
+			plan.Steps = append(plan.Steps, vnet.Step{
+				Op: vnet.OpRemoveRule, Host: site.Host, MAC: site.MAC})
+		case vadapt.StepMigrate:
+			plan.Steps = append(plan.Steps, vnet.Step{
+				Op: vnet.OpMigrate, MAC: snap.VMs[s.VM],
+				A: snap.Hosts[s.From], B: snap.Hosts[s.To]})
+		}
+	}
+	rules, links := desiredState(snap, target)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for site := range c.installedRules {
+		if _, want := rules[site]; !want && !removedRules[site] {
+			plan.Steps = append(plan.Steps, vnet.Step{
+				Op: vnet.OpRemoveRule, Host: site.Host, MAC: site.MAC})
+		}
+	}
+	for key := range c.installedLinks {
+		if !links[key] && !removedLinks[key] {
+			plan.Steps = append(plan.Steps, vnet.Step{
+				Op: vnet.OpRemoveLink, A: key[0], B: key[1]})
+		}
+	}
+	return plan
+}
+
+// recordApplied commits the target configuration as the controller's
+// belief of what is installed.
+func (c *Controller) recordApplied(snap *Snapshot, target *vadapt.Config) {
+	rules, links := desiredState(snap, target)
+	paths := make(map[[2]ethernet.MAC][]string, len(snap.Problem.Demands))
+	for di, path := range target.Paths {
+		if len(path) < 2 {
+			continue
+		}
+		d := snap.Problem.Demands[di]
+		names := make([]string, len(path))
+		for i, id := range path {
+			names[i] = snap.Hosts[id]
+		}
+		paths[[2]ethernet.MAC{snap.VMs[d.Src], snap.VMs[d.Dst]}] = names
+	}
+	c.mu.Lock()
+	c.lastPaths = paths
+	c.installedRules = rules
+	c.installedLinks = links
+	c.mu.Unlock()
+}

@@ -1,0 +1,346 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
+	"freemeasure/internal/topology"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vm"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// testSystem is a live 4-node star with one VM per host and a ViewSource
+// sensing the Proxy's global view.
+type testSystem struct {
+	overlay *vnet.Overlay
+	vms     []*vm.VM
+	source  *ViewSource
+}
+
+func newTestSystem(t *testing.T, hosts []string) *testSystem {
+	t.Helper()
+	o, err := vnet.NewStar(hosts, vttif.Config{Alpha: 1, HoldUpdates: 1}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+	s := &testSystem{overlay: o}
+	for i, h := range hosts {
+		v := vm.New(i)
+		v.AttachTo(o.Node(h).Daemon)
+		s.vms = append(s.vms, v)
+	}
+	s.source = &ViewSource{
+		View:  o.View,
+		Hosts: func() []string { return hosts },
+		VMs: func() []VMInfo {
+			out := make([]VMInfo, len(s.vms))
+			for i, v := range s.vms {
+				out[i] = VMInfo{MAC: v.MAC(), Host: v.Daemon().Name()}
+			}
+			return out
+		},
+	}
+	return s
+}
+
+// migrator moves the test VMs between daemons, the way internal/core does.
+func (s *testSystem) migrator() vnet.Migrator {
+	return vnet.MigratorFunc(func(mac ethernet.MAC, from, to string) error {
+		target := s.overlay.Node(to)
+		if target == nil {
+			return fmt.Errorf("unknown host %q", to)
+		}
+		for _, v := range s.vms {
+			if v.MAC() == mac {
+				v.AttachTo(target.Daemon)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown vm %s", mac)
+	})
+}
+
+// feedMeasurements reports star-leg bandwidths of 10 Mbps everywhere plus
+// one fast 80 Mbps direct path between h1 and h2 — the measurement plane's
+// view — and an all-to-all traffic matrix with the VM0->VM1 pair hot.
+func (s *testSystem) feedMeasurements(hosts []string) {
+	now := time.Now()
+	meas := func(mbps float64) vnet.PathMeasurement {
+		return vnet.PathMeasurement{Mbps: mbps, Kind: "test", Quality: 1,
+			BWFound: true, LatencyMs: 1, LatFound: true, UpdatedAt: now}
+	}
+	for _, h := range hosts {
+		s.overlay.View.SetPath(h, "proxy", meas(10))
+		s.overlay.View.SetPath("proxy", h, meas(10))
+	}
+	s.overlay.View.SetPath("h1", "h2", meas(80))
+	s.overlay.View.SetPath("h2", "h1", meas(80))
+
+	traffic := make(map[vttif.Pair]uint64)
+	for i := range s.vms {
+		for j := range s.vms {
+			if i == j {
+				continue
+			}
+			bytes := uint64(125_000) // 1 Mbit/s
+			if i == 0 && j == 1 {
+				bytes = 2_500_000 // 20 Mbit/s: the hot pair
+			}
+			traffic[vttif.Pair{Src: s.vms[i].MAC(), Dst: s.vms[j].MAC()}] = bytes
+		}
+	}
+	// Report each VM's outbound traffic from its current host, as the
+	// daemons' VTTIF push would.
+	for i, v := range s.vms {
+		local := make(map[vttif.Pair]uint64)
+		for p, b := range traffic {
+			if p.Src == v.MAC() {
+				local[p] = b
+			}
+		}
+		s.overlay.View.Agg.Update(s.vms[i].Daemon().Name(), local, 1)
+	}
+}
+
+func TestControllerReconfiguresFastPair(t *testing.T) {
+	hosts := []string{"h1", "h2", "h3", "h4"}
+	s := newTestSystem(t, hosts)
+	s.feedMeasurements(hosts)
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	c, err := New(Config{
+		Source:  s.source,
+		Applier: OverlayApplier{Overlay: s.overlay, Migrator: s.migrator()},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cycle 1: nothing is routed yet, so the synthesized current config is
+	// heavily penalized and the gate must allow the first plan through.
+	res1 := c.RunCycle()
+	if res1.Err != nil {
+		t.Fatal(res1.Err)
+	}
+	if !res1.Applied {
+		t.Fatalf("first cycle not applied: %s", res1.Summary())
+	}
+	if res1.Target.Score <= res1.Current.Score {
+		t.Fatalf("target %v not better than current %v", res1.Target.Score, res1.Current.Score)
+	}
+	if g := m.Objective.Value(); g != res1.Target.Score {
+		t.Fatalf("objective gauge = %v, want %v", g, res1.Target.Score)
+	}
+
+	// Cycle 2 (fresh sense of the post-apply state): the overlay now
+	// matches the plan, so within two cycles the system is reconfigured
+	// and stable.
+	s.feedMeasurements(hosts)
+	res2 := c.RunCycle()
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+
+	// The hot pair must ride a direct link: VM0's host has a link to VM1's
+	// host and a forwarding rule steering VM1's MAC onto it.
+	h0, h1 := s.vms[0].Daemon(), s.vms[1].Daemon()
+	if h0.Name() == h1.Name() {
+		t.Fatalf("hot VMs colocated on %s", h0.Name())
+	}
+	if _, ok := h0.Link(h1.Name()); !ok {
+		t.Fatalf("no direct link %s->%s after adaptation", h0.Name(), h1.Name())
+	}
+	if next := h0.Rules()[s.vms[1].MAC()]; next != h1.Name() {
+		t.Fatalf("rule at %s for vm1 = %q, want %q", h0.Name(), next, h1.Name())
+	}
+
+	// Cycle 3: same measurements, no drift — the diff must be empty (no
+	// oscillation).
+	s.feedMeasurements(hosts)
+	res3 := c.RunCycle()
+	if res3.Err != nil {
+		t.Fatal(res3.Err)
+	}
+	if res3.Applied || !res3.Plan.Empty() {
+		t.Fatalf("third cycle not stable: %s (plan %v)", res3.Summary(), res3.Plan)
+	}
+	if res3.Reason != "no change" {
+		t.Fatalf("third cycle reason = %q", res3.Reason)
+	}
+	if m.PlansApplied.Value() != 1 || m.Cycles.Value() != 3 {
+		t.Fatalf("applied=%d cycles=%d", m.PlansApplied.Value(), m.Cycles.Value())
+	}
+}
+
+func TestControllerRollsBackPartialFailure(t *testing.T) {
+	hosts := []string{"h1", "h2", "h3"}
+	o, err := vnet.NewStar(hosts, vttif.Config{Alpha: 1, HoldUpdates: 1}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+
+	// Static snapshot: VMs 0,1 live on h1,h3; the h1-h2 edge is fast and
+	// everything touching h3 is slow, so the target must migrate VM1 to
+	// h2 — and the injected migrator always fails.
+	g := topology.New(3)
+	g.AddBiEdge(0, 1, 100, 1)
+	g.AddBiEdge(0, 2, 1, 1)
+	g.AddBiEdge(1, 2, 1, 1)
+	for i, h := range hosts {
+		g.SetName(topology.NodeID(i), h)
+	}
+	snap := &Snapshot{
+		Problem: &vadapt.Problem{Hosts: g, NumVMs: 2,
+			Demands: []vadapt.Demand{{Src: 0, Dst: 1, Rate: 5}}},
+		Hosts:   hosts,
+		VMs:     []ethernet.MAC{ethernet.VMMAC(0), ethernet.VMMAC(1)},
+		Mapping: []topology.NodeID{0, 2},
+	}
+	boom := errors.New("migration refused")
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	c, err := New(Config{
+		Source: &StaticSource{Snap: snap},
+		Applier: OverlayApplier{Overlay: o,
+			Migrator: vnet.MigratorFunc(func(ethernet.MAC, string, string) error { return boom })},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunCycle()
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("cycle err = %v, want %v", res.Err, boom)
+	}
+	if res.Applied {
+		t.Fatal("failed cycle marked applied")
+	}
+	var hasMigration bool
+	for _, step := range res.Plan.Steps {
+		if step.Op == vnet.OpMigrate {
+			hasMigration = true
+		}
+	}
+	if !hasMigration {
+		t.Fatalf("plan has no migration to fail: %v", res.Plan)
+	}
+	if res.Result.RolledBack == 0 || m.PlansRolledBack.Value() != 1 {
+		t.Fatalf("rollback not recorded: result=%+v counter=%d",
+			res.Result, m.PlansRolledBack.Value())
+	}
+	// The overlay is back in its pre-plan star state: no extra links, no
+	// rules anywhere.
+	for _, h := range hosts {
+		d := o.Node(h).Daemon
+		for _, peer := range d.Peers() {
+			if peer != "proxy" {
+				t.Fatalf("%s still linked to %s after rollback", h, peer)
+			}
+		}
+		if len(d.Rules()) != 0 {
+			t.Fatalf("%s still has rules after rollback: %v", h, d.Rules())
+		}
+	}
+	// A later cycle with a working migrator succeeds from the same state.
+	c2, _ := New(Config{
+		Source: &StaticSource{Snap: snap},
+		Applier: OverlayApplier{Overlay: o,
+			Migrator: vnet.MigratorFunc(func(ethernet.MAC, string, string) error { return nil })},
+	})
+	if res := c2.RunCycle(); res.Err != nil || !res.Applied {
+		t.Fatalf("recovery cycle: %s", res.Summary())
+	}
+}
+
+func TestControllerSkipsWithoutDemands(t *testing.T) {
+	g := topology.Complete(2, func(a, b topology.NodeID) (float64, float64) { return 10, 1 })
+	snap := &Snapshot{
+		Problem: &vadapt.Problem{Hosts: g, NumVMs: 1},
+		Hosts:   []string{"h1", "h2"},
+		VMs:     []ethernet.MAC{ethernet.VMMAC(0)},
+		Mapping: []topology.NodeID{0},
+	}
+	c, err := New(Config{Source: &StaticSource{Snap: snap}, Applier: LogApplier{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunCycle()
+	if res.Err != nil || res.Applied || res.Reason != "no demands observed" {
+		t.Fatalf("cycle = %s", res.Summary())
+	}
+}
+
+func TestControllerTearsDownStaleState(t *testing.T) {
+	// Apply a plan for one demand, then sense a world where that demand
+	// vanished and a different pair is talking: the stale rule and link
+	// must be torn down in the same plan that builds the new path.
+	hosts := []string{"h1", "h2", "h3", "h4"}
+	s := newTestSystem(t, hosts)
+	mkSnap := func(src, dst vadapt.VMID, fastA, fastB topology.NodeID) *Snapshot {
+		g := topology.Complete(4, func(a, b topology.NodeID) (float64, float64) {
+			if (a == fastA && b == fastB) || (a == fastB && b == fastA) {
+				return 100, 1
+			}
+			return 10, 1
+		})
+		for i, h := range hosts {
+			g.SetName(topology.NodeID(i), h)
+		}
+		macs := make([]ethernet.MAC, 4)
+		mapping := make([]topology.NodeID, 4)
+		for i, v := range s.vms {
+			macs[i] = v.MAC()
+			idx := map[string]topology.NodeID{"h1": 0, "h2": 1, "h3": 2, "h4": 3}
+			mapping[i] = idx[v.Daemon().Name()]
+		}
+		return &Snapshot{
+			Problem: &vadapt.Problem{Hosts: g, NumVMs: 4,
+				Demands: []vadapt.Demand{{Src: src, Dst: dst, Rate: 5}}},
+			Hosts: hosts, VMs: macs, Mapping: mapping,
+		}
+	}
+	src := &StaticSource{Snap: mkSnap(0, 1, 0, 1)}
+	c, err := New(Config{
+		Source:  src,
+		Applier: OverlayApplier{Overlay: s.overlay, Migrator: s.migrator()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := c.RunCycle(); res.Err != nil || !res.Applied {
+		t.Fatalf("first cycle: %s", res.Summary())
+	}
+	// The demand moves to a disjoint pair and so does the fast edge.
+	src.Snap = mkSnap(2, 3, 2, 3)
+	res := c.RunCycle()
+	if res.Err != nil || !res.Applied {
+		t.Fatalf("second cycle: %s", res.Summary())
+	}
+	var staleRule, staleLink bool
+	for _, step := range res.Plan.Steps {
+		if step.Op == vnet.OpRemoveRule && step.MAC == s.vms[1].MAC() {
+			staleRule = true
+		}
+		if step.Op == vnet.OpRemoveLink {
+			staleLink = true
+		}
+	}
+	if !staleRule || !staleLink {
+		t.Fatalf("stale state not torn down: %v", res.Plan)
+	}
+	h0 := s.vms[0].Daemon()
+	if _, ok := h0.Rules()[s.vms[1].MAC()]; ok {
+		t.Fatal("stale rule survived")
+	}
+}

@@ -1,0 +1,21 @@
+// Package control closes the paper's adaptation loop: it periodically
+// senses the running system (the Proxy's VTTIF traffic matrix and Wren
+// path measurements, or a remote Wren SOAP service), decides on a better
+// virtual-network configuration with the VADAPT heuristics, and applies
+// the difference to the live VNET overlay as a transactional plan.
+//
+// The three phases are pluggable:
+//
+//   - Sense: a ProblemSource builds a Snapshot (a vadapt.Problem plus the
+//     naming context linking VM ids to MACs and host ids to daemon names).
+//     ViewSource reads a vnet.GlobalView; SOAPSource polls Wren services
+//     over SOAP; StaticSource replays a fixed snapshot.
+//   - Decide: the greedy heuristic (optionally refined by simulated
+//     annealing) proposes a target configuration; vadapt.Diff turns the
+//     current->target difference into typed steps, and a vadapt.Gate
+//     provides cost/benefit hysteresis so the loop does not oscillate on
+//     marginal improvements.
+//   - Act: an Applier executes the translated vnet.Plan — OverlayApplier
+//     reconfigures a live overlay transactionally (with rollback on
+//     partial failure), LogApplier dry-runs for observe-only deployments.
+package control

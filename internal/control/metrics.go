@@ -1,0 +1,45 @@
+package control
+
+import (
+	"freemeasure/internal/obs"
+)
+
+// Metrics holds the control-loop instruments. A nil *Metrics (and the
+// zero value) is the uninstrumented state; both are safe to use.
+type Metrics struct {
+	Cycles          *obs.Counter   // control_cycles_total
+	CycleErrors     *obs.Counter   // control_cycle_errors_total
+	PlansApplied    *obs.Counter   // control_plans_applied_total
+	PlansSkipped    *obs.Counter   // control_plans_skipped_total
+	PlansRolledBack *obs.Counter   // control_plans_rolledback_total
+	Objective       *obs.Gauge     // control_objective
+	SenseSeconds    *obs.Histogram // control_phase_seconds{phase="sense"}
+	DecideSeconds   *obs.Histogram // control_phase_seconds{phase="decide"}
+	ApplySeconds    *obs.Histogram // control_phase_seconds{phase="apply"}
+}
+
+// NewMetrics registers the control-loop metrics on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	phase := func(name string) *obs.Histogram {
+		return reg.Histogram("control_phase_seconds",
+			"Latency of each control-loop phase.",
+			obs.DefLatencyBuckets, "phase", name)
+	}
+	return &Metrics{
+		Cycles: reg.Counter("control_cycles_total",
+			"Control cycles started (sense attempts)."),
+		CycleErrors: reg.Counter("control_cycle_errors_total",
+			"Control cycles that failed to sense or apply."),
+		PlansApplied: reg.Counter("control_plans_applied_total",
+			"Reconfiguration plans applied to the overlay."),
+		PlansSkipped: reg.Counter("control_plans_skipped_total",
+			"Cycles that produced no applied plan (empty diff, gate, or no demands)."),
+		PlansRolledBack: reg.Counter("control_plans_rolledback_total",
+			"Plans whose partial application was rolled back after a step failed."),
+		Objective: reg.Gauge("control_objective",
+			"Objective score of the configuration the controller believes is installed."),
+		SenseSeconds:  phase("sense"),
+		DecideSeconds: phase("decide"),
+		ApplySeconds:  phase("apply"),
+	}
+}

@@ -1,0 +1,296 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/topology"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/wren"
+)
+
+// Snapshot is one sensed state of the system: the adaptation problem plus
+// the naming context the controller needs to turn an abstract plan back
+// into daemon names and VM MACs.
+type Snapshot struct {
+	Problem *vadapt.Problem
+	// Hosts maps topology.NodeID (the index) to the daemon name.
+	Hosts []string
+	// VMs maps vadapt.VMID (the index) to the VM's MAC.
+	VMs []ethernet.MAC
+	// Mapping is where each VM currently lives (index = vadapt.VMID).
+	Mapping []topology.NodeID
+}
+
+// hostIndex inverts Hosts.
+func (s *Snapshot) hostIndex() map[string]topology.NodeID {
+	idx := make(map[string]topology.NodeID, len(s.Hosts))
+	for i, n := range s.Hosts {
+		idx[n] = topology.NodeID(i)
+	}
+	return idx
+}
+
+// ProblemSource senses the system, producing a fresh Snapshot per control
+// cycle. Implementations must return a self-consistent snapshot: Mapping
+// and VMs the same length as Problem.NumVMs, Hosts the same length as the
+// problem's host graph.
+type ProblemSource interface {
+	Snapshot() (*Snapshot, error)
+}
+
+// VMInfo is one VM as a sense-layer sees it: its MAC and the daemon it is
+// currently attached to.
+type VMInfo struct {
+	MAC  ethernet.MAC
+	Host string
+}
+
+// ViewSource builds snapshots from the Proxy's live GlobalView — the
+// paper's "free" path: the VTTIF traffic matrix supplies the demands and
+// the Wren measurements supply the host graph, with configured defaults
+// where nothing has been measured yet.
+type ViewSource struct {
+	View *vnet.GlobalView
+	// Hosts returns the ordered daemon names (index = topology.NodeID).
+	Hosts func() []string
+	// VMs returns the VMs in vadapt.VMID order with their current hosts.
+	VMs func() []VMInfo
+	// Hub is the star hub's daemon name, used to compose unmeasured paths
+	// from their two star legs (default "proxy").
+	Hub string
+	// DefaultLinkMbps and DefaultLatencyMs stand in for unmeasured paths
+	// (defaults 100 and 1).
+	DefaultLinkMbps  float64
+	DefaultLatencyMs float64
+}
+
+func (s *ViewSource) defaults() (hub string, bw, lat float64) {
+	hub, bw, lat = s.Hub, s.DefaultLinkMbps, s.DefaultLatencyMs
+	if hub == "" {
+		hub = "proxy"
+	}
+	if bw == 0 {
+		bw = 100
+	}
+	if lat == 0 {
+		lat = 1
+	}
+	return hub, bw, lat
+}
+
+// measuredPath returns a usable Wren measurement for the pair, trying the
+// requested direction first and then the reverse. Overlay paths are
+// near-symmetric, so the reverse measurement beats a fabricated default:
+// passive measurement only ever sees the direction the application sends
+// in, and an optimistic default on the silent reverse direction makes
+// swapping a VM pair look like a large objective gain when it changes
+// nothing.
+func (s *ViewSource) measuredPath(from, to string) (vnet.PathMeasurement, bool) {
+	if p, ok := s.View.Path(from, to); ok && p.BWFound && p.Mbps > 0 {
+		return p, true
+	}
+	if p, ok := s.View.Path(to, from); ok && p.BWFound && p.Mbps > 0 {
+		return p, true
+	}
+	return vnet.PathMeasurement{}, false
+}
+
+// PathEstimate returns the believed (bandwidth, latency) between two
+// daemons: the direct Wren measurement when one exists (either direction),
+// otherwise the composition of the two star legs through the hub
+// (bottleneck of the bandwidths, sum of the latencies), otherwise the
+// configured defaults. On the initial star topology all traffic transits
+// the hub, so the leg measurements are what Wren actually has.
+func (s *ViewSource) PathEstimate(from, to string) (bw, lat float64) {
+	hub, defBW, defLat := s.defaults()
+	bw, lat = defBW, defLat
+	if p, ok := s.measuredPath(from, to); ok {
+		bw = p.Mbps
+		if p.LatFound && p.LatencyMs > 0 {
+			lat = p.LatencyMs
+		}
+		return bw, lat
+	}
+	up, okUp := s.measuredPath(from, hub)
+	down, okDown := s.measuredPath(hub, to)
+	if okUp || okDown {
+		legBW := defBW
+		legLat := 0.0
+		apply := func(p vnet.PathMeasurement, ok bool) {
+			if ok && p.BWFound && p.Mbps > 0 && p.Mbps < legBW {
+				legBW = p.Mbps
+			}
+			if ok && p.LatFound && p.LatencyMs > 0 {
+				legLat += p.LatencyMs
+			}
+		}
+		apply(up, okUp)
+		apply(down, okDown)
+		bw = legBW
+		if legLat > 0 {
+			lat = legLat
+		}
+	}
+	return bw, lat
+}
+
+// Snapshot implements ProblemSource.
+func (s *ViewSource) Snapshot() (*Snapshot, error) {
+	names := s.Hosts()
+	n := len(names)
+	if n == 0 {
+		return nil, fmt.Errorf("control: no hosts")
+	}
+	g := topology.Complete(n, func(from, to topology.NodeID) (float64, float64) {
+		return s.PathEstimate(names[from], names[to])
+	})
+	idx := make(map[string]topology.NodeID, n)
+	for i, name := range names {
+		g.SetName(topology.NodeID(i), name)
+		idx[name] = topology.NodeID(i)
+	}
+	vms := s.VMs()
+	if len(vms) > n {
+		return nil, fmt.Errorf("control: %d VMs exceed %d hosts", len(vms), n)
+	}
+	macs := make([]ethernet.MAC, len(vms))
+	mapping := make([]topology.NodeID, len(vms))
+	macToVM := make(map[ethernet.MAC]vadapt.VMID, len(vms))
+	for i, v := range vms {
+		host, ok := idx[v.Host]
+		if !ok {
+			return nil, fmt.Errorf("control: vm %d on unknown daemon %q", i, v.Host)
+		}
+		macs[i] = v.MAC
+		mapping[i] = host
+		macToVM[v.MAC] = vadapt.VMID(i)
+	}
+	var demands []vadapt.Demand
+	for pair, rate := range s.View.Agg.Rates() {
+		src, ok1 := macToVM[pair.Src]
+		dst, ok2 := macToVM[pair.Dst]
+		if !ok1 || !ok2 || src == dst {
+			continue
+		}
+		demands = append(demands, vadapt.Demand{
+			Src: src, Dst: dst, Rate: rate * 8 / 1e6, // bytes/s -> Mbit/s
+		})
+	}
+	sortDemands(demands)
+	return &Snapshot{
+		Problem: &vadapt.Problem{Hosts: g, NumVMs: len(vms), Demands: demands},
+		Hosts:   names,
+		VMs:     macs,
+		Mapping: mapping,
+	}, nil
+}
+
+func sortDemands(demands []vadapt.Demand) {
+	sort.Slice(demands, func(i, j int) bool {
+		if demands[i].Src != demands[j].Src {
+			return demands[i].Src < demands[j].Src
+		}
+		return demands[i].Dst < demands[j].Dst
+	})
+}
+
+// SOAPSource builds snapshots by polling each host's Wren SOAP service
+// for its measured bandwidth and latency to the other hosts — the sense
+// path for a deployment the controller does not share a process with.
+// The demand list is supplied statically (e.g. from a problem spec file):
+// a remote SOAP endpoint exposes the measurement plane but not the VTTIF
+// aggregate, which lives at the Proxy.
+type SOAPSource struct {
+	// Hosts are the daemon names in topology.NodeID order; Endpoints are
+	// the matching Wren SOAP URLs.
+	Hosts     []string
+	Endpoints []string
+	// NumVMs, Demands, and Mapping describe the (static) application.
+	NumVMs  int
+	Demands []vadapt.Demand
+	Mapping []topology.NodeID
+	// DefaultLinkMbps and DefaultLatencyMs stand in for unmeasured pairs
+	// (defaults 100 and 1).
+	DefaultLinkMbps  float64
+	DefaultLatencyMs float64
+
+	clients []*wren.Client
+}
+
+// Snapshot implements ProblemSource.
+func (s *SOAPSource) Snapshot() (*Snapshot, error) {
+	n := len(s.Hosts)
+	if n == 0 || len(s.Endpoints) != n {
+		return nil, fmt.Errorf("control: need one SOAP endpoint per host (%d hosts, %d endpoints)",
+			n, len(s.Endpoints))
+	}
+	if s.clients == nil {
+		s.clients = make([]*wren.Client, n)
+		for i, url := range s.Endpoints {
+			s.clients[i] = wren.NewClient(url)
+		}
+	}
+	defBW, defLat := s.DefaultLinkMbps, s.DefaultLatencyMs
+	if defBW == 0 {
+		defBW = 100
+	}
+	if defLat == 0 {
+		defLat = 1
+	}
+	// Like ViewSource, fall back to the reverse direction's measurement
+	// before the defaults: passive measurement only covers directions the
+	// application actually sends in.
+	g := topology.Complete(n, func(from, to topology.NodeID) (float64, float64) {
+		bw, lat := defBW, defLat
+		for _, dir := range [2][2]topology.NodeID{{from, to}, {to, from}} {
+			est, found, err := s.clients[dir[0]].AvailableBandwidth(s.Hosts[dir[1]])
+			if err == nil && found && est.Mbps > 0 {
+				bw = est.Mbps
+				break
+			}
+		}
+		for _, dir := range [2][2]topology.NodeID{{from, to}, {to, from}} {
+			l, found, err := s.clients[dir[0]].Latency(s.Hosts[dir[1]])
+			if err == nil && found && l > 0 {
+				lat = l
+				break
+			}
+		}
+		return bw, lat
+	})
+	macs := make([]ethernet.MAC, s.NumVMs)
+	for i := range macs {
+		macs[i] = ethernet.VMMAC(i)
+	}
+	mapping := append([]topology.NodeID(nil), s.Mapping...)
+	demands := append([]vadapt.Demand(nil), s.Demands...)
+	for i, name := range s.Hosts {
+		g.SetName(topology.NodeID(i), name)
+	}
+	return &Snapshot{
+		Problem: &vadapt.Problem{Hosts: g, NumVMs: s.NumVMs, Demands: demands},
+		Hosts:   append([]string(nil), s.Hosts...),
+		VMs:     macs,
+		Mapping: mapping,
+	}, nil
+}
+
+// StaticSource replays a fixed snapshot — offline planning and tests.
+type StaticSource struct {
+	Snap *Snapshot
+	Err  error
+}
+
+// Snapshot implements ProblemSource.
+func (s *StaticSource) Snapshot() (*Snapshot, error) {
+	if s.Err != nil {
+		return nil, s.Err
+	}
+	if s.Snap == nil {
+		return nil, fmt.Errorf("control: static source has no snapshot")
+	}
+	return s.Snap, nil
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"freemeasure/internal/vadapt"
 )
 
 // AutoAdaptConfig governs the background adaptation loop. The loop embeds
@@ -127,12 +129,9 @@ func (a *AutoAdapter) step() {
 		a.fail()
 		return
 	}
-	gain := plan.Eval.Score - current
-	threshold := a.cfg.MinAbsolute
-	if rel := abs(current) * a.cfg.MinImprovement; rel > threshold {
-		threshold = rel
-	}
-	if gain <= threshold || len(plan.Migrations)+len(plan.Rules) == 0 {
+	gate := vadapt.Gate{MinImprovement: a.cfg.MinImprovement, MinAbsolute: a.cfg.MinAbsolute}
+	if !gate.Allows(vadapt.Evaluation{Score: current}, plan.Eval) ||
+		len(plan.Migrations)+len(plan.Rules) == 0 {
 		a.mu.Lock()
 		a.stats.Skipped++
 		a.mu.Unlock()
@@ -156,11 +155,4 @@ func (a *AutoAdapter) fail() {
 	a.mu.Lock()
 	a.stats.Errors++
 	a.mu.Unlock()
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -46,12 +46,21 @@ func TestAutoAdaptMigratesAndDamps(t *testing.T) {
 		}
 	}()
 
-	// Let Wren measure the slow leg before enabling autonomous adaptation:
-	// an unmeasured path defaults to the optimistic capacity and would
-	// make the first plan a shot in the dark.
-	waitFor(t, "slow leg measured", 20*time.Second, func() bool {
-		p, ok := s.Overlay().View.Path("slowhost", "proxy")
-		return ok && p.BWFound && p.Mbps < 40
+	// Let Wren measure both active legs — in both directions — before
+	// enabling autonomous adaptation: an unmeasured path defaults to the
+	// optimistic capacity, and the first trains through a loaded link can
+	// yield a transient underestimate (a few Mbit/s on the 80 Mbit/s leg).
+	// Planning off that transient makes greedy flee fast1 for the
+	// never-measured fast2 and leave VM2 on the slow host.
+	measuredAbove := func(a, b string, floor float64) bool {
+		p, ok := s.Overlay().View.Path(a, b)
+		return ok && p.BWFound && p.Mbps > floor
+	}
+	waitFor(t, "legs measured", 20*time.Second, func() bool {
+		slow, ok := s.Overlay().View.Path("slowhost", "proxy")
+		return ok && slow.BWFound && slow.Mbps < 40 &&
+			measuredAbove("fast1", "proxy", 20) &&
+			measuredAbove("proxy", "fast1", 20)
 	})
 
 	applied := make(chan *Plan, 8)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"freemeasure/internal/control"
 	"freemeasure/internal/ethernet"
 	"freemeasure/internal/topology"
 	"freemeasure/internal/vadapt"
@@ -191,87 +192,52 @@ func (s *System) hostIndex() (names []string, idx map[string]topology.NodeID) {
 	return names, idx
 }
 
+// viewSource builds the control-plane sense adapter over this system's
+// global view, pinned to the given VM set so one snapshot stays
+// self-consistent even while VMs are added concurrently.
+func (s *System) viewSource(vms []*vm.VM) *control.ViewSource {
+	return &control.ViewSource{
+		View: s.overlay.View,
+		Hosts: func() []string {
+			names, _ := s.hostIndex()
+			return names
+		},
+		VMs: func() []control.VMInfo {
+			out := make([]control.VMInfo, len(vms))
+			for i, v := range vms {
+				host := ""
+				if d := v.Daemon(); d != nil {
+					host = d.Name()
+				}
+				out[i] = control.VMInfo{MAC: v.MAC(), Host: host}
+			}
+			return out
+		},
+		DefaultLinkMbps:  s.cfg.DefaultLinkMbps,
+		DefaultLatencyMs: s.cfg.DefaultLatencyMs,
+	}
+}
+
 // SnapshotProblem turns the Proxy's current global views into a VADAPT
 // problem instance: the host graph from Wren's bandwidth/latency matrices
 // (with defaults where unmeasured) and the demand list from VTTIF's
-// smoothed traffic matrix.
+// smoothed traffic matrix. The construction lives in control.ViewSource;
+// this wrapper keeps the System-level API.
 func (s *System) SnapshotProblem() (*vadapt.Problem, []*vm.VM, error) {
-	names, _ := s.hostIndex()
-	n := len(names)
-	if n == 0 {
-		return nil, nil, fmt.Errorf("core: no hosts")
-	}
-	g := topology.Complete(n, func(from, to topology.NodeID) (float64, float64) {
-		return s.pathEstimate(names[from], names[to])
-	})
-	for i, name := range names {
-		g.SetName(topology.NodeID(i), name)
-	}
-
 	vms := s.VMs()
-	if len(vms) > n {
-		return nil, nil, fmt.Errorf("core: %d VMs exceed %d hosts", len(vms), n)
+	snap, err := s.viewSource(vms).Snapshot()
+	if err != nil {
+		return nil, nil, err
 	}
-	macToVM := make(map[ethernet.MAC]vadapt.VMID, len(vms))
-	for i, v := range vms {
-		macToVM[v.MAC()] = vadapt.VMID(i)
-	}
-	var demands []vadapt.Demand
-	for pair, rate := range s.overlay.View.Agg.Rates() {
-		src, ok1 := macToVM[pair.Src]
-		dst, ok2 := macToVM[pair.Dst]
-		if !ok1 || !ok2 || src == dst {
-			continue
-		}
-		demands = append(demands, vadapt.Demand{
-			Src: src, Dst: dst, Rate: rate * 8 / 1e6, // bytes/s -> Mbit/s
-		})
-	}
-	sort.Slice(demands, func(i, j int) bool {
-		if demands[i].Src != demands[j].Src {
-			return demands[i].Src < demands[j].Src
-		}
-		return demands[i].Dst < demands[j].Dst
-	})
-	return &vadapt.Problem{Hosts: g, NumVMs: len(vms), Demands: demands}, vms, nil
+	return snap.Problem, vms, nil
 }
 
 // pathEstimate returns the believed (bandwidth, latency) between two
 // daemons: the direct Wren measurement when one exists, otherwise the
 // composition of the two star legs through the Proxy (bottleneck of the
 // bandwidths, sum of the latencies), otherwise the configured defaults.
-// On the initial star topology all traffic transits the Proxy, so the leg
-// measurements are what Wren actually has.
 func (s *System) pathEstimate(from, to string) (bw, lat float64) {
-	bw, lat = s.cfg.DefaultLinkMbps, s.cfg.DefaultLatencyMs
-	if p, ok := s.overlay.View.Path(from, to); ok && p.BWFound && p.Mbps > 0 {
-		bw = p.Mbps
-		if p.LatFound && p.LatencyMs > 0 {
-			lat = p.LatencyMs
-		}
-		return bw, lat
-	}
-	up, okUp := s.overlay.View.Path(from, "proxy")
-	down, okDown := s.overlay.View.Path("proxy", to)
-	if okUp && up.BWFound || okDown && down.BWFound {
-		legBW := s.cfg.DefaultLinkMbps
-		legLat := 0.0
-		apply := func(p vnet.PathMeasurement, ok bool) {
-			if ok && p.BWFound && p.Mbps > 0 && p.Mbps < legBW {
-				legBW = p.Mbps
-			}
-			if ok && p.LatFound && p.LatencyMs > 0 {
-				legLat += p.LatencyMs
-			}
-		}
-		apply(up, okUp)
-		apply(down, okDown)
-		bw = legBW
-		if legLat > 0 {
-			lat = legLat
-		}
-	}
-	return bw, lat
+	return s.viewSource(nil).PathEstimate(from, to)
 }
 
 // currentMapping returns where each VM currently lives.

@@ -134,14 +134,22 @@ func TestAdaptationMovesVMOffSlowHost(t *testing.T) {
 	}()
 
 	// Wait until the proxy has demand data and a bandwidth view of the
-	// slow leg.
+	// slow leg, and the fast leg's estimate has recovered from the first
+	// trains' transient underestimate in both directions (planning off
+	// that transient would send the VMs to the never-measured fast2).
+	measuredAbove := func(a, b string, floor float64) bool {
+		pm, ok := s.Overlay().View.Path(a, b)
+		return ok && pm.BWFound && pm.Mbps > floor
+	}
 	waitFor(t, "views", 15*time.Second, func() bool {
 		p, _, err := s.SnapshotProblem()
 		if err != nil || len(p.Demands) == 0 {
 			return false
 		}
 		slow, ok := s.Overlay().View.Path("slowhost", "proxy")
-		return ok && slow.BWFound && slow.Mbps < 40
+		return ok && slow.BWFound && slow.Mbps < 40 &&
+			measuredAbove("fast1", "proxy", 20) &&
+			measuredAbove("proxy", "fast1", 20)
 	})
 
 	plan, err := s.AdaptOnce()

@@ -145,7 +145,7 @@ func RunFig8(iterations int, seed int64) *AdaptResult {
 		iterations = 5000
 	}
 	return RunAdaptation(Fig8Problem(0), vadapt.ResidualBW{},
-		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: maxInt(1, iterations/500)}, true)
+		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: max(1, iterations/500)}, true)
 }
 
 // ChallengeProblem builds the Figure 9 instance: VMs 0-2 chatty
@@ -240,7 +240,7 @@ func RunFig10(obj vadapt.Objective, iterations int, seed int64) *AdaptResult {
 		iterations = 5000
 	}
 	return RunAdaptation(Fig10Problem(0), obj,
-		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: maxInt(1, iterations/500)}, true)
+		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: max(1, iterations/500)}, true)
 }
 
 // Fig11Problem builds the scalability instance: a 256-node BRITE/Waxman
@@ -268,12 +268,5 @@ func RunFig11(obj vadapt.Objective, iterations int, seed int64) *AdaptResult {
 		iterations = 20000
 	}
 	return RunAdaptation(Fig11Problem(seed, 0), obj,
-		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: maxInt(1, iterations/500)}, false)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: max(1, iterations/500)}, false)
 }

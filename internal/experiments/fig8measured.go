@@ -133,7 +133,7 @@ func RunFig8FromMeasurements(duration simnet.Duration, iterations int, seed int6
 		iterations = 5000
 	}
 	res := RunAdaptation(p, vadapt.ResidualBW{},
-		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: maxInt(1, iterations/500)}, true)
+		vadapt.SAConfig{Iterations: iterations, Seed: seed, TraceEvery: max(1, iterations/500)}, true)
 	_ = vm.NASMultiGridIntensity // demands provenance (Figure 7)
 	return mm, res
 }

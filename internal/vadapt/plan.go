@@ -1,0 +1,256 @@
+package vadapt
+
+import (
+	"fmt"
+	"sort"
+
+	"freemeasure/internal/topology"
+)
+
+// This file separates *computing* a configuration from *applying* it: Diff
+// turns two configurations over the same problem into a typed, ordered
+// Plan of reconfiguration steps (overlay links, forwarding rules, VM
+// migrations), and Gate is the cost-benefit hysteresis the paper's
+// damping argument requires — adaptation acts only when the predicted
+// objective improvement clears a threshold, so measurement noise cannot
+// make the controller oscillate.
+
+// StepKind enumerates the reconfiguration primitives of section 4.1: the
+// overlay topology (links), the forwarding rules, and the VM-to-host
+// mapping.
+type StepKind int
+
+const (
+	// StepAddLink creates the direct overlay link between hosts From and To.
+	StepAddLink StepKind = iota
+	// StepRemoveLink tears the direct link between From and To down.
+	StepRemoveLink
+	// StepSetRule installs a forwarding rule at host From: frames for VM go
+	// out the link to To.
+	StepSetRule
+	// StepRemoveRule deletes the rule at host From for VM.
+	StepRemoveRule
+	// StepMigrate detaches VM from host From and re-attaches it at To.
+	StepMigrate
+)
+
+// String names the step kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepAddLink:
+		return "add-link"
+	case StepRemoveLink:
+		return "remove-link"
+	case StepSetRule:
+		return "set-rule"
+	case StepRemoveRule:
+		return "remove-rule"
+	case StepMigrate:
+		return "migrate"
+	default:
+		return fmt.Sprintf("step(%d)", int(k))
+	}
+}
+
+// Step is one typed reconfiguration action. Link steps use From/To as the
+// (unordered, From < To) endpoints; rule steps use From as the host
+// holding the rule, To as the next hop, and VM as the destination; migrate
+// steps move VM from From to To.
+type Step struct {
+	Kind StepKind
+	VM   VMID
+	From topology.NodeID
+	To   topology.NodeID
+}
+
+// String renders the step for logs.
+func (s Step) String() string {
+	switch s.Kind {
+	case StepAddLink, StepRemoveLink:
+		return fmt.Sprintf("%s %d<->%d", s.Kind, s.From, s.To)
+	case StepSetRule, StepRemoveRule:
+		return fmt.Sprintf("%s at %d: vm%d -> %d", s.Kind, s.From, s.VM, s.To)
+	default:
+		return fmt.Sprintf("%s vm%d %d -> %d", s.Kind, s.VM, s.From, s.To)
+	}
+}
+
+// Plan is an ordered list of reconfiguration steps. Construction order is
+// the safe application order: links first (so rules have somewhere to
+// point), then rules, then migrations, then rule and link teardown.
+type Plan struct {
+	Steps []Step
+}
+
+// Empty reports whether the plan changes nothing.
+func (p Plan) Empty() bool { return len(p.Steps) == 0 }
+
+// String renders the plan for logs.
+func (p Plan) String() string {
+	if p.Empty() {
+		return "plan{}"
+	}
+	out := "plan{"
+	for i, s := range p.Steps {
+		if i > 0 {
+			out += "; "
+		}
+		out += s.String()
+	}
+	return out + "}"
+}
+
+// ruleKey identifies a forwarding rule site: frames for VM arriving at
+// Host.
+type ruleKey struct {
+	Host topology.NodeID
+	VM   VMID
+}
+
+// rules derives the forwarding table a configuration implies: for every
+// mapped multi-hop demand path, each transit node forwards frames for the
+// demand's destination VM to the next node. Demands are visited in order,
+// so a later demand to the same destination through the same node
+// deterministically wins (matching how rule installation overwrites).
+func rules(p *Problem, c *Config) map[ruleKey]topology.NodeID {
+	out := make(map[ruleKey]topology.NodeID)
+	for i, path := range c.Paths {
+		if len(path) < 2 {
+			continue
+		}
+		dst := p.Demands[i].Dst
+		for k := 0; k+1 < len(path); k++ {
+			out[ruleKey{Host: path[k], VM: dst}] = path[k+1]
+		}
+	}
+	return out
+}
+
+// links derives the set of direct host adjacencies a configuration's paths
+// traverse, normalized to unordered (lo, hi) pairs — an overlay link
+// carries both directions.
+func links(c *Config) map[[2]topology.NodeID]bool {
+	out := make(map[[2]topology.NodeID]bool)
+	for _, path := range c.Paths {
+		for k := 0; k+1 < len(path); k++ {
+			a, b := path[k], path[k+1]
+			if a > b {
+				a, b = b, a
+			}
+			out[[2]topology.NodeID{a, b}] = true
+		}
+	}
+	return out
+}
+
+// Diff computes the typed steps that transform the current configuration
+// into the target, both over the same problem. Equal configurations yield
+// an empty plan. Step order is deterministic: added links (ascending
+// endpoint pairs), set rules (ascending host, VM), migrations (ascending
+// VM), removed rules, removed links — build before teardown, so a partial
+// application never severs a path still in use.
+func Diff(p *Problem, current, target *Config) Plan {
+	var plan Plan
+
+	curLinks, tgtLinks := links(current), links(target)
+	plan.Steps = append(plan.Steps, linkSteps(tgtLinks, curLinks, StepAddLink)...)
+
+	curRules, tgtRules := rules(p, current), rules(p, target)
+	var set []Step
+	for k, next := range tgtRules {
+		if cur, ok := curRules[k]; !ok || cur != next {
+			set = append(set, Step{Kind: StepSetRule, VM: k.VM, From: k.Host, To: next})
+		}
+	}
+	sortRuleSteps(set)
+	plan.Steps = append(plan.Steps, set...)
+
+	var migs []Step
+	for vm := 0; vm < len(target.Mapping) && vm < len(current.Mapping); vm++ {
+		if current.Mapping[vm] != target.Mapping[vm] {
+			migs = append(migs, Step{
+				Kind: StepMigrate, VM: VMID(vm),
+				From: current.Mapping[vm], To: target.Mapping[vm],
+			})
+		}
+	}
+	sort.Slice(migs, func(i, j int) bool { return migs[i].VM < migs[j].VM })
+	plan.Steps = append(plan.Steps, migs...)
+
+	var rem []Step
+	for k := range curRules {
+		if _, ok := tgtRules[k]; !ok {
+			rem = append(rem, Step{Kind: StepRemoveRule, VM: k.VM, From: k.Host})
+		}
+	}
+	sortRuleSteps(rem)
+	plan.Steps = append(plan.Steps, rem...)
+
+	plan.Steps = append(plan.Steps, linkSteps(curLinks, tgtLinks, StepRemoveLink)...)
+	return plan
+}
+
+// linkSteps emits one step of the given kind per pair present in a but not
+// in b, in ascending endpoint order.
+func linkSteps(a, b map[[2]topology.NodeID]bool, kind StepKind) []Step {
+	var out []Step
+	for pair := range a {
+		if !b[pair] {
+			out = append(out, Step{Kind: kind, From: pair[0], To: pair[1]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func sortRuleSteps(steps []Step) {
+	sort.Slice(steps, func(i, j int) bool {
+		if steps[i].From != steps[j].From {
+			return steps[i].From < steps[j].From
+		}
+		return steps[i].VM < steps[j].VM
+	})
+}
+
+// Gate is the adaptation hysteresis: a plan is worth applying only when
+// the predicted objective improvement exceeds both an absolute floor and a
+// fraction of the current score. This is the paper's guard against
+// oscillation — VTTIF damps the *inputs*, the gate damps the *actions*.
+type Gate struct {
+	// MinImprovement is the fractional gain over the current score required
+	// to act (default 0.1 = 10%).
+	MinImprovement float64
+	// MinAbsolute is the absolute objective-gain floor (default 1.0).
+	MinAbsolute float64
+}
+
+// WithDefaults fills zero fields with the defaults above.
+func (g Gate) WithDefaults() Gate {
+	if g.MinImprovement == 0 {
+		g.MinImprovement = 0.1
+	}
+	if g.MinAbsolute == 0 {
+		g.MinAbsolute = 1.0
+	}
+	return g
+}
+
+// Allows reports whether moving from the current evaluation to the target
+// clears the hysteresis threshold.
+func (g Gate) Allows(current, target Evaluation) bool {
+	gain := target.Score - current.Score
+	threshold := g.MinAbsolute
+	cur := current.Score
+	if cur < 0 {
+		cur = -cur
+	}
+	if rel := cur * g.MinImprovement; rel > threshold {
+		threshold = rel
+	}
+	return gain > threshold
+}

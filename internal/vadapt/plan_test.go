@@ -1,0 +1,177 @@
+package vadapt
+
+import (
+	"reflect"
+	"testing"
+
+	"freemeasure/internal/topology"
+)
+
+// planProblem is a 4-host complete graph with two demands, roomy enough
+// that every configuration used below is feasible.
+func planProblem() *Problem {
+	g := topology.Complete(4, func(a, b topology.NodeID) (float64, float64) { return 100, 1 })
+	return &Problem{
+		Hosts:  g,
+		NumVMs: 3,
+		Demands: []Demand{
+			{Src: 0, Dst: 1, Rate: 5},
+			{Src: 1, Dst: 2, Rate: 3},
+		},
+	}
+}
+
+func TestDiffEqualConfigsEmptyPlan(t *testing.T) {
+	p := planProblem()
+	c := Greedy(p)
+	plan := Diff(p, c, c.Clone())
+	if !plan.Empty() {
+		t.Fatalf("diff of identical configs = %v, want empty", plan)
+	}
+}
+
+func TestDiffFromScratchBuildsBeforeTeardown(t *testing.T) {
+	p := planProblem()
+	// Current: nothing routed (both demands unmapped).
+	cur := &Config{Mapping: []topology.NodeID{0, 1, 2}, Paths: []topology.Path{nil, nil}}
+	tgt := &Config{
+		Mapping: []topology.NodeID{0, 1, 2},
+		Paths:   []topology.Path{{0, 1}, {1, 2}},
+	}
+	plan := Diff(p, cur, tgt)
+	if plan.Empty() {
+		t.Fatal("plan empty")
+	}
+	// Expect two add-links then two set-rules, nothing else.
+	wantKinds := []StepKind{StepAddLink, StepAddLink, StepSetRule, StepSetRule}
+	var kinds []StepKind
+	for _, s := range plan.Steps {
+		kinds = append(kinds, s.Kind)
+	}
+	if !reflect.DeepEqual(kinds, wantKinds) {
+		t.Fatalf("step kinds = %v, want %v", kinds, wantKinds)
+	}
+	// Rules: at host 0 frames for vm1 go to 1; at host 1 frames for vm2 go to 2.
+	if s := plan.Steps[2]; s.From != 0 || s.VM != 1 || s.To != 1 {
+		t.Fatalf("rule 0 = %+v", s)
+	}
+	if s := plan.Steps[3]; s.From != 1 || s.VM != 2 || s.To != 2 {
+		t.Fatalf("rule 1 = %+v", s)
+	}
+}
+
+func TestDiffMigrationOrderingDeterministic(t *testing.T) {
+	p := planProblem()
+	cur := &Config{Mapping: []topology.NodeID{0, 1, 2}, Paths: []topology.Path{nil, nil}}
+	tgt := &Config{Mapping: []topology.NodeID{1, 0, 3}, Paths: []topology.Path{nil, nil}}
+	for trial := 0; trial < 20; trial++ {
+		plan := Diff(p, cur, tgt)
+		var migs []Step
+		for _, s := range plan.Steps {
+			if s.Kind == StepMigrate {
+				migs = append(migs, s)
+			}
+		}
+		if len(migs) != 3 {
+			t.Fatalf("migrations = %v", migs)
+		}
+		for i, m := range migs {
+			if m.VM != VMID(i) {
+				t.Fatalf("trial %d: migration order %v, want ascending VM ids", trial, migs)
+			}
+		}
+	}
+}
+
+func TestDiffRemovesStaleRulesAndLinks(t *testing.T) {
+	p := planProblem()
+	cur := &Config{
+		Mapping: []topology.NodeID{0, 1, 2},
+		Paths:   []topology.Path{{0, 3, 1}, {1, 2}}, // demand 0 detours via host 3
+	}
+	tgt := &Config{
+		Mapping: []topology.NodeID{0, 1, 2},
+		Paths:   []topology.Path{{0, 1}, {1, 2}},
+	}
+	plan := Diff(p, cur, tgt)
+	var removesRules, removesLinks, adds int
+	for _, s := range plan.Steps {
+		switch s.Kind {
+		case StepRemoveRule:
+			removesRules++
+		case StepRemoveLink:
+			removesLinks++
+		case StepAddLink:
+			adds++
+		}
+	}
+	// The detour used links 0-3 and 1-3 plus rules at 0 and 3; the direct
+	// path needs the new 0-1 link and a changed rule at 0.
+	if adds != 1 || removesLinks != 2 || removesRules != 1 {
+		t.Fatalf("adds=%d removeLinks=%d removeRules=%d in %v", adds, removesLinks, removesRules, plan)
+	}
+	// Teardown comes after every build step.
+	lastBuild, firstTeardown := -1, len(plan.Steps)
+	for i, s := range plan.Steps {
+		switch s.Kind {
+		case StepAddLink, StepSetRule, StepMigrate:
+			lastBuild = i
+		case StepRemoveLink, StepRemoveRule:
+			if i < firstTeardown {
+				firstTeardown = i
+			}
+		}
+	}
+	if lastBuild > firstTeardown {
+		t.Fatalf("teardown before build in %v", plan)
+	}
+}
+
+func TestGateHysteresis(t *testing.T) {
+	g := Gate{}.WithDefaults()
+	if g.MinImprovement != 0.1 || g.MinAbsolute != 1.0 {
+		t.Fatalf("defaults = %+v", g)
+	}
+	cur := Evaluation{Score: 100}
+	if g.Allows(cur, Evaluation{Score: 105}) {
+		t.Fatal("5% gain over 100 must not clear a 10% gate")
+	}
+	if !g.Allows(cur, Evaluation{Score: 120}) {
+		t.Fatal("20% gain must clear the gate")
+	}
+	// Near zero the absolute floor dominates.
+	if g.Allows(Evaluation{Score: 0}, Evaluation{Score: 0.5}) {
+		t.Fatal("sub-floor absolute gain accepted")
+	}
+	if !g.Allows(Evaluation{Score: 0}, Evaluation{Score: 2}) {
+		t.Fatal("above-floor absolute gain rejected")
+	}
+	// Recovering from an infeasible (heavily negative) score is allowed.
+	if !g.Allows(Evaluation{Score: -1000}, Evaluation{Score: 10}) {
+		t.Fatal("recovery from infeasible state rejected")
+	}
+}
+
+func TestStepAndPlanStrings(t *testing.T) {
+	plan := Plan{Steps: []Step{
+		{Kind: StepAddLink, From: 0, To: 1},
+		{Kind: StepSetRule, From: 0, VM: 2, To: 1},
+		{Kind: StepMigrate, VM: 1, From: 2, To: 3},
+		{Kind: StepRemoveRule, From: 3, VM: 2},
+		{Kind: StepRemoveLink, From: 2, To: 3},
+	}}
+	if plan.String() == "" || plan.Empty() {
+		t.Fatal("plan render broken")
+	}
+	if (Plan{}).String() != "plan{}" {
+		t.Fatalf("empty plan renders %q", (Plan{}).String())
+	}
+	for _, s := range plan.Steps {
+		if s.String() == "" {
+			t.Fatalf("step %+v renders empty", s)
+		}
+	}
+	if StepKind(99).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}

@@ -185,6 +185,74 @@ func TestConfigValid(t *testing.T) {
 	}
 }
 
+func TestConfigValidEdgeCases(t *testing.T) {
+	// Empty demands: a bare injective mapping with no paths is valid.
+	empty := &Problem{Hosts: lineHosts(10, 10), NumVMs: 2}
+	c := &Config{Mapping: []topology.NodeID{0, 2}, Paths: nil}
+	if err := c.Valid(empty); err != nil {
+		t.Fatalf("empty-demand config rejected: %v", err)
+	}
+	p := &Problem{Hosts: lineHosts(10, 10), NumVMs: 2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 1}}}
+	// Unmapped VM: the mapping covers fewer VMs than the problem has.
+	short := &Config{Mapping: []topology.NodeID{0}, Paths: []topology.Path{nil}}
+	if short.Valid(p) == nil {
+		t.Fatal("short mapping accepted")
+	}
+	// Mapping to a host outside the graph.
+	outside := &Config{Mapping: []topology.NodeID{0, 7}, Paths: []topology.Path{nil}}
+	if outside.Valid(p) == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	// A nil path (unmapped demand) is structurally valid — it is an
+	// objective penalty, not a malformed config.
+	unmapped := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{nil}}
+	if err := unmapped.Valid(p); err != nil {
+		t.Fatalf("nil path rejected: %v", err)
+	}
+	// A non-simple path is rejected.
+	loopy := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1, 0, 1, 2}}}
+	if loopy.Valid(p) == nil {
+		t.Fatal("non-simple path accepted")
+	}
+}
+
+func TestResidualsEdgeCases(t *testing.T) {
+	// Empty demands: residuals are just the capacities.
+	p := &Problem{Hosts: lineHosts(10, 20), NumVMs: 2}
+	c := &Config{Mapping: []topology.NodeID{0, 2}}
+	rc := p.Residuals(c)
+	if rc[[2]topology.NodeID{0, 1}] != 10 || rc[[2]topology.NodeID{1, 2}] != 20 {
+		t.Fatalf("no-demand residuals = %v", rc)
+	}
+	// A nil (unmapped) path consumes nothing.
+	p.Demands = []Demand{{Src: 0, Dst: 1, Rate: 4}}
+	c.Paths = []topology.Path{nil}
+	rc = p.Residuals(c)
+	if rc[[2]topology.NodeID{0, 1}] != 10 {
+		t.Fatalf("nil path consumed capacity: %v", rc)
+	}
+	// Zero-capacity edge: residual goes negative by exactly the demand.
+	z := &Problem{Hosts: lineHosts(0, 20), NumVMs: 2,
+		Demands: []Demand{{Src: 0, Dst: 1, Rate: 4}}}
+	zc := &Config{Mapping: []topology.NodeID{0, 2}, Paths: []topology.Path{{0, 1, 2}}}
+	rc = z.Residuals(zc)
+	if rc[[2]topology.NodeID{0, 1}] != -4 {
+		t.Fatalf("zero-capacity residual = %v, want -4", rc[[2]topology.NodeID{0, 1}])
+	}
+	ev := ResidualBW{}.Evaluate(z, zc)
+	if ev.Feasible || ev.Violation != 4 {
+		t.Fatalf("zero-capacity eval = %+v", ev)
+	}
+	// Over-reservation clamps capacity at zero rather than going negative.
+	r := &Problem{Hosts: lineHosts(10, 20), NumVMs: 2,
+		Reservations: map[[2]topology.NodeID]float64{{0, 1}: 50}}
+	rc = r.Residuals(&Config{Mapping: []topology.NodeID{0, 2}})
+	if rc[[2]topology.NodeID{0, 1}] != 0 {
+		t.Fatalf("over-reserved residual = %v, want 0", rc[[2]topology.NodeID{0, 1}])
+	}
+}
+
 func TestConfigCloneIndependent(t *testing.T) {
 	c := &Config{Mapping: []topology.NodeID{0, 1}, Paths: []topology.Path{{0, 1}}}
 	d := c.Clone()

@@ -1,0 +1,218 @@
+package vnet
+
+import (
+	"fmt"
+
+	"freemeasure/internal/ethernet"
+)
+
+// This file is the overlay's transactional reconfiguration surface: a
+// typed Plan of steps (links, forwarding rules, VM migrations) applied
+// atomically-ish — every step is idempotent, and a failure rolls the
+// already-completed steps back in reverse order, so a half-applied plan
+// never strands the overlay between two topologies.
+
+// StepOp enumerates the overlay reconfiguration primitives.
+type StepOp int
+
+const (
+	// OpAddLink dials a direct link between member daemons A and B.
+	OpAddLink StepOp = iota
+	// OpRemoveLink tears the direct A-B link down.
+	OpRemoveLink
+	// OpAddRule installs a forwarding rule on daemon Host: frames for MAC
+	// leave via the link to NextHop.
+	OpAddRule
+	// OpRemoveRule deletes Host's rule for MAC.
+	OpRemoveRule
+	// OpMigrate moves the VM with MAC from daemon A to daemon B via the
+	// plan's Migrator.
+	OpMigrate
+)
+
+// String names the operation.
+func (op StepOp) String() string {
+	switch op {
+	case OpAddLink:
+		return "add-link"
+	case OpRemoveLink:
+		return "remove-link"
+	case OpAddRule:
+		return "add-rule"
+	case OpRemoveRule:
+		return "remove-rule"
+	case OpMigrate:
+		return "migrate"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// Step is one reconfiguration action in daemon-name/MAC terms.
+type Step struct {
+	Op      StepOp
+	A, B    string       // link endpoints; migration source and target
+	Host    string       // rule site
+	NextHop string       // rule next hop
+	MAC     ethernet.MAC // rule destination or migrating VM
+}
+
+// String renders the step for logs.
+func (s Step) String() string {
+	switch s.Op {
+	case OpAddLink, OpRemoveLink:
+		return fmt.Sprintf("%s %s<->%s", s.Op, s.A, s.B)
+	case OpAddRule:
+		return fmt.Sprintf("%s at %s: %s -> %s", s.Op, s.Host, s.MAC, s.NextHop)
+	case OpRemoveRule:
+		return fmt.Sprintf("%s at %s: %s", s.Op, s.Host, s.MAC)
+	case OpMigrate:
+		return fmt.Sprintf("%s %s: %s -> %s", s.Op, s.MAC, s.A, s.B)
+	default:
+		return s.Op.String()
+	}
+}
+
+// Plan is an ordered list of steps; Apply executes them in order.
+type Plan struct {
+	Steps []Step
+}
+
+// Empty reports whether the plan changes nothing.
+func (p Plan) Empty() bool { return len(p.Steps) == 0 }
+
+// Migrator executes VM attachment moves on behalf of Overlay.Apply. The
+// overlay cannot move VMs itself — it only sees MAC-addressed ports — so
+// whoever owns the VM objects (internal/core, internal/control, a test)
+// supplies the mechanism. Migrate must be reversible: Apply calls it with
+// the endpoints swapped to roll a completed migration back.
+type Migrator interface {
+	Migrate(mac ethernet.MAC, fromHost, toHost string) error
+}
+
+// MigratorFunc adapts a function to the Migrator interface.
+type MigratorFunc func(mac ethernet.MAC, fromHost, toHost string) error
+
+// Migrate implements Migrator.
+func (f MigratorFunc) Migrate(mac ethernet.MAC, fromHost, toHost string) error {
+	return f(mac, fromHost, toHost)
+}
+
+// ApplyResult reports what a plan application actually did.
+type ApplyResult struct {
+	Applied    int // steps that changed state
+	Skipped    int // steps already satisfied (idempotence)
+	RolledBack int // undo actions executed after a failure
+}
+
+// Apply executes the plan transactionally. Already-satisfied steps are
+// skipped (idempotence), every executed step records its inverse, and the
+// first failing step triggers a best-effort rollback of the completed
+// steps in reverse order before the error is returned. A plan containing
+// migration steps requires a non-nil Migrator; this is validated up front
+// so a nil Migrator can never strand a half-applied plan.
+func (o *Overlay) Apply(plan Plan, mig Migrator) (ApplyResult, error) {
+	var res ApplyResult
+	for _, s := range plan.Steps {
+		if s.Op == OpMigrate && mig == nil {
+			return res, fmt.Errorf("vnet: plan migrates %s but no Migrator given", s.MAC)
+		}
+	}
+	var undos []func()
+	rollback := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+			res.RolledBack++
+		}
+	}
+	for _, s := range plan.Steps {
+		changed, undo, err := o.applyStep(s, mig)
+		if err != nil {
+			rollback()
+			return res, fmt.Errorf("vnet: apply %s: %w", s, err)
+		}
+		if !changed {
+			res.Skipped++
+			continue
+		}
+		res.Applied++
+		if undo != nil {
+			undos = append(undos, undo)
+		}
+	}
+	return res, nil
+}
+
+// applyStep executes one step, returning whether it changed anything and
+// the inverse action for rollback.
+func (o *Overlay) applyStep(s Step, mig Migrator) (changed bool, undo func(), err error) {
+	switch s.Op {
+	case OpAddLink:
+		na, nb := o.Node(s.A), o.Node(s.B)
+		if na == nil || nb == nil {
+			return false, nil, fmt.Errorf("unknown node %s or %s", s.A, s.B)
+		}
+		if _, ok := na.Daemon.Link(s.B); ok {
+			return false, nil, nil
+		}
+		if _, ok := nb.Daemon.Link(s.A); ok {
+			return false, nil, nil
+		}
+		if err := o.ConnectPair(s.A, s.B); err != nil {
+			return false, nil, err
+		}
+		return true, func() { o.DisconnectPair(s.A, s.B) }, nil
+
+	case OpRemoveLink:
+		if s.A == o.Proxy.Daemon.Name() || s.B == o.Proxy.Daemon.Name() {
+			return false, nil, fmt.Errorf("refusing to remove a proxy (star) link")
+		}
+		had, err := o.DisconnectPair(s.A, s.B)
+		if err != nil {
+			return false, nil, err
+		}
+		if !had {
+			return false, nil, nil
+		}
+		return true, func() { o.ConnectPair(s.A, s.B) }, nil
+
+	case OpAddRule:
+		node := o.Node(s.Host)
+		if node == nil {
+			return false, nil, fmt.Errorf("unknown host %q", s.Host)
+		}
+		prev, had := node.Daemon.Rules()[s.MAC]
+		if had && prev == s.NextHop {
+			return false, nil, nil
+		}
+		node.Daemon.AddRule(s.MAC, s.NextHop)
+		if had {
+			return true, func() { node.Daemon.AddRule(s.MAC, prev) }, nil
+		}
+		return true, func() { node.Daemon.RemoveRule(s.MAC) }, nil
+
+	case OpRemoveRule:
+		node := o.Node(s.Host)
+		if node == nil {
+			return false, nil, fmt.Errorf("unknown host %q", s.Host)
+		}
+		prev, had := node.Daemon.Rules()[s.MAC]
+		if !had {
+			return false, nil, nil
+		}
+		node.Daemon.RemoveRule(s.MAC)
+		return true, func() { node.Daemon.AddRule(s.MAC, prev) }, nil
+
+	case OpMigrate:
+		if o.Node(s.B) == nil {
+			return false, nil, fmt.Errorf("unknown migration target %q", s.B)
+		}
+		if err := mig.Migrate(s.MAC, s.A, s.B); err != nil {
+			return false, nil, err
+		}
+		return true, func() { mig.Migrate(s.MAC, s.B, s.A) }, nil
+
+	default:
+		return false, nil, fmt.Errorf("unknown op %v", s.Op)
+	}
+}

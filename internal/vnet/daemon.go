@@ -343,12 +343,37 @@ func (d *Daemon) Rules() map[ethernet.MAC]string {
 	return out
 }
 
+// Learned returns a copy of the bridge's learned MAC locations: which
+// peer each source MAC was last seen arriving from. On a hub daemon this
+// approximates where each VM lives.
+func (d *Daemon) Learned() map[ethernet.MAC]string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[ethernet.MAC]string, len(d.learned))
+	for k, v := range d.learned {
+		out[k] = v
+	}
+	return out
+}
+
 // SetDefaultRoute points unknown destinations at the link to peer — every
 // non-proxy daemon defaults to the Proxy, forming the initial star.
 func (d *Daemon) SetDefaultRoute(peer string) {
 	d.mu.Lock()
 	d.deflt = peer
 	d.mu.Unlock()
+}
+
+// Disconnect tears down the link to peer, if any, and reports whether a
+// link existed. The peer observes the closure as a read error and drops
+// its side of the link.
+func (d *Daemon) Disconnect(peer string) bool {
+	link, ok := d.Link(peer)
+	if !ok {
+		return false
+	}
+	d.dropLink(link)
+	return true
 }
 
 // Link returns the live link to peer, if any.

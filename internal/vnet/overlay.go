@@ -222,6 +222,19 @@ func (o *Overlay) ConnectPair(a, b string) error {
 	return err
 }
 
+// DisconnectPair removes the direct link between two member daemons (both
+// sides of the table; the TCP teardown races are benign because Disconnect
+// is idempotent). It reports whether either side had a link.
+func (o *Overlay) DisconnectPair(a, b string) (bool, error) {
+	na, nb := o.Node(a), o.Node(b)
+	if na == nil || nb == nil {
+		return false, fmt.Errorf("vnet: unknown node %s or %s", a, b)
+	}
+	hadA := na.Daemon.Disconnect(b)
+	hadB := nb.Daemon.Disconnect(a)
+	return hadA || hadB, nil
+}
+
 // ConnectPairUDP adds a direct virtual-UDP link between two member
 // daemons, opening b's UDP endpoint on demand.
 func (o *Overlay) ConnectPairUDP(a, b string) error {
@@ -289,34 +302,7 @@ func (o *Overlay) StartReporting(interval time.Duration) {
 }
 
 func (o *Overlay) pushReports(n *Node, intervalSec float64) {
-	// VTTIF local matrix.
-	local := n.Daemon.Traffic().Snapshot()
-	if len(local) > 0 {
-		msg := controlMsg{Kind: "vttif", IntervalSec: intervalSec}
-		for p, b := range local {
-			msg.Pairs = append(msg.Pairs, pairBytes{Src: macToHex(p.Src), Dst: macToHex(p.Dst), Bytes: b})
-		}
-		if raw, err := json.Marshal(msg); err == nil {
-			n.Daemon.SendControl("proxy", raw)
-		}
-	}
-	// Wren measurements toward every measured remote.
-	remotes := n.Wren.Remotes()
-	if len(remotes) == 0 {
-		return
-	}
-	msg := controlMsg{Kind: "wren"}
-	for _, r := range remotes {
-		est, bwOK := n.Wren.AvailableBandwidth(r)
-		lat, latOK := n.Wren.Latency(r)
-		msg.Wren = append(msg.Wren, wrenEntry{
-			Remote: r, Mbps: est.Mbps, Kind: est.Kind.String(), Quality: est.Quality,
-			BWFound: bwOK, LatencyMs: lat, LatFound: latOK,
-		})
-	}
-	if raw, err := json.Marshal(msg); err == nil {
-		n.Daemon.SendControl("proxy", raw)
-	}
+	pushReports(&Reporting{Daemon: n.Daemon, Wren: n.Wren, Peer: "proxy"}, intervalSec)
 }
 
 // Close stops reporting and shuts every daemon down.

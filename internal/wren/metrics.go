@@ -67,6 +67,30 @@ func NewRepositoryMetrics(reg *obs.Registry) RepositoryMetrics {
 	}
 }
 
+// ForwarderMetrics holds the trace forwarder's exported counters.
+type ForwarderMetrics struct {
+	Reconnects  *obs.Counter // wren_forwarder_reconnects_total
+	LostRecords *obs.Counter // wren_forwarder_lost_records_total
+}
+
+// NewForwarderMetrics registers the forwarder's metrics on reg.
+func NewForwarderMetrics(reg *obs.Registry) ForwarderMetrics {
+	return ForwarderMetrics{
+		Reconnects: reg.Counter("wren_forwarder_reconnects_total",
+			"Successful redials to the trace repository after a broken connection."),
+		LostRecords: reg.Counter("wren_forwarder_lost_records_total",
+			"Buffered records discarded because the repository stayed unreachable."),
+	}
+}
+
+// SetMetrics attaches metrics to the forwarder. Call before feeding
+// traffic; the zero value detaches.
+func (f *Forwarder) SetMetrics(fm ForwarderMetrics) {
+	f.mu.Lock()
+	f.met = fm
+	f.mu.Unlock()
+}
+
 // SetMetrics attaches metrics to the repository and to every current and
 // future per-origin monitor.
 func (r *Repository) SetMetrics(rm RepositoryMetrics) {

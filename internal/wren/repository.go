@@ -6,6 +6,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"freemeasure/internal/pcap"
 )
@@ -167,18 +168,26 @@ func (r *Repository) Close() {
 	r.wg.Wait()
 }
 
-// Forwarder ships filtered capture records to a Repository.
+// Forwarder ships filtered capture records to a Repository. A broken
+// connection does not wedge it: buffered records are retained (up to a
+// bound) and the next flush redials with capped exponential backoff.
 type Forwarder struct {
-	origin string
-
-	mu      sync.Mutex
-	conn    net.Conn
-	enc     *gob.Encoder
-	batch   []pcap.Record
+	origin  string
+	addr    string
 	batchSz int
-	sent    uint64
-	dropped uint64 // filtered out (not Wren-relevant)
-	err     error
+
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	batch     []pcap.Record
+	sent      uint64
+	filtered  uint64 // not Wren-relevant, never shipped
+	lastErr   error
+	retryBase time.Duration
+	retryMax  time.Duration
+	backoff   time.Duration
+	nextRetry time.Time
+	met       ForwarderMetrics
 }
 
 // DialRepository connects to a repository. batchSize bounds how many
@@ -195,11 +204,28 @@ func DialRepository(addr, origin string, batchSize int) (*Forwarder, error) {
 		return nil, err
 	}
 	return &Forwarder{
-		origin:  origin,
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		batchSz: batchSize,
+		origin:    origin,
+		addr:      addr,
+		conn:      conn,
+		enc:       gob.NewEncoder(conn),
+		batchSz:   batchSize,
+		retryBase: 100 * time.Millisecond,
+		retryMax:  5 * time.Second,
 	}, nil
+}
+
+// SetRetry adjusts the reconnect backoff: the first retry waits base, each
+// failure doubles the wait up to max. Zero values keep the current
+// settings (defaults 100ms and 5s).
+func (f *Forwarder) SetRetry(base, max time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if base > 0 {
+		f.retryBase = base
+	}
+	if max > 0 {
+		f.retryMax = max
+	}
 }
 
 // Feed accepts one capture record, applying the same filter the local
@@ -210,7 +236,7 @@ func (f *Forwarder) Feed(r pcap.Record) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if !relevant {
-		f.dropped++
+		f.filtered++
 		return
 	}
 	f.batch = append(f.batch, r)
@@ -219,43 +245,96 @@ func (f *Forwarder) Feed(r pcap.Record) {
 	}
 }
 
-// Flush ships any buffered records immediately.
+// Flush ships any buffered records immediately. The returned error is the
+// last transport failure; it clears once a flush succeeds again.
 func (f *Forwarder) Flush() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.flushLocked()
-	return f.err
+	return f.lastErr
 }
 
 func (f *Forwarder) flushLocked() {
-	if len(f.batch) == 0 || f.err != nil {
+	if len(f.batch) == 0 {
 		return
 	}
-	err := f.enc.Encode(traceBatch{Origin: f.origin, Records: f.batch})
-	if err != nil {
-		f.err = err
+	if f.conn == nil && !f.reconnectLocked() {
+		f.trimLocked()
 		return
 	}
+	if err := f.enc.Encode(traceBatch{Origin: f.origin, Records: f.batch}); err != nil {
+		f.failLocked(err)
+		return
+	}
+	f.lastErr = nil
 	f.sent += uint64(len(f.batch))
 	f.batch = f.batch[:0]
+}
+
+// failLocked drops the dead connection, arms the next retry, and trims
+// the retransmit buffer.
+func (f *Forwarder) failLocked(err error) {
+	f.lastErr = err
+	if f.conn != nil {
+		f.conn.Close()
+		f.conn, f.enc = nil, nil
+	}
+	if f.backoff == 0 {
+		f.backoff = f.retryBase
+	} else {
+		f.backoff = min(2*f.backoff, f.retryMax)
+	}
+	f.nextRetry = time.Now().Add(f.backoff)
+	f.trimLocked()
+}
+
+// trimLocked bounds the retransmit buffer so an unreachable repository
+// cannot grow memory without limit; the oldest records go first.
+func (f *Forwarder) trimLocked() {
+	if bound := 16 * f.batchSz; len(f.batch) > bound {
+		lost := len(f.batch) - bound
+		f.batch = append(f.batch[:0], f.batch[lost:]...)
+		f.met.LostRecords.Add(uint64(lost))
+	}
+}
+
+// reconnectLocked redials the repository once the backoff window has
+// passed, reporting whether a usable connection now exists.
+func (f *Forwarder) reconnectLocked() bool {
+	if time.Now().Before(f.nextRetry) {
+		return false
+	}
+	conn, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		f.failLocked(err)
+		return false
+	}
+	f.conn, f.enc = conn, gob.NewEncoder(conn)
+	f.backoff = 0
+	f.lastErr = nil
+	f.met.Reconnects.Inc()
+	return true
 }
 
 // Stats returns (records shipped, records filtered out).
 func (f *Forwarder) Stats() (sent, filtered uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.sent, f.dropped
+	return f.sent, f.filtered
 }
 
 // Close flushes and closes the connection.
 func (f *Forwarder) Close() error {
 	f.mu.Lock()
 	f.flushLocked()
-	err := f.err
+	err := f.lastErr
 	conn := f.conn
+	f.conn, f.enc = nil, nil
 	f.mu.Unlock()
-	if cerr := conn.Close(); err == nil {
-		err = cerr
+	if conn != nil {
+		if cerr := conn.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

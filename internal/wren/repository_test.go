@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
 )
 
@@ -133,6 +134,83 @@ func TestRepositoryMultipleOrigins(t *testing.T) {
 		fw.Close()
 	}
 	waitRepo(t, "both origins", func() bool { return len(repo.Origins()) == 2 })
+}
+
+func TestForwarderReconnects(t *testing.T) {
+	repo := NewRepository(Config{})
+	addr, err := repo.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := DialRepository(addr, "origin-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fw.Close(); repo.Close() })
+	fw.SetRetry(time.Millisecond, 10*time.Millisecond)
+	fm := NewForwarderMetrics(obs.NewRegistry())
+	fw.SetMetrics(fm)
+
+	flow := pcap.FlowKey{Local: "a", Remote: "b"}
+	fw.Feed(pcap.Record{At: 1, Dir: pcap.Out, Flow: flow, Size: 1500})
+	waitRepo(t, "first record", func() bool {
+		_, recs := repo.Received()
+		return recs == 1
+	})
+
+	// Break the connection underneath the forwarder; the next flush must
+	// fail, arm the backoff, and a later flush must redial and deliver.
+	fw.mu.Lock()
+	fw.conn.Close()
+	fw.mu.Unlock()
+	fw.Feed(pcap.Record{At: 2, Dir: pcap.Out, Flow: flow, Size: 1500})
+	waitRepo(t, "flush failure observed", func() bool { return fw.Flush() != nil })
+
+	waitRepo(t, "reconnect and redelivery", func() bool {
+		fw.Feed(pcap.Record{At: 3, Dir: pcap.Out, Flow: flow, Size: 1500})
+		_, recs := repo.Received()
+		return fw.Flush() == nil && recs >= 2
+	})
+	if fm.Reconnects.Value() == 0 {
+		t.Fatal("reconnect counter never incremented")
+	}
+	sent, _ := fw.Stats()
+	if sent < 2 {
+		t.Fatalf("sent = %d after reconnect", sent)
+	}
+}
+
+func TestForwarderBoundsBufferWhileDown(t *testing.T) {
+	repo := NewRepository(Config{})
+	addr, err := repo.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := DialRepository(addr, "origin-1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fw.Close(); repo.Close() })
+	// Make every retry fail: break the conn and point redials at a dead
+	// port, with an effectively infinite first backoff so no redial races.
+	fw.SetRetry(time.Hour, time.Hour)
+	fw.mu.Lock()
+	fw.conn.Close()
+	fw.addr = "127.0.0.1:1"
+	fw.mu.Unlock()
+	flow := pcap.FlowKey{Local: "a", Remote: "b"}
+	for i := 0; i < 200; i++ {
+		fw.Feed(pcap.Record{At: int64(i), Dir: pcap.Out, Flow: flow, Size: 1500})
+	}
+	fw.mu.Lock()
+	buffered := len(fw.batch)
+	fw.mu.Unlock()
+	if bound := 16 * 2; buffered > bound {
+		t.Fatalf("buffer grew to %d records (bound %d)", buffered, bound)
+	}
+	if fw.Flush() == nil {
+		t.Fatal("flush against dead repository reported success")
+	}
 }
 
 func TestDialRepositoryValidation(t *testing.T) {
