@@ -22,13 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"freemeasure/internal/control"
+	"freemeasure/internal/obs"
 	"freemeasure/internal/topology"
 	"freemeasure/internal/vadapt"
 )
@@ -116,9 +116,10 @@ func currentMapping(p *vadapt.Problem, spec *problemSpec) ([]topology.NodeID, er
 // the sense->decide loop, logging each decided plan (dry-run: vadaptctl
 // has no overlay to reconfigure). The spec supplies the host list, VM
 // count, demands and current mapping; bandwidth and latency come from the
-// live measurements.
+// live measurements. With metricsAddr the controller's operator surface
+// (metrics, pprof, /debug/events, /debug/state) is served for the run.
 func runLive(p *vadapt.Problem, spec *problemSpec, obj vadapt.Objective,
-	endpoints string, interval time.Duration, cycles, iters int, seed int64) error {
+	endpoints, metricsAddr string, interval time.Duration, cycles, iters int, seed int64) error {
 	eps := strings.Split(endpoints, ",")
 	for i := range eps {
 		eps[i] = strings.TrimSpace(eps[i])
@@ -130,6 +131,13 @@ func runLive(p *vadapt.Problem, spec *problemSpec, obj vadapt.Objective,
 	if err != nil {
 		return err
 	}
+	logger := obs.NewLogger(os.Stderr, "vadaptctl", "")
+	var reg *obs.Registry
+	var flight *obs.FlightRecorder
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+		flight = obs.NewFlightRecorder(0)
+	}
 	ctl, err := control.New(control.Config{
 		Source: &control.SOAPSource{
 			Hosts:     spec.Hosts,
@@ -138,14 +146,25 @@ func runLive(p *vadapt.Problem, spec *problemSpec, obj vadapt.Objective,
 			Demands:   p.Demands,
 			Mapping:   mapping,
 		},
-		Applier:   control.LogApplier{Logf: log.Printf},
+		Applier:   control.LogApplier{Logger: logger},
 		Objective: obj,
 		SA:        vadapt.SAConfig{Iterations: iters, Seed: seed},
 		Interval:  interval,
-		Logf:      log.Printf,
+		Metrics:   control.NewMetrics(reg),
+		Logger:    logger,
+		Flight:    flight,
 	})
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		maddr, err := obs.Serve(metricsAddr, reg, nil,
+			obs.WithFlight(flight),
+			obs.WithState(ctl.DebugState))
+		if err != nil {
+			return err
+		}
+		logger.Info("operator surface up", "url", "http://"+maddr+"/metrics")
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -176,21 +195,26 @@ func main() {
 		live     = flag.String("live", "", "comma-separated Wren SOAP endpoints (one per host): run the control loop over live measurements instead of a one-shot solve")
 		interval = flag.Duration("interval", 2*time.Second, "cycle period in -live mode")
 		cycles   = flag.Int("cycles", 0, "stop after this many -live cycles (0 = until interrupted)")
+		metrics  = flag.String("metrics-addr", "", "in -live mode, serve /metrics, /debug/pprof, /debug/events and /debug/state on this address")
 	)
 	flag.Parse()
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vadaptctl: "+format+"\n", args...)
+		os.Exit(1)
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		defer f.Close()
 		in = f
 	}
 	p, spec, err := load(in)
 	if err != nil {
-		log.Fatalf("vadaptctl: %v", err)
+		fatalf("%v", err)
 	}
 	var obj vadapt.Objective = vadapt.ResidualBW{}
 	if *latC > 0 {
@@ -198,8 +222,8 @@ func main() {
 	}
 
 	if *live != "" {
-		if err := runLive(p, spec, obj, *live, *interval, *cycles, *iters, *seed); err != nil {
-			log.Fatalf("vadaptctl: %v", err)
+		if err := runLive(p, spec, obj, *live, *metrics, *interval, *cycles, *iters, *seed); err != nil {
+			fatalf("%v", err)
 		}
 		return
 	}
@@ -217,7 +241,7 @@ func main() {
 	case "enum":
 		cfg, _ = vadapt.Enumerate(p, obj)
 	default:
-		log.Fatalf("vadaptctl: unknown algorithm %q", *algo)
+		fatalf("unknown algorithm %q", *algo)
 	}
 	ev := obj.Evaluate(p, cfg)
 	fmt.Printf("objective : %s\n", obj.Name())

@@ -10,7 +10,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -20,6 +19,7 @@ import (
 	"time"
 
 	"freemeasure/internal/control"
+	"freemeasure/internal/ethernet"
 	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
 	"freemeasure/internal/vadapt"
@@ -40,7 +40,7 @@ func main() {
 		forward  = flag.String("forward", "", "also ship filtered traces to a wrenrepod at this address")
 		rate     = flag.Float64("rate", 0, "token-bucket rate limit (Mbit/s) for dialed links; 0 = unlimited")
 		poll     = flag.Duration("poll", 500*time.Millisecond, "Wren analysis poll interval")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (see docs/OPERATIONS.md)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/events and /debug/state on this address (see docs/OPERATIONS.md)")
 		report   = flag.Duration("report", 0, "push VTTIF/Wren control reports to the -default-route peer at this interval (0 = off)")
 		hub      = flag.Bool("hub", false, "collect peers' control reports into a global view (the Proxy role)")
 		ctrl     = flag.Bool("controller", false, "run the adaptation control loop over the hub's global view (implies -hub; plans are logged, not applied)")
@@ -54,30 +54,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger := obs.NewLogger(os.Stderr, "vnetd", *name)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	d := vnet.NewDaemon(*name)
+	d.SetLogger(logger)
 	monitor := wren.NewMonitor(*name, wren.Config{
 		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 3_000_000},
 	})
-	var reg *obs.Registry // stays nil (free no-op collectors) without -metrics-addr
+	// Without -metrics-addr both stay nil: every collector and the flight
+	// recorder are free no-ops.
+	var reg *obs.Registry
+	var flight *obs.FlightRecorder
 	if *metrics != "" {
-		// Attach instrumentation before any link or traffic exists; a nil
-		// registry would make every collector a free no-op instead.
+		// Attach instrumentation before any link or traffic exists.
 		reg = obs.NewRegistry()
+		flight = obs.NewFlightRecorder(0)
 		d.SetMetrics(vnet.NewMetrics(reg))
 		monitor.SetMetrics(wren.NewMonitorMetrics(reg))
 		d.Traffic().SetMetrics(vttif.NewLocalMetrics(reg))
-		maddr, err := obs.Serve(*metrics, reg, nil)
-		if err != nil {
-			log.Fatalf("vnetd: metrics-addr: %v", err)
-		}
-		log.Printf("vnetd %q metrics/pprof on http://%s/metrics", *name, maddr)
 	}
 	if *forward != "" {
 		fw, err := wren.DialRepository(*forward, *name, 0)
 		if err != nil {
-			log.Fatalf("vnetd: forward: %v", err)
+			fatal("dial trace repository", "addr", *forward, "err", err)
 		}
+		fw.SetLogger(obs.NewLogger(os.Stderr, "wren", *name))
 		defer fw.Close()
 		go func() {
 			for range time.Tick(*poll) {
@@ -94,9 +99,9 @@ func main() {
 
 	addr, err := d.Listen(*listen)
 	if err != nil {
-		log.Fatalf("vnetd: listen: %v", err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
-	log.Printf("vnetd %q listening on %s", *name, addr)
+	logger.Info("listening", "addr", addr)
 
 	for _, peerAddr := range strings.Split(*connect, ",") {
 		peerAddr = strings.TrimSpace(peerAddr)
@@ -105,9 +110,9 @@ func main() {
 		}
 		peer, err := d.Connect(peerAddr)
 		if err != nil {
-			log.Fatalf("vnetd: connect %s: %v", peerAddr, err)
+			fatal("connect", "addr", peerAddr, "err", err)
 		}
-		log.Printf("vnetd: linked to %q at %s", peer, peerAddr)
+		logger.Info("linked", "peer", peer, "addr", peerAddr)
 		if *rate > 0 {
 			if l, ok := d.Link(peer); ok {
 				l.SetRateMbps(*rate)
@@ -117,9 +122,9 @@ func main() {
 	if *listenU != "" {
 		uaddr, err := d.ListenUDP(*listenU)
 		if err != nil {
-			log.Fatalf("vnetd: listen-udp: %v", err)
+			fatal("listen-udp", "addr", *listenU, "err", err)
 		}
-		log.Printf("vnetd %q virtual-UDP endpoint on %s", *name, uaddr)
+		logger.Info("virtual-UDP endpoint", "addr", uaddr)
 	}
 	for _, peerAddr := range strings.Split(*connectU, ",") {
 		peerAddr = strings.TrimSpace(peerAddr)
@@ -128,9 +133,9 @@ func main() {
 		}
 		peer, err := d.ConnectUDP(peerAddr)
 		if err != nil {
-			log.Fatalf("vnetd: connect-udp %s: %v", peerAddr, err)
+			fatal("connect-udp", "addr", peerAddr, "err", err)
 		}
-		log.Printf("vnetd: virtual-UDP link to %q at %s", peer, peerAddr)
+		logger.Info("virtual-UDP link", "peer", peer, "addr", peerAddr)
 		if *rate > 0 {
 			if l, ok := d.Link(peer); ok {
 				l.SetRateMbps(*rate)
@@ -145,17 +150,18 @@ func main() {
 	if *hub || *ctrl {
 		view = vnet.NewGlobalView(vttif.Config{})
 		d.SetControlHandler(view.HandleControl)
-		log.Printf("vnetd %q acting as control hub", *name)
+		logger.Info("acting as control hub")
 	}
 	if *report > 0 {
 		if *deflt == "" {
-			log.Fatalf("vnetd: -report needs -default-route (the hub to report to)")
+			fatal("-report needs -default-route (the hub to report to)")
 		}
 		rep := vnet.NewReporter(vnet.Reporting{Daemon: d, Wren: monitor, Peer: *deflt}, *report)
 		rep.Start()
 		defer rep.Stop()
-		log.Printf("vnetd %q reporting to %q every %s", *name, *deflt, *report)
+		logger.Info("reporting", "peer", *deflt, "interval", *report)
 	}
+	var ctl *control.Controller
 	if *ctrl {
 		// Sense the hub's global view: peers are the hosts, the bridge's
 		// learned MAC table locates the VMs. Plans are dry-run: a hub
@@ -180,20 +186,22 @@ func main() {
 				return out
 			},
 		}
-		ctl, err := control.New(control.Config{
+		ctrlLog := obs.NewLogger(os.Stderr, "control", *name)
+		ctl, err = control.New(control.Config{
 			Source:   src,
-			Applier:  control.LogApplier{Logf: log.Printf},
+			Applier:  control.LogApplier{Logger: ctrlLog},
 			Gate:     vadapt.Gate{MinImprovement: *ctrlMin, MinAbsolute: *ctrlAbs},
 			Interval: *ctrlInt,
 			Metrics:  control.NewMetrics(reg),
-			Logf:     log.Printf,
+			Logger:   ctrlLog,
+			Flight:   flight,
 		})
 		if err != nil {
-			log.Fatalf("vnetd: controller: %v", err)
+			fatal("controller", "err", err)
 		}
 		ctl.Start()
 		defer ctl.Stop()
-		log.Printf("vnetd %q controller running every %s", *name, *ctrlInt)
+		logger.Info("controller running", "interval", *ctrlInt)
 	}
 
 	go func() {
@@ -204,16 +212,101 @@ func main() {
 
 	if *soapAddr != "" {
 		go func() {
-			log.Printf("vnetd: Wren SOAP interface on http://%s/", *soapAddr)
+			logger.Info("Wren SOAP interface", "url", "http://"+*soapAddr+"/")
 			if err := http.ListenAndServe(*soapAddr, wren.NewService(monitor)); err != nil {
-				log.Fatalf("vnetd: soap: %v", err)
+				fatal("soap", "err", err)
 			}
 		}()
+	}
+
+	if *metrics != "" {
+		// Served last so /debug/state can see the hub view and controller.
+		maddr, err := obs.Serve(*metrics, reg, nil,
+			obs.WithFlight(flight),
+			obs.WithState(stateFunc(*name, d, view, ctl)))
+		if err != nil {
+			fatal("metrics-addr", "err", err)
+		}
+		logger.Info("operator surface up", "url", "http://"+maddr+"/metrics")
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("vnetd %q: shutting down (stats %+v)", *name, d.Stats())
+	logger.Info("shutting down", "stats", fmt.Sprintf("%+v", d.Stats()))
 	d.Close()
+}
+
+// stateFunc builds the /debug/state snapshot closure: what this daemon
+// currently believes — peers, forwarding state, learned MAC locations,
+// and (on a hub) the global view and the controller's introspection.
+func stateFunc(name string, d *vnet.Daemon, view *vnet.GlobalView, ctl *control.Controller) func() any {
+	return func() any {
+		st := map[string]any{
+			"daemon":  name,
+			"peers":   d.Peers(),
+			"rules":   macMapJSON(d.Rules()),
+			"learned": macMapJSON(d.Learned()),
+		}
+		if view != nil {
+			st["paths"] = pathsJSON(view.Paths())
+			st["traffic"] = trafficJSON(view.Agg.Rates())
+		}
+		if ctl != nil {
+			st["controller"] = ctl.DebugState()
+		}
+		return st
+	}
+}
+
+// macMapJSON renders a MAC-keyed table (rules, learned locations) with
+// string keys so it can be a JSON object.
+func macMapJSON(m map[ethernet.MAC]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for mac, peer := range m {
+		out[mac.String()] = peer
+	}
+	return out
+}
+
+// pathJSON is one global-view measurement in /debug/state form.
+type pathJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	vnet.PathMeasurement
+}
+
+func pathsJSON(paths map[[2]string]vnet.PathMeasurement) []pathJSON {
+	out := make([]pathJSON, 0, len(paths))
+	for k, p := range paths {
+		out = append(out, pathJSON{From: k[0], To: k[1], PathMeasurement: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// flowJSON is one aggregated VTTIF traffic-matrix entry.
+type flowJSON struct {
+	Src         string  `json:"src"`
+	Dst         string  `json:"dst"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+}
+
+func trafficJSON(rates map[vttif.Pair]float64) []flowJSON {
+	out := make([]flowJSON, 0, len(rates))
+	for p, r := range rates {
+		out = append(out, flowJSON{Src: p.Src.String(), Dst: p.Dst.String(), BytesPerSec: r})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
 }

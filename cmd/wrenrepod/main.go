@@ -11,8 +11,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -29,6 +29,11 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (see docs/OPERATIONS.md)")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "wrenrepod", "")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	repo := wren.NewRepository(wren.Config{
 		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 1_000_000},
@@ -41,15 +46,15 @@ func main() {
 			func() float64 { return float64(len(repo.Origins())) })
 		maddr, err := obs.Serve(*metrics, reg, nil)
 		if err != nil {
-			log.Fatalf("wrenrepod: metrics-addr: %v", err)
+			fatal("metrics-addr", "err", err)
 		}
-		log.Printf("wrenrepod: metrics/pprof on http://%s/metrics", maddr)
+		logger.Info("metrics/pprof up", "url", "http://"+maddr+"/metrics")
 	}
 	addr, err := repo.Listen(*listen)
 	if err != nil {
-		log.Fatalf("wrenrepod: %v", err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
-	log.Printf("wrenrepod: accepting traces on %s", addr)
+	logger.Info("accepting traces", "addr", addr)
 
 	go func() {
 		for range time.Tick(*poll) {
@@ -82,6 +87,8 @@ func main() {
 		mu.Unlock()
 		svc.ServeHTTP(w, r)
 	})
-	log.Printf("wrenrepod: SOAP/HTTP on http://%s/origins", *httpAddr)
-	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+	logger.Info("SOAP/HTTP up", "url", "http://"+*httpAddr+"/origins")
+	if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+		fatal("http", "err", err)
+	}
 }

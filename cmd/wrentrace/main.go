@@ -3,14 +3,15 @@
 // archived by the repository.
 //
 //	wrentrace -local hostA trace.gob
+//	wrentrace -metrics-addr 127.0.0.1:8090 -local hostA big-trace.gob
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
 	"freemeasure/internal/wren"
 )
@@ -19,18 +20,32 @@ func main() {
 	var (
 		local    = flag.String("local", "", "name of the host the trace was captured on (default: first record's Local)")
 		minTrain = flag.Int("min-train", 0, "minimum packets per train (0 = default)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while the trace is analyzed (for profiling large traces)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wrentrace [-local NAME] TRACE_FILE")
+		fmt.Fprintln(os.Stderr, "usage: wrentrace [-local NAME] [-metrics-addr ADDR] TRACE_FILE")
 		os.Exit(2)
+	}
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "wrentrace: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		maddr, err := obs.Serve(*metrics, reg, nil)
+		if err != nil {
+			fatalf("metrics-addr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrentrace: metrics/pprof on http://%s/metrics\n", maddr)
 	}
 	records, err := pcap.LoadTrace(flag.Arg(0))
 	if err != nil {
-		log.Fatalf("wrentrace: %v", err)
+		fatalf("%v", err)
 	}
 	if len(records) == 0 {
-		log.Fatal("wrentrace: empty trace")
+		fatalf("empty trace")
 	}
 	name := *local
 	if name == "" {
@@ -39,6 +54,9 @@ func main() {
 	m := wren.NewMonitor(name, wren.Config{
 		Scan: wren.ScanConfig{MinTrain: *minTrain},
 	})
+	if reg != nil {
+		m.SetMetrics(wren.NewMonitorMetrics(reg))
+	}
 	m.FeedAll(records)
 	// Close any trailing runs: offline analysis sees the whole trace.
 	last := records[len(records)-1].At

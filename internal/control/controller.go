@@ -2,10 +2,14 @@ package control
 
 import (
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
 	"freemeasure/internal/topology"
 	"freemeasure/internal/vadapt"
 	"freemeasure/internal/vnet"
@@ -32,17 +36,23 @@ func (a OverlayApplier) Apply(plan vnet.Plan) (vnet.ApplyResult, error) {
 // every step counts as applied. It is the act layer for observe-only
 // deployments (standalone daemons the controller cannot reconfigure).
 type LogApplier struct {
-	Logf func(format string, args ...any)
+	// Logger receives one line per dry-run step; nil stays silent.
+	Logger *slog.Logger
 }
 
 // Apply implements Applier.
 func (a LogApplier) Apply(plan vnet.Plan) (vnet.ApplyResult, error) {
-	for _, s := range plan.Steps {
-		if a.Logf != nil {
-			a.Logf("dry-run: %s", s)
+	res := vnet.ApplyResult{
+		Applied: len(plan.Steps),
+		Steps:   make([]vnet.StepResult, len(plan.Steps)),
+	}
+	for i, s := range plan.Steps {
+		res.Steps[i] = vnet.StepResult{Step: s, Desc: s.String(), Outcome: vnet.StepApplied}
+		if a.Logger != nil {
+			a.Logger.Info("dry-run step", "step", s.String())
 		}
 	}
-	return vnet.ApplyResult{Applied: len(plan.Steps)}, nil
+	return res, nil
 }
 
 // Config parameterizes a Controller.
@@ -60,8 +70,15 @@ type Config struct {
 	Interval time.Duration
 	// Metrics is optional; nil disables instrumentation.
 	Metrics *Metrics
-	// Logf is optional cycle logging.
-	Logf func(format string, args ...any)
+	// Logger is optional structured cycle logging; nil disables it. Lines
+	// carry the obs.KeyCycle / obs.KeyTrace attributes, so they join with
+	// the flight recorder's events.
+	Logger *slog.Logger
+	// Flight is the optional decision flight recorder. Every cycle emits
+	// sense, decide and apply spans (plus a gate event) onto it, all
+	// correlated by a fresh trace ID, so /debug/events can replay why any
+	// particular adaptation happened. Nil disables recording for free.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -83,11 +100,18 @@ func (c Config) withDefaults() Config {
 // CycleResult reports what one control cycle did.
 type CycleResult struct {
 	Snapshot *Snapshot
+	// Cycle and Trace identify this pass in log lines and flight-recorder
+	// events (Trace correlates the cycle's sense/decide/apply spans).
+	Cycle uint64
+	Trace string
 	// Plan is the translated overlay plan (empty when nothing to do).
 	Plan vnet.Plan
 	// Current and Target score the synthesized current configuration and
 	// the proposed one on the same sensed problem.
 	Current, Target vadapt.Evaluation
+	// GateAllowed is the hysteresis verdict for a non-empty diff (false
+	// when the cycle never reached the gate).
+	GateAllowed bool
 	// Applied is true when the plan was handed to the Applier and
 	// succeeded; otherwise Reason says why not.
 	Applied bool
@@ -108,12 +132,16 @@ type ruleSite struct {
 // so the next cycle can synthesize the current configuration, diff against
 // it, and tear down state that no longer serves any demand.
 type Controller struct {
-	cfg Config
+	cfg    Config
+	cycles atomic.Uint64
 
 	mu             sync.Mutex
 	lastPaths      map[[2]ethernet.MAC][]string // desired path (daemon names) per demand pair
 	installedRules map[ruleSite]string          // rule -> next hop
 	installedLinks map[[2]string]bool           // normalized name pairs
+
+	lastMu sync.Mutex
+	last   *CycleResult
 
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -146,10 +174,7 @@ func (c *Controller) Start() {
 			case <-c.stopCh:
 				return
 			case <-ticker.C:
-				res := c.RunCycle()
-				if c.cfg.Logf != nil && (res.Err != nil || res.Applied) {
-					c.cfg.Logf("control: %s", res.Summary())
-				}
+				c.RunCycle()
 			}
 		}
 	}()
@@ -159,6 +184,29 @@ func (c *Controller) Start() {
 func (c *Controller) Stop() {
 	c.stopOnce.Do(func() { close(c.stopCh) })
 	c.done.Wait()
+}
+
+// logCycle writes one structured line per noteworthy cycle: errors and
+// applied plans at their natural levels, skips at Debug so steady state
+// stays quiet.
+func (c *Controller) logCycle(res CycleResult) {
+	log := c.cfg.Logger
+	if log == nil {
+		return
+	}
+	log = log.With(obs.KeyCycle, res.Cycle, obs.KeyTrace, res.Trace)
+	switch {
+	case res.Err != nil:
+		log.Error("control cycle failed", "err", res.Err,
+			"rolled_back", res.Result.RolledBack)
+	case res.Applied:
+		log.Info("plan applied",
+			"applied", res.Result.Applied, "skipped", res.Result.Skipped,
+			"current_score", res.Current.Score, "target_score", res.Target.Score)
+	default:
+		log.Debug("cycle skipped", "reason", res.Reason,
+			"current_score", res.Current.Score)
+	}
 }
 
 // Summary renders a one-line account of the cycle.
@@ -174,72 +222,303 @@ func (r CycleResult) Summary() string {
 	}
 }
 
-// RunCycle executes one sense->decide->apply pass synchronously.
+// RunCycle executes one sense->decide->apply pass synchronously, logs it,
+// and remembers the result for LastCycle / DebugState.
 func (c *Controller) RunCycle() CycleResult {
+	res := c.runCycle()
+	c.lastMu.Lock()
+	copied := res
+	c.last = &copied
+	c.lastMu.Unlock()
+	c.logCycle(res)
+	return res
+}
+
+// LastCycle returns a copy of the most recent cycle's result; ok is false
+// before the first cycle completes.
+func (c *Controller) LastCycle() (res CycleResult, ok bool) {
+	c.lastMu.Lock()
+	defer c.lastMu.Unlock()
+	if c.last == nil {
+		return CycleResult{}, false
+	}
+	return *c.last, true
+}
+
+func (c *Controller) runCycle() CycleResult {
 	m := c.cfg.Metrics
+	fr := c.cfg.Flight
 	m.Cycles.Inc()
+	res := CycleResult{Cycle: c.cycles.Add(1), Trace: obs.NextTraceID()}
 
 	// Sense.
+	span := c.startSpan(res, "sense")
 	t0 := time.Now()
 	snap, err := c.cfg.Source.Snapshot()
 	m.SenseSeconds.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		m.CycleErrors.Inc()
-		return CycleResult{Err: fmt.Errorf("sense: %w", err)}
+		span.SetAttr("error", err.Error())
+		span.End()
+		res.Err = fmt.Errorf("sense: %w", err)
+		return res
 	}
-	res := CycleResult{Snapshot: snap}
+	res.Snapshot = snap
+	span.SetAttr("hosts", len(snap.Hosts))
+	span.SetAttr("vms", len(snap.VMs))
+	span.SetAttr("demands", len(snap.Problem.Demands))
+	if counts, fallbacks := provenanceSummary(snap.Provenance); counts != nil {
+		span.SetAttr("estimates", counts)
+		if len(fallbacks) > 0 {
+			span.SetAttr("fallback_pairs", fallbacks)
+		}
+	}
+	span.End()
 
 	// Decide.
+	span = c.startSpan(res, "decide")
 	t0 = time.Now()
 	p := snap.Problem
 	if len(p.Demands) == 0 {
 		m.DecideSeconds.Observe(time.Since(t0).Seconds())
 		m.PlansSkipped.Inc()
 		res.Reason = "no demands observed"
+		span.SetAttr("skip", res.Reason)
+		span.End()
 		return res
 	}
 	current := c.synthesizeCurrent(snap)
 	target := vadapt.Greedy(p)
+	algorithm := "gh"
 	if c.cfg.SA.Iterations > 0 {
 		target, _ = vadapt.Anneal(p, c.cfg.Objective, target, c.cfg.SA)
+		algorithm = "sa+gh"
 	}
 	res.Current = c.cfg.Objective.Evaluate(p, current)
 	res.Target = c.cfg.Objective.Evaluate(p, target)
 	m.Objective.Set(res.Current.Score)
 	diff := vadapt.Diff(p, current, target)
 	m.DecideSeconds.Observe(time.Since(t0).Seconds())
+	span.SetAttr("algorithm", algorithm)
+	span.SetAttr("sa_iterations", c.cfg.SA.Iterations)
+	span.SetAttr("current_score", res.Current.Score)
+	span.SetAttr("target_score", res.Target.Score)
+	span.SetAttr("target_feasible", res.Target.Feasible)
+	span.SetAttr("diff_steps", len(diff.Steps))
+	if len(diff.Steps) > 0 {
+		span.SetAttr("steps", diffStepStrings(diff.Steps, maxEventSteps))
+	}
 	if diff.Empty() {
 		m.PlansSkipped.Inc()
 		res.Reason = "no change"
+		span.SetAttr("skip", res.Reason)
+		span.End()
 		return res
 	}
-	if !c.cfg.Gate.Allows(res.Current, res.Target) {
+	res.GateAllowed = c.cfg.Gate.Allows(res.Current, res.Target)
+	fr.Record(obs.Event{
+		Trace: res.Trace, Component: "control", Phase: "decide", Name: "gate",
+		Attrs: map[string]any{
+			obs.KeyCycle:    res.Cycle,
+			"allowed":       res.GateAllowed,
+			"current_score": res.Current.Score,
+			"target_score":  res.Target.Score,
+			"gain":          res.Target.Score - res.Current.Score,
+		},
+	})
+	if !res.GateAllowed {
 		m.PlansSkipped.Inc()
 		res.Reason = fmt.Sprintf("gate: gain %.3g below hysteresis threshold",
 			res.Target.Score-res.Current.Score)
+		span.SetAttr("skip", res.Reason)
+		span.End()
 		return res
 	}
+	span.End()
 
 	// Act.
+	span = c.startSpan(res, "apply")
 	t0 = time.Now()
 	plan := c.translate(snap, diff, target)
 	res.Plan = plan
 	result, err := c.cfg.Applier.Apply(plan)
 	m.ApplySeconds.Observe(time.Since(t0).Seconds())
 	res.Result = result
+	span.SetAttr("plan_steps", len(plan.Steps))
+	span.SetAttr("applied", result.Applied)
+	span.SetAttr("skipped", result.Skipped)
+	span.SetAttr("rolled_back", result.RolledBack)
+	if len(result.Steps) > 0 {
+		span.SetAttr("steps", truncStepResults(result.Steps, maxEventSteps))
+	}
 	if err != nil {
 		m.CycleErrors.Inc()
 		if result.RolledBack > 0 {
 			m.PlansRolledBack.Inc()
 		}
+		span.SetAttr("error", err.Error())
+		span.End()
 		res.Err = fmt.Errorf("apply: %w", err)
 		return res
 	}
+	span.End()
 	c.recordApplied(snap, target)
 	m.PlansApplied.Inc()
 	m.Objective.Set(res.Target.Score)
 	res.Applied = true
 	return res
+}
+
+// startSpan opens one control-phase span on the flight recorder (a nil
+// recorder yields a nil, no-op span).
+func (c *Controller) startSpan(res CycleResult, phase string) *obs.Span {
+	span := c.cfg.Flight.StartSpan(res.Trace, "control", phase, phase)
+	span.SetAttr(obs.KeyCycle, res.Cycle)
+	return span
+}
+
+// maxEventSteps bounds how many plan steps one flight-recorder event
+// carries; larger plans are truncated (the event says by how much).
+const maxEventSteps = 64
+
+func diffStepStrings(steps []vadapt.Step, max int) []string {
+	n := len(steps)
+	if n > max {
+		n = max
+	}
+	out := make([]string, 0, n+1)
+	for _, s := range steps[:n] {
+		out = append(out, s.String())
+	}
+	if len(steps) > max {
+		out = append(out, fmt.Sprintf("... %d more", len(steps)-max))
+	}
+	return out
+}
+
+func truncStepResults(steps []vnet.StepResult, max int) []vnet.StepResult {
+	if len(steps) <= max {
+		return steps
+	}
+	return steps[:max]
+}
+
+// provenanceSummary folds per-pair provenance into what one sense event
+// can carry: counts by source, plus the pairs that did not get a direct
+// measurement (capped — the full list lives in /debug/state).
+func provenanceSummary(prov []PathProvenance) (map[string]int, []string) {
+	if prov == nil {
+		return nil, nil
+	}
+	counts := make(map[string]int)
+	var fallbacks []string
+	for _, p := range prov {
+		counts[p.Source]++
+		if p.Source != "direct" && len(fallbacks) < 32 {
+			fallbacks = append(fallbacks, p.From+"->"+p.To+" ("+p.Source+")")
+		}
+	}
+	return counts, fallbacks
+}
+
+// installedRule is one forwarding rule in /debug/state form.
+type installedRule struct {
+	Host    string `json:"host"`
+	MAC     string `json:"mac"`
+	NextHop string `json:"next_hop"`
+}
+
+// lastCycleState is the /debug/state rendering of the most recent cycle.
+type lastCycleState struct {
+	Cycle        uint64            `json:"cycle"`
+	Trace        string            `json:"trace"`
+	Summary      string            `json:"summary"`
+	Applied      bool              `json:"applied"`
+	GateAllowed  bool              `json:"gate_allowed"`
+	Reason       string            `json:"reason,omitempty"`
+	Error        string            `json:"error,omitempty"`
+	CurrentScore float64           `json:"current_score"`
+	TargetScore  float64           `json:"target_score"`
+	Plan         []string          `json:"plan,omitempty"`
+	StepResults  []vnet.StepResult `json:"step_results,omitempty"`
+	Provenance   []PathProvenance  `json:"provenance,omitempty"`
+}
+
+// controllerState is what Controller.DebugState returns.
+type controllerState struct {
+	Cycles uint64 `json:"cycles"`
+	// Installed is the configuration the controller believes is live.
+	Installed struct {
+		Paths map[string][]string `json:"paths,omitempty"`
+		Rules []installedRule     `json:"rules,omitempty"`
+		Links [][2]string         `json:"links,omitempty"`
+	} `json:"installed"`
+	LastCycle *lastCycleState `json:"last_cycle,omitempty"`
+}
+
+// DebugState returns a JSON-friendly introspection snapshot for the
+// /debug/state endpoint: the installed configuration the controller
+// remembers, and the last cycle's plan, gate decision and measurement
+// provenance.
+func (c *Controller) DebugState() any {
+	var st controllerState
+	st.Cycles = c.cycles.Load()
+
+	c.mu.Lock()
+	if len(c.lastPaths) > 0 {
+		st.Installed.Paths = make(map[string][]string, len(c.lastPaths))
+		for pair, names := range c.lastPaths {
+			key := pair[0].String() + "->" + pair[1].String()
+			st.Installed.Paths[key] = append([]string(nil), names...)
+		}
+	}
+	for site, next := range c.installedRules {
+		st.Installed.Rules = append(st.Installed.Rules, installedRule{
+			Host: site.Host, MAC: site.MAC.String(), NextHop: next})
+	}
+	for key := range c.installedLinks {
+		st.Installed.Links = append(st.Installed.Links, key)
+	}
+	c.mu.Unlock()
+	sort.Slice(st.Installed.Rules, func(i, j int) bool {
+		a, b := st.Installed.Rules[i], st.Installed.Rules[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.MAC < b.MAC
+	})
+	sort.Slice(st.Installed.Links, func(i, j int) bool {
+		a, b := st.Installed.Links[i], st.Installed.Links[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+
+	if last, ok := c.LastCycle(); ok {
+		lc := &lastCycleState{
+			Cycle:        last.Cycle,
+			Trace:        last.Trace,
+			Summary:      last.Summary(),
+			Applied:      last.Applied,
+			GateAllowed:  last.GateAllowed,
+			Reason:       last.Reason,
+			CurrentScore: last.Current.Score,
+			TargetScore:  last.Target.Score,
+			StepResults:  last.Result.Steps,
+		}
+		if last.Err != nil {
+			lc.Error = last.Err.Error()
+		}
+		for _, s := range last.Plan.Steps {
+			lc.Plan = append(lc.Plan, s.String())
+		}
+		if last.Snapshot != nil {
+			lc.Provenance = last.Snapshot.Provenance
+		}
+		st.LastCycle = lc
+	}
+	return st
 }
 
 // synthesizeCurrent reconstructs the configuration the controller believes

@@ -1,8 +1,12 @@
 package control
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -342,5 +346,204 @@ func TestControllerTearsDownStaleState(t *testing.T) {
 	h0 := s.vms[0].Daemon()
 	if _, ok := h0.Rules()[s.vms[1].MAC()]; ok {
 		t.Fatal("stale rule survived")
+	}
+}
+
+// staticSnap is a 3-host problem where the greedy target must reroute the
+// single demand, so a cycle runs all the way through sense, decide, gate
+// and apply.
+func staticSnap() *Snapshot {
+	g := topology.New(3)
+	g.AddBiEdge(0, 1, 100, 1)
+	g.AddBiEdge(0, 2, 1, 1)
+	g.AddBiEdge(1, 2, 1, 1)
+	hosts := []string{"h1", "h2", "h3"}
+	for i, h := range hosts {
+		g.SetName(topology.NodeID(i), h)
+	}
+	return &Snapshot{
+		Problem: &vadapt.Problem{Hosts: g, NumVMs: 2,
+			Demands: []vadapt.Demand{{Src: 0, Dst: 1, Rate: 5}}},
+		Hosts:   hosts,
+		VMs:     []ethernet.MAC{ethernet.VMMAC(0), ethernet.VMMAC(1)},
+		Mapping: []topology.NodeID{0, 2},
+		Provenance: []PathProvenance{
+			{From: "h1", To: "h2", Mbps: 100, LatencyMs: 1, Source: "direct", Kind: "test", Quality: 1},
+			{From: "h1", To: "h3", Mbps: 1, LatencyMs: 1, Source: "hub-legs", Kind: "test", Quality: 0.5},
+		},
+	}
+}
+
+// TestCycleFlightRecording is the golden path of the flight recorder: one
+// controller cycle against a StaticSource must leave sense, decide and
+// apply spans — plus the gate verdict with both objective values — on
+// /debug/events, all correlated by the cycle's trace ID.
+func TestCycleFlightRecording(t *testing.T) {
+	fr := obs.NewFlightRecorder(0)
+	var logBuf bytes.Buffer
+	c, err := New(Config{
+		Source:  &StaticSource{Snap: staticSnap()},
+		Applier: LogApplier{},
+		Metrics: NewMetrics(obs.NewRegistry()),
+		Logger:  obs.NewLogger(&logBuf, "control", "test"),
+		Flight:  fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunCycle()
+	if res.Err != nil || !res.Applied {
+		t.Fatalf("cycle: %s", res.Summary())
+	}
+	if res.Trace == "" || res.Cycle != 1 {
+		t.Fatalf("cycle identity missing: cycle=%d trace=%q", res.Cycle, res.Trace)
+	}
+
+	// Read the cycle back the way an operator would: over HTTP.
+	mux := obs.NewMux(obs.NewRegistry(), nil, obs.WithFlight(fr))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?trace="+res.Trace, nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/events: %d", rec.Code)
+	}
+	var pg struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &pg); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+
+	byName := make(map[string]obs.Event)
+	for _, e := range pg.Events {
+		if e.Trace != res.Trace {
+			t.Fatalf("event %q leaked into trace filter: %+v", e.Name, e)
+		}
+		if e.Component != "control" {
+			t.Fatalf("event %q component = %q", e.Name, e.Component)
+		}
+		byName[e.Name] = e
+	}
+	for name, phase := range map[string]string{
+		"sense": "sense", "decide": "decide", "gate": "decide", "apply": "apply",
+	} {
+		e, ok := byName[name]
+		if !ok {
+			t.Fatalf("cycle left no %q event; got %v", name, pg.Events)
+		}
+		if e.Phase != phase {
+			t.Fatalf("%q phase = %q, want %q", name, e.Phase, phase)
+		}
+	}
+	// The gate verdict must carry both objective values.
+	gate := byName["gate"].Attrs
+	if gate["allowed"] != true {
+		t.Fatalf("gate not allowed: %v", gate)
+	}
+	if gate["current_score"].(float64) != res.Current.Score ||
+		gate["target_score"].(float64) != res.Target.Score {
+		t.Fatalf("gate scores %v, want %v -> %v", gate, res.Current.Score, res.Target.Score)
+	}
+	// Sense recorded measurement provenance; apply recorded per-step results.
+	if byName["sense"].Attrs["estimates"] == nil {
+		t.Fatalf("sense span has no provenance: %v", byName["sense"].Attrs)
+	}
+	if byName["apply"].Attrs["applied"].(float64) != float64(res.Result.Applied) {
+		t.Fatalf("apply span attrs %v, want applied=%d", byName["apply"].Attrs, res.Result.Applied)
+	}
+
+	// The structured log line for the cycle joins on the same identifiers.
+	line := logBuf.String()
+	for _, want := range []string{"plan applied", "component=control",
+		"trace=" + res.Trace, "cycle=1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+// TestCycleFlightSkippedByGate checks the other interesting verdict: when
+// the gate refuses a plan, the decide span says so and no apply span exists.
+func TestCycleFlightSkippedByGate(t *testing.T) {
+	snap := staticSnap()
+	fr := obs.NewFlightRecorder(0)
+	c, err := New(Config{
+		Source:  &StaticSource{Snap: snap},
+		Applier: LogApplier{},
+		Gate:    vadapt.Gate{MinImprovement: 0.01, MinAbsolute: 1e9},
+		Flight:  fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunCycle()
+	if res.Err != nil || res.Applied || res.GateAllowed {
+		t.Fatalf("cycle should be gated: %s", res.Summary())
+	}
+	var sawGate bool
+	for _, e := range fr.Events(0) {
+		if e.Phase == "apply" {
+			t.Fatalf("gated cycle emitted an apply event: %+v", e)
+		}
+		if e.Name == "gate" {
+			sawGate = true
+			if e.Attrs["allowed"] != false {
+				t.Fatalf("gate event claims allowed: %v", e.Attrs)
+			}
+		}
+	}
+	if !sawGate {
+		t.Fatal("no gate event recorded")
+	}
+	if _, ok := c.LastCycle(); !ok {
+		t.Fatal("LastCycle empty after a run")
+	}
+}
+
+// TestDebugStateAfterCycle drives /debug/state end to end: after an
+// applied cycle it must expose the installed rules/links and the last
+// cycle's trace, gate verdict and scores.
+func TestDebugStateAfterCycle(t *testing.T) {
+	c, err := New(Config{
+		Source:  &StaticSource{Snap: staticSnap()},
+		Applier: LogApplier{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := c.RunCycle(); res.Err != nil || !res.Applied {
+		t.Fatalf("cycle: %s", res.Summary())
+	}
+	mux := obs.NewMux(obs.NewRegistry(), nil, obs.WithState(c.DebugState))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/state", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/state: %d", rec.Code)
+	}
+	var st struct {
+		Cycles    uint64 `json:"cycles"`
+		Installed struct {
+			Rules []installedRule `json:"rules"`
+			Links [][2]string     `json:"links"`
+		} `json:"installed"`
+		LastCycle *lastCycleState `json:"last_cycle"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if st.Cycles != 1 || st.LastCycle == nil {
+		t.Fatalf("state = %+v", st)
+	}
+	lc := st.LastCycle
+	if lc.Cycle != 1 || lc.Trace == "" || !lc.Applied || !lc.GateAllowed {
+		t.Fatalf("last cycle = %+v", lc)
+	}
+	if lc.TargetScore <= lc.CurrentScore {
+		t.Fatalf("scores not improving: %v -> %v", lc.CurrentScore, lc.TargetScore)
+	}
+	if len(lc.Plan) == 0 || len(lc.StepResults) == 0 || len(lc.Provenance) == 0 {
+		t.Fatalf("last cycle missing plan/steps/provenance: %+v", lc)
+	}
+	if len(st.Installed.Rules) == 0 {
+		t.Fatalf("no installed rules in state: %+v", st.Installed)
 	}
 }

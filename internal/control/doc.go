@@ -18,4 +18,12 @@
 //   - Act: an Applier executes the translated vnet.Plan — OverlayApplier
 //     reconfigures a live overlay transactionally (with rollback on
 //     partial failure), LogApplier dry-runs for observe-only deployments.
+//
+// Every cycle is explainable after the fact: Config.Logger writes one
+// structured log line per noteworthy cycle, and Config.Flight records
+// sense/decide/apply spans plus the gate verdict onto the decision
+// flight recorder (internal/obs), all stamped with the cycle's trace ID.
+// Controller.DebugState serves the controller's current beliefs — the
+// installed paths/rules/links and the last cycle's plan, verdict and
+// measurement provenance — as the /debug/state endpoint.
 package control

@@ -3,6 +3,7 @@ package control
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"freemeasure/internal/ethernet"
 	"freemeasure/internal/topology"
@@ -22,6 +23,37 @@ type Snapshot struct {
 	VMs []ethernet.MAC
 	// Mapping is where each VM currently lives (index = vadapt.VMID).
 	Mapping []topology.NodeID
+	// Provenance records, per sensed host pair, which measurement (or
+	// fallback) produced the estimate — the sense layer's contribution to
+	// the decision flight recorder. Sources that cannot attribute their
+	// estimates leave it nil.
+	Provenance []PathProvenance
+}
+
+// PathProvenance explains one host-pair estimate: the numbers the decide
+// phase saw, plus where they came from. Estimates are only trustworthy
+// alongside the observations that produced them, so this is what
+// /debug/events and /debug/state surface when an operator asks why a
+// mapping was chosen.
+type PathProvenance struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Mbps float64 `json:"mbps"`
+	// LatencyMs is the latency fed to the problem graph.
+	LatencyMs float64 `json:"latency_ms"`
+	// Source is how the estimate was obtained: "direct" (a Wren
+	// measurement in the demanded direction), "reverse" (the opposite
+	// direction's measurement, used because passive measurement only sees
+	// directions the application sends in), "hub-legs" (composed from the
+	// two star legs through the hub), or "default" (nothing measured).
+	Source string `json:"source"`
+	// Kind and Quality describe the Wren estimator that produced a
+	// measured value ("" / 0 for fallbacks).
+	Kind    string  `json:"kind,omitempty"`
+	Quality float64 `json:"quality,omitempty"`
+	// AgeSec is how stale the measurement was at sense time (0 when the
+	// measurement carries no timestamp or nothing was measured).
+	AgeSec float64 `json:"age_sec,omitempty"`
 }
 
 // hostIndex inverts Hosts.
@@ -82,20 +114,20 @@ func (s *ViewSource) defaults() (hub string, bw, lat float64) {
 }
 
 // measuredPath returns a usable Wren measurement for the pair, trying the
-// requested direction first and then the reverse. Overlay paths are
-// near-symmetric, so the reverse measurement beats a fabricated default:
-// passive measurement only ever sees the direction the application sends
-// in, and an optimistic default on the silent reverse direction makes
-// swapping a VM pair look like a large objective gain when it changes
-// nothing.
-func (s *ViewSource) measuredPath(from, to string) (vnet.PathMeasurement, bool) {
+// requested direction first and then the reverse, and says which one it
+// used. Overlay paths are near-symmetric, so the reverse measurement beats
+// a fabricated default: passive measurement only ever sees the direction
+// the application sends in, and an optimistic default on the silent
+// reverse direction makes swapping a VM pair look like a large objective
+// gain when it changes nothing.
+func (s *ViewSource) measuredPath(from, to string) (vnet.PathMeasurement, string, bool) {
 	if p, ok := s.View.Path(from, to); ok && p.BWFound && p.Mbps > 0 {
-		return p, true
+		return p, "direct", true
 	}
 	if p, ok := s.View.Path(to, from); ok && p.BWFound && p.Mbps > 0 {
-		return p, true
+		return p, "reverse", true
 	}
-	return vnet.PathMeasurement{}, false
+	return vnet.PathMeasurement{}, "", false
 }
 
 // PathEstimate returns the believed (bandwidth, latency) between two
@@ -105,26 +137,46 @@ func (s *ViewSource) measuredPath(from, to string) (vnet.PathMeasurement, bool) 
 // configured defaults. On the initial star topology all traffic transits
 // the hub, so the leg measurements are what Wren actually has.
 func (s *ViewSource) PathEstimate(from, to string) (bw, lat float64) {
+	bw, lat, _ = s.estimate(from, to)
+	return bw, lat
+}
+
+// estimate is PathEstimate plus the provenance of the numbers.
+func (s *ViewSource) estimate(from, to string) (bw, lat float64, prov PathProvenance) {
 	hub, defBW, defLat := s.defaults()
+	prov = PathProvenance{From: from, To: to, Source: "default"}
 	bw, lat = defBW, defLat
-	if p, ok := s.measuredPath(from, to); ok {
+	if p, dir, ok := s.measuredPath(from, to); ok {
 		bw = p.Mbps
 		if p.LatFound && p.LatencyMs > 0 {
 			lat = p.LatencyMs
 		}
-		return bw, lat
+		prov.Source = dir
+		prov.Kind, prov.Quality = p.Kind, p.Quality
+		if !p.UpdatedAt.IsZero() {
+			prov.AgeSec = time.Since(p.UpdatedAt).Seconds()
+		}
+		prov.Mbps, prov.LatencyMs = bw, lat
+		return bw, lat, prov
 	}
-	up, okUp := s.measuredPath(from, hub)
-	down, okDown := s.measuredPath(hub, to)
+	up, _, okUp := s.measuredPath(from, hub)
+	down, _, okDown := s.measuredPath(hub, to)
 	if okUp || okDown {
+		prov.Source = "hub-legs"
 		legBW := defBW
 		legLat := 0.0
 		apply := func(p vnet.PathMeasurement, ok bool) {
 			if ok && p.BWFound && p.Mbps > 0 && p.Mbps < legBW {
 				legBW = p.Mbps
+				prov.Kind, prov.Quality = p.Kind, p.Quality
 			}
 			if ok && p.LatFound && p.LatencyMs > 0 {
 				legLat += p.LatencyMs
+			}
+			if ok && !p.UpdatedAt.IsZero() {
+				if age := time.Since(p.UpdatedAt).Seconds(); age > prov.AgeSec {
+					prov.AgeSec = age
+				}
 			}
 		}
 		apply(up, okUp)
@@ -134,7 +186,8 @@ func (s *ViewSource) PathEstimate(from, to string) (bw, lat float64) {
 			lat = legLat
 		}
 	}
-	return bw, lat
+	prov.Mbps, prov.LatencyMs = bw, lat
+	return bw, lat, prov
 }
 
 // Snapshot implements ProblemSource.
@@ -144,8 +197,11 @@ func (s *ViewSource) Snapshot() (*Snapshot, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("control: no hosts")
 	}
+	var prov []PathProvenance
 	g := topology.Complete(n, func(from, to topology.NodeID) (float64, float64) {
-		return s.PathEstimate(names[from], names[to])
+		bw, lat, p := s.estimate(names[from], names[to])
+		prov = append(prov, p)
+		return bw, lat
 	})
 	idx := make(map[string]topology.NodeID, n)
 	for i, name := range names {
@@ -181,10 +237,11 @@ func (s *ViewSource) Snapshot() (*Snapshot, error) {
 	}
 	sortDemands(demands)
 	return &Snapshot{
-		Problem: &vadapt.Problem{Hosts: g, NumVMs: len(vms), Demands: demands},
-		Hosts:   names,
-		VMs:     macs,
-		Mapping: mapping,
+		Problem:    &vadapt.Problem{Hosts: g, NumVMs: len(vms), Demands: demands},
+		Hosts:      names,
+		VMs:        macs,
+		Mapping:    mapping,
+		Provenance: prov,
 	}, nil
 }
 
@@ -243,12 +300,17 @@ func (s *SOAPSource) Snapshot() (*Snapshot, error) {
 	// Like ViewSource, fall back to the reverse direction's measurement
 	// before the defaults: passive measurement only covers directions the
 	// application actually sends in.
+	var prov []PathProvenance
+	dirNames := [2]string{"direct", "reverse"}
 	g := topology.Complete(n, func(from, to topology.NodeID) (float64, float64) {
+		p := PathProvenance{From: s.Hosts[from], To: s.Hosts[to], Source: "default"}
 		bw, lat := defBW, defLat
-		for _, dir := range [2][2]topology.NodeID{{from, to}, {to, from}} {
+		for i, dir := range [2][2]topology.NodeID{{from, to}, {to, from}} {
 			est, found, err := s.clients[dir[0]].AvailableBandwidth(s.Hosts[dir[1]])
 			if err == nil && found && est.Mbps > 0 {
 				bw = est.Mbps
+				p.Source = dirNames[i]
+				p.Kind, p.Quality = est.Kind.String(), est.Quality
 				break
 			}
 		}
@@ -259,6 +321,8 @@ func (s *SOAPSource) Snapshot() (*Snapshot, error) {
 				break
 			}
 		}
+		p.Mbps, p.LatencyMs = bw, lat
+		prov = append(prov, p)
 		return bw, lat
 	})
 	macs := make([]ethernet.MAC, s.NumVMs)
@@ -271,10 +335,11 @@ func (s *SOAPSource) Snapshot() (*Snapshot, error) {
 		g.SetName(topology.NodeID(i), name)
 	}
 	return &Snapshot{
-		Problem: &vadapt.Problem{Hosts: g, NumVMs: s.NumVMs, Demands: demands},
-		Hosts:   append([]string(nil), s.Hosts...),
-		VMs:     macs,
-		Mapping: mapping,
+		Problem:    &vadapt.Problem{Hosts: g, NumVMs: s.NumVMs, Demands: demands},
+		Hosts:      append([]string(nil), s.Hosts...),
+		VMs:        macs,
+		Mapping:    mapping,
+		Provenance: prov,
 	}, nil
 }
 

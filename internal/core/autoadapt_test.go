@@ -56,7 +56,7 @@ func TestAutoAdaptMigratesAndDamps(t *testing.T) {
 		p, ok := s.Overlay().View.Path(a, b)
 		return ok && p.BWFound && p.Mbps > floor
 	}
-	waitFor(t, "legs measured", 20*time.Second, func() bool {
+	waitFor(t, "legs measured", 45*time.Second, func() bool {
 		slow, ok := s.Overlay().View.Path("slowhost", "proxy")
 		return ok && slow.BWFound && slow.Mbps < 40 &&
 			measuredAbove("fast1", "proxy", 20) &&
@@ -81,7 +81,7 @@ func TestAutoAdaptMigratesAndDamps(t *testing.T) {
 		if len(p.Migrations) == 0 {
 			t.Fatalf("applied plan had no migrations: %+v", p)
 		}
-	case <-time.After(20 * time.Second):
+	case <-time.After(45 * time.Second):
 		t.Fatalf("auto-adapt never applied a plan (stats %+v)", a.Stats())
 	}
 	if v2.Daemon().Name() == "slowhost" {

@@ -1,19 +1,35 @@
-// Package obs is the reproduction's observability layer: a small,
-// dependency-free metrics subsystem (atomic Counter, Gauge and fixed-bucket
-// Histogram registered in a named Registry, rendered in the Prometheus text
-// exposition format) plus the HTTP operator surface (/metrics, /healthz and
-// the net/http/pprof profiles) that cmd/vnetd and cmd/wrenrepod expose via
-// -metrics-addr.
+// Package obs is the reproduction's observability layer, in three parts.
+//
+// Metrics: a small, dependency-free subsystem (atomic Counter, Gauge and
+// fixed-bucket Histogram registered in a named Registry, rendered in the
+// Prometheus text exposition format).
+//
+// The flight recorder: a bounded ring buffer of structured Events that
+// records what the adaptation loop did and why. Each control cycle gets a
+// trace ID (NextTraceID) stamped on its sense/decide/apply spans, its
+// gate verdict, and its structured log lines, so an operator can replay
+// any single decision end to end. ServeHTTP on *FlightRecorder is the
+// /debug/events endpoint (filterable by trace, component, phase).
+//
+// Logging: NewLogger builds the log/slog logger the daemons share, with
+// the same attribute vocabulary (KeyComponent, KeyHost, KeyCycle,
+// KeyTrace) the flight recorder uses, so log lines and events join.
+//
+// NewMux/Serve assemble the HTTP operator surface — /metrics, /healthz,
+// the net/http/pprof profiles, and (via WithFlight / WithState)
+// /debug/events and /debug/state — exposed by cmd/vnetd, cmd/wrenrepod,
+// cmd/vadaptctl -live and cmd/wrentrace through -metrics-addr.
 //
 // The paper's premise is measurement without perturbation — Wren watches
 // the application's existing traffic instead of probing — and this package
-// applies the same discipline to the system itself: every collector is
-// nil-safe, so instrumented hot paths (wren.Monitor.Feed, the VNET
-// forwarding loop, VTTIF classification, VADAPT annealing) call Inc/Add/
-// Observe unconditionally and pay only a pointer nil check when no
-// registry is attached. Attaching a Registry is the only switch; there is
-// no global state and no allocation on the fast path.
+// applies the same discipline to the system itself: every collector, the
+// flight recorder, and the spans it mints are nil-safe, so instrumented
+// hot paths (wren.Monitor.Feed, the VNET forwarding loop, VTTIF
+// classification, the control loop) record unconditionally and pay only a
+// pointer nil check when nothing is attached. There is no global state
+// and no allocation on the fast path.
 //
-// docs/OPERATIONS.md documents every exported metric name and a worked
-// curl example against a running vnetd.
+// docs/OPERATIONS.md documents every exported metric name, the
+// /debug/events and /debug/state formats, and a worked "why did the
+// controller migrate VM X?" walkthrough.
 package obs

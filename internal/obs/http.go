@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -19,16 +20,44 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprint(w, b.String())
 }
 
+// MuxOption extends the operator surface NewMux builds.
+type MuxOption func(*muxOptions)
+
+type muxOptions struct {
+	flight *FlightRecorder
+	state  func() any
+}
+
+// WithFlight mounts fr as /debug/events (the decision flight recorder)
+// and registers a flight_recorder_events_total gauge on the registry. A
+// nil recorder mounts nothing.
+func WithFlight(fr *FlightRecorder) MuxOption {
+	return func(o *muxOptions) { o.flight = fr }
+}
+
+// WithState mounts /debug/state: each GET calls state() and serves the
+// result as indented JSON — the live "what does this process believe"
+// snapshot (global view, learned peers, installed config, last plan).
+func WithState(state func() any) MuxOption {
+	return func(o *muxOptions) { o.state = state }
+}
+
 // NewMux builds the operator surface around a registry:
 //
 //	/metrics            Prometheus text exposition of reg
 //	/healthz            200 "ok" (503 + error text when healthy() fails)
 //	/debug/pprof/...    the standard net/http/pprof profiles
+//	/debug/events       recent flight-recorder events (with WithFlight)
+//	/debug/state        live introspection snapshot (with WithState)
 //
 // healthy may be nil, in which case the process is reported healthy
 // whenever it can answer at all. Process-level gauges (goroutines, uptime)
 // are registered on reg as a side effect.
-func NewMux(reg *Registry, healthy func() error) *http.ServeMux {
+func NewMux(reg *Registry, healthy func() error, opts ...MuxOption) *http.ServeMux {
+	var o muxOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	start := time.Now()
 	reg.GaugeFunc("process_goroutines",
 		"Number of live goroutines.",
@@ -53,17 +82,35 @@ func NewMux(reg *Registry, healthy func() error) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if o.flight != nil {
+		mux.Handle("/debug/events", o.flight)
+		reg.GaugeFunc("flight_recorder_events_total",
+			"Events recorded by the decision flight recorder (including overwritten ones).",
+			func() float64 { return float64(o.flight.Total()) })
+	}
+	if o.state != nil {
+		state := o.state
+		mux.HandleFunc("/debug/state", func(w http.ResponseWriter, r *http.Request) {
+			b, err := json.MarshalIndent(state(), "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(b, '\n'))
+		})
+	}
 	return mux
 }
 
 // Serve starts the operator surface on addr (e.g. "127.0.0.1:9100" or
 // ":0") in a background goroutine and returns the bound address.
-func Serve(addr string, reg *Registry, healthy func() error) (string, error) {
+func Serve(addr string, reg *Registry, healthy func() error, opts ...MuxOption) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: NewMux(reg, healthy)}
+	srv := &http.Server{Handler: NewMux(reg, healthy, opts...)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

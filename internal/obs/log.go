@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Shared attribute keys: slog lines and flight-recorder events use the
+// same names, so "everything host h2 did in cycle 41" is one filter
+// whether it is asked of the logs or of /debug/events.
+const (
+	// KeyComponent names the subsystem: "vnetd", "control", "wren", ...
+	KeyComponent = "component"
+	// KeyHost is the daemon name the line concerns.
+	KeyHost = "host"
+	// KeyCycle is the control cycle number (monotonic per controller).
+	KeyCycle = "cycle"
+	// KeyTrace is the flight-recorder trace ID of the cycle.
+	KeyTrace = "trace"
+)
+
+// NewLogger builds the repo's standard structured logger: text lines on w
+// tagged with the component and (when non-empty) host attributes. It is
+// the slog replacement for the former ad-hoc Logf plumbing; pass the
+// result to control.Config.Logger, vnet.Daemon.SetLogger, etc.
+func NewLogger(w io.Writer, component, host string) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, nil)).With(KeyComponent, component)
+	if host != "" {
+		l = l.With(KeyHost, host)
+	}
+	return l
+}

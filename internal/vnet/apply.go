@@ -98,11 +98,40 @@ func (f MigratorFunc) Migrate(mac ethernet.MAC, fromHost, toHost string) error {
 	return f(mac, fromHost, toHost)
 }
 
+// StepOutcome classifies what Apply did with one step.
+type StepOutcome string
+
+const (
+	// StepApplied: the step executed and changed state.
+	StepApplied StepOutcome = "applied"
+	// StepSkipped: the step was already satisfied (idempotence).
+	StepSkipped StepOutcome = "skipped"
+	// StepFailed: the step errored, aborting the plan.
+	StepFailed StepOutcome = "failed"
+	// StepRolledBack: the step had been applied, then was undone after a
+	// later step failed.
+	StepRolledBack StepOutcome = "rolled-back"
+	// StepNotReached: a later step never ran because an earlier one failed.
+	StepNotReached StepOutcome = "not-reached"
+)
+
+// StepResult is one step's fate — the apply layer's flight-recorder
+// provenance, letting an operator reconstruct exactly which part of a
+// plan took effect.
+type StepResult struct {
+	Step    Step        `json:"-"`
+	Desc    string      `json:"step"`
+	Outcome StepOutcome `json:"outcome"`
+	Err     string      `json:"error,omitempty"`
+}
+
 // ApplyResult reports what a plan application actually did.
 type ApplyResult struct {
 	Applied    int // steps that changed state
 	Skipped    int // steps already satisfied (idempotence)
 	RolledBack int // undo actions executed after a failure
+	// Steps records every step's individual outcome, in plan order.
+	Steps []StepResult
 }
 
 // Apply executes the plan transactionally. Already-satisfied steps are
@@ -118,26 +147,39 @@ func (o *Overlay) Apply(plan Plan, mig Migrator) (ApplyResult, error) {
 			return res, fmt.Errorf("vnet: plan migrates %s but no Migrator given", s.MAC)
 		}
 	}
-	var undos []func()
+	res.Steps = make([]StepResult, len(plan.Steps))
+	for i, s := range plan.Steps {
+		res.Steps[i] = StepResult{Step: s, Desc: s.String(), Outcome: StepNotReached}
+	}
+	type undoEntry struct {
+		step int // index into res.Steps, to mark the step rolled back
+		fn   func()
+	}
+	var undos []undoEntry
 	rollback := func() {
 		for i := len(undos) - 1; i >= 0; i-- {
-			undos[i]()
+			undos[i].fn()
+			res.Steps[undos[i].step].Outcome = StepRolledBack
 			res.RolledBack++
 		}
 	}
-	for _, s := range plan.Steps {
+	for i, s := range plan.Steps {
 		changed, undo, err := o.applyStep(s, mig)
 		if err != nil {
+			res.Steps[i].Outcome = StepFailed
+			res.Steps[i].Err = err.Error()
 			rollback()
 			return res, fmt.Errorf("vnet: apply %s: %w", s, err)
 		}
 		if !changed {
+			res.Steps[i].Outcome = StepSkipped
 			res.Skipped++
 			continue
 		}
+		res.Steps[i].Outcome = StepApplied
 		res.Applied++
 		if undo != nil {
-			undos = append(undos, undo)
+			undos = append(undos, undoEntry{step: i, fn: undo})
 		}
 	}
 	return res, nil

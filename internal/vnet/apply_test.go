@@ -134,6 +134,64 @@ func TestApplyRollsBackOnFailure(t *testing.T) {
 	}
 }
 
+func TestApplyRecordsPerStepOutcomes(t *testing.T) {
+	o := applyOverlay(t, "h1", "h2", "h3")
+	mac1, mac2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	o.Node("h1").Daemon.AddRule(mac1, "h2") // makes the add-rule step a no-op
+	boom := errors.New("migration exploded")
+	mig := MigratorFunc(func(mac ethernet.MAC, from, to string) error {
+		if to == "h3" {
+			return boom
+		}
+		return nil
+	})
+	plan := Plan{Steps: []Step{
+		{Op: OpAddLink, A: "h1", B: "h2"},                     // applied, then undone
+		{Op: OpAddRule, Host: "h1", NextHop: "h2", MAC: mac1}, // already satisfied
+		{Op: OpMigrate, MAC: mac2, A: "h1", B: "h2"},          // applied, then undone
+		{Op: OpMigrate, MAC: mac2, A: "h2", B: "h3"},          // fails
+		{Op: OpAddRule, Host: "h2", NextHop: "h3", MAC: mac2},
+	}}
+	res, err := o.Apply(plan, mig)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	want := []StepOutcome{StepRolledBack, StepSkipped, StepRolledBack, StepFailed, StepNotReached}
+	if len(res.Steps) != len(want) {
+		t.Fatalf("recorded %d step results, want %d", len(res.Steps), len(want))
+	}
+	for i, sr := range res.Steps {
+		if sr.Outcome != want[i] {
+			t.Fatalf("step %d (%s) outcome = %q, want %q", i, sr.Desc, sr.Outcome, want[i])
+		}
+		if sr.Desc == "" {
+			t.Fatalf("step %d has no description", i)
+		}
+		if sr.Step != plan.Steps[i] {
+			t.Fatalf("step %d result detached from its step", i)
+		}
+	}
+	if res.Steps[3].Err == "" || !strings.Contains(res.Steps[3].Err, "exploded") {
+		t.Fatalf("failed step error = %q", res.Steps[3].Err)
+	}
+	if res.Applied != 2 || res.Skipped != 1 || res.RolledBack != 2 {
+		t.Fatalf("counters = %+v", res)
+	}
+
+	// The success path marks every step applied or skipped.
+	okPlan := Plan{Steps: []Step{
+		{Op: OpAddLink, A: "h1", B: "h2"},
+		{Op: OpAddRule, Host: "h1", NextHop: "h2", MAC: mac1}, // still installed
+	}}
+	res, err = o.Apply(okPlan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0].Outcome != StepApplied || res.Steps[1].Outcome != StepSkipped {
+		t.Fatalf("success outcomes = %+v", res.Steps)
+	}
+}
+
 func TestApplyMigrationNeedsMigrator(t *testing.T) {
 	o := applyOverlay(t, "h1", "h2")
 	plan := Plan{Steps: []Step{

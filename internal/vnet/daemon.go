@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -54,6 +55,7 @@ type Daemon struct {
 	wrenFeed  func(pcap.Record)
 	onControl ControlHandler
 	onLinkUp  func(peer string)
+	log       *slog.Logger
 
 	stats DaemonStats
 	met   Metrics
@@ -110,6 +112,14 @@ func (d *Daemon) SetLinkUpHandler(fn func(peer string)) {
 	d.mu.Unlock()
 }
 
+// SetLogger attaches a structured logger for link lifecycle events
+// (obs.NewLogger builds one with the shared attribute vocabulary). Nil —
+// the default — keeps the daemon silent.
+func (d *Daemon) SetLogger(l *slog.Logger) {
+	d.mu.Lock()
+	d.log = l
+	d.mu.Unlock()
+}
 func (d *Daemon) feedWren(r pcap.Record) {
 	d.mu.RLock()
 	fn := d.wrenFeed
@@ -234,7 +244,11 @@ func (d *Daemon) registerLink(link *Link) error {
 	d.met.Handshakes.Inc()
 	d.met.LinksOpened.Inc()
 	up := d.onLinkUp
+	log := d.log
 	d.mu.Unlock()
+	if log != nil {
+		log.Info("link up", "peer", link.peer)
+	}
 	if up != nil {
 		up(link.peer)
 	}
@@ -245,11 +259,16 @@ func (d *Daemon) registerLink(link *Link) error {
 func (d *Daemon) dropLink(link *Link) {
 	link.close()
 	d.mu.Lock()
-	if d.links[link.peer] == link {
+	dropped := d.links[link.peer] == link
+	if dropped {
 		delete(d.links, link.peer)
 	}
 	d.met.LinksClosed.Inc()
+	log := d.log
 	d.mu.Unlock()
+	if log != nil && dropped {
+		log.Info("link down", "peer", link.peer)
+	}
 }
 
 // handleMessage processes one link message; shared by the TCP stream

@@ -3,6 +3,7 @@ package wren
 import (
 	"encoding/gob"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -188,6 +189,7 @@ type Forwarder struct {
 	backoff   time.Duration
 	nextRetry time.Time
 	met       ForwarderMetrics
+	log       *slog.Logger
 }
 
 // DialRepository connects to a repository. batchSize bounds how many
@@ -212,6 +214,15 @@ func DialRepository(addr, origin string, batchSize int) (*Forwarder, error) {
 		retryBase: 100 * time.Millisecond,
 		retryMax:  5 * time.Second,
 	}, nil
+}
+
+// SetLogger attaches a structured logger for transport events — failed
+// flushes, reconnects, records dropped by the retransmit bound. Nil (the
+// default) keeps the forwarder silent; metrics still count everything.
+func (f *Forwarder) SetLogger(l *slog.Logger) {
+	f.mu.Lock()
+	f.log = l
+	f.mu.Unlock()
 }
 
 // SetRetry adjusts the reconnect backoff: the first retry waits base, each
@@ -285,6 +296,10 @@ func (f *Forwarder) failLocked(err error) {
 		f.backoff = min(2*f.backoff, f.retryMax)
 	}
 	f.nextRetry = time.Now().Add(f.backoff)
+	if f.log != nil {
+		f.log.Warn("repository unreachable", "addr", f.addr,
+			"err", err, "retry_in", f.backoff)
+	}
 	f.trimLocked()
 }
 
@@ -295,6 +310,9 @@ func (f *Forwarder) trimLocked() {
 		lost := len(f.batch) - bound
 		f.batch = append(f.batch[:0], f.batch[lost:]...)
 		f.met.LostRecords.Add(uint64(lost))
+		if f.log != nil {
+			f.log.Warn("retransmit buffer full, records dropped", "lost", lost)
+		}
 	}
 }
 
@@ -313,6 +331,9 @@ func (f *Forwarder) reconnectLocked() bool {
 	f.backoff = 0
 	f.lastErr = nil
 	f.met.Reconnects.Inc()
+	if f.log != nil {
+		f.log.Info("reconnected to repository", "addr", f.addr)
+	}
 	return true
 }
 
