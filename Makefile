@@ -1,0 +1,27 @@
+# Developer entry points; CI runs the same targets.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# Data-plane micro-benchmarks (forwarding, Wren ingest, capture ring).
+# CI archives this output as the bench-results artifact; before/after
+# tables live in docs/OPERATIONS.md.
+bench:
+	$(GO) test -run '^$$' -bench 'Daemon|Monitor|Buffer' -benchmem -count=5 \
+		./internal/vnet/ ./internal/wren/ ./internal/pcap/
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

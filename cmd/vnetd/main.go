@@ -89,12 +89,12 @@ func main() {
 				fw.Flush()
 			}
 		}()
-		d.SetWrenFeed(func(r pcap.Record) {
-			monitor.Feed(r) // local analysis stays available
-			fw.Feed(r)
+		d.SetWrenBatchFeed(func(rs []pcap.Record) {
+			monitor.FeedAll(rs) // local analysis stays available
+			fw.FeedAll(rs)
 		})
 	} else {
-		d.SetWrenFeed(monitor.Feed)
+		d.SetWrenBatchFeed(monitor.FeedAll)
 	}
 
 	addr, err := d.Listen(*listen)

@@ -47,7 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fw.Close()
-	a.SetWrenFeed(fw.Feed)
+	a.SetWrenBatchFeed(fw.FeedAll)
 
 	// Application traffic: bursts of frames from A to a VM on B.
 	dst := ethernet.VMMAC(2)

@@ -64,8 +64,49 @@ func (f *Frame) Marshal() ([]byte, error) {
 	return buf, nil
 }
 
+// EncodeTo encodes the frame into buf, which must hold WireLen() bytes.
+// It is the allocation-free form of Marshal for callers that manage their
+// own buffers (the VNET send path).
+func (f *Frame) EncodeTo(buf []byte) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("ethernet: payload %d exceeds MTU %d", len(f.Payload), MaxPayload)
+	}
+	if len(buf) < HeaderLen+len(f.Payload) {
+		return fmt.Errorf("ethernet: buffer %d too small for frame %d", len(buf), f.WireLen())
+	}
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], f.Type)
+	copy(buf[HeaderLen:], f.Payload)
+	return nil
+}
+
 // ErrTruncated reports a frame shorter than its header.
 var ErrTruncated = errors.New("ethernet: truncated frame")
+
+// Header is a frame's fixed 14-byte prefix, decoded by value. The
+// forwarding fast path routes on it without materializing a Frame (and
+// therefore without touching the heap); Unmarshal remains for consumers
+// that need the payload.
+type Header struct {
+	Dst  MAC
+	Src  MAC
+	Type uint16
+}
+
+// ParseHeader decodes just the fixed header of an encoded frame, in place
+// and without allocating. It reports false when b is shorter than a
+// header.
+func ParseHeader(b []byte) (Header, bool) {
+	if len(b) < HeaderLen {
+		return Header{}, false
+	}
+	var h Header
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, true
+}
 
 // Unmarshal decodes a frame; the payload aliases b.
 func Unmarshal(b []byte) (*Frame, error) {

@@ -41,12 +41,17 @@ type Record struct {
 }
 
 // Buffer is a bounded in-order capture buffer, the userspace side of the
-// trace facility. Appends are cheap and safe for concurrent use; when the
-// buffer fills, the oldest records are discarded and counted.
+// trace facility. It is a fixed-capacity ring: storage grows lazily up to
+// the capacity and is then reused in place, so a full buffer appends with
+// zero allocations and zero copying — eviction just advances the head.
+// Appends are cheap and safe for concurrent use; when the buffer fills,
+// the oldest record is discarded and counted.
 type Buffer struct {
 	mu      sync.Mutex
-	records []Record
-	start   uint64 // sequence number of records[0]
+	buf     []Record // ring storage; grows geometrically up to cap
+	head    int      // index of the oldest record in buf
+	n       int      // records currently held
+	start   uint64   // sequence number of the oldest record
 	cap     int
 	dropped uint64
 	total   uint64
@@ -64,24 +69,48 @@ func NewBuffer(capacity int) *Buffer {
 // Append adds a record, evicting the oldest if full.
 func (b *Buffer) Append(r Record) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.records) == b.cap {
-		// Drop the oldest half in one copy to amortize eviction.
-		half := b.cap / 2
-		n := copy(b.records, b.records[half:])
-		b.records = b.records[:n]
-		b.start += uint64(half)
-		b.dropped += uint64(half)
+	if b.n == b.cap {
+		// Ring full: overwrite the oldest slot in place.
+		b.buf[b.head] = r
+		b.head++
+		if b.head == len(b.buf) {
+			b.head = 0
+		}
+		b.start++
+		b.dropped++
+		b.total++
+		b.mu.Unlock()
+		return
 	}
-	b.records = append(b.records, r)
+	if b.n == len(b.buf) {
+		// Grow toward capacity. The ring has not wrapped yet (head is 0
+		// until the first eviction), so a plain append relocation is safe.
+		next := 2 * len(b.buf)
+		if next == 0 {
+			next = 64
+		}
+		if next > b.cap {
+			next = b.cap
+		}
+		nb := make([]Record, next)
+		copy(nb, b.buf[:b.n])
+		b.buf = nb
+	}
+	i := b.head + b.n
+	if i >= len(b.buf) {
+		i -= len(b.buf)
+	}
+	b.buf[i] = r
+	b.n++
 	b.total++
+	b.mu.Unlock()
 }
 
 // Len returns the number of buffered records.
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.records)
+	return b.n
 }
 
 // Total returns how many records were ever appended.
@@ -111,12 +140,18 @@ func (b *Buffer) ReadFrom(c Cursor) ([]Record, Cursor) {
 	if pos < b.start {
 		pos = b.start
 	}
-	end := b.start + uint64(len(b.records))
+	end := b.start + uint64(b.n)
 	if pos >= end {
 		return nil, Cursor(end)
 	}
 	out := make([]Record, end-pos)
-	copy(out, b.records[pos-b.start:])
+	// First logical index to copy, then unwrap the ring in two segments.
+	first := b.head + int(pos-b.start)
+	if first >= len(b.buf) {
+		first -= len(b.buf)
+	}
+	k := copy(out, b.buf[first:min(first+len(out), len(b.buf))])
+	copy(out[k:], b.buf[:len(out)-k])
 	return out, Cursor(end)
 }
 

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freemeasure/internal/ethernet"
@@ -28,53 +29,76 @@ type DaemonStats struct {
 	FramesFlooded   uint64
 	FramesDropped   uint64
 	TTLExpired      uint64
+	WrenFeedDropped uint64 // records evicted from the feed ring under overload
+}
+
+// daemonCounters is the hot-path view of DaemonStats: plain atomics, no
+// lock anywhere near the per-frame path.
+type daemonCounters struct {
+	fromVMs     atomic.Uint64
+	delivered   atomic.Uint64
+	forwarded   atomic.Uint64
+	flooded     atomic.Uint64
+	dropped     atomic.Uint64
+	ttlExpired  atomic.Uint64
+	feedDropped atomic.Uint64
 }
 
 // Daemon is one VNET daemon. Every physical host that can run VMs runs
 // one; one more (the Proxy) provides the network presence on the user's
 // LAN and the hub of the initial star topology.
+//
+// The per-frame path is lock-free: forwarding state lives in an immutable
+// snapshot behind an atomic pointer (see fwdTable), counters are atomics,
+// and Wren records travel through a bounded ring drained by a dedicated
+// analyzer goroutine. d.mu serializes the control plane only —
+// registration, snapshot swaps, lifecycle.
 type Daemon struct {
 	name string
 
-	mu      sync.RWMutex
-	ln      net.Listener
-	links   map[string]*Link
-	vms     map[ethernet.MAC]VMPort
-	rules   map[ethernet.MAC]string // explicit forwarding rules: dst MAC -> peer
-	learned map[ethernet.MAC]string // learned MAC locations (proxy/bridge behaviour)
-	deflt   string                  // default route peer ("" = none)
-	closed  bool
+	// fwd is the current forwarding snapshot; handleFrame and the relay
+	// path read it with a single atomic load.
+	fwd atomic.Pointer[fwdTable]
 
-	// Virtual-UDP link state: one shared socket, links demultiplexed by
-	// remote address, pending dials awaiting the peer's hello reply.
-	udpSock  *net.UDPConn
-	udpLinks map[string]*Link
-	udpDials map[string]chan string
+	// Batched bridge learning (see Daemon.learn).
+	learnMu   sync.Mutex
+	learnPend map[ethernet.MAC]string
+	learnBusy bool
+
+	// Wren feed: bounded ring + batch sink, both swapped atomically.
+	ring      atomic.Pointer[feedRing]
+	wrenBatch atomic.Pointer[func([]pcap.Record)]
+	feedCap   int // ring capacity override; set before the first SetWrenFeed
+
+	mu     sync.RWMutex // control plane: registration state and snapshot swaps
+	ln     net.Listener
+	closed bool
+
+	// Virtual-UDP link state: one shared socket; the per-datagram demux
+	// table is an atomic snapshot (udpDemux) so the read loop never locks.
+	udpSock *net.UDPConn
+	udp     atomic.Pointer[udpDemux]
 
 	traffic   *vttif.Local
-	wrenFeed  func(pcap.Record)
 	onControl ControlHandler
 	onLinkUp  func(peer string)
 	log       *slog.Logger
 
-	stats DaemonStats
-	met   Metrics
-	wg    sync.WaitGroup
+	cnt daemonCounters
+	met Metrics
+	wg  sync.WaitGroup
 }
 
 // NewDaemon creates a daemon named name (names must be unique across the
 // overlay; they identify link endpoints in Wren records and rules).
 func NewDaemon(name string) *Daemon {
-	return &Daemon{
-		name:     name,
-		links:    make(map[string]*Link),
-		vms:      make(map[ethernet.MAC]VMPort),
-		rules:    make(map[ethernet.MAC]string),
-		learned:  make(map[ethernet.MAC]string),
-		udpLinks: make(map[string]*Link),
-		udpDials: make(map[string]chan string),
-		traffic:  vttif.NewLocal(),
+	d := &Daemon{
+		name:    name,
+		traffic: vttif.NewLocal(),
 	}
+	d.fwd.Store(&fwdTable{})
+	d.udp.Store(&udpDemux{})
+	return d
 }
 
 // Name returns the daemon's name.
@@ -83,19 +107,70 @@ func (d *Daemon) Name() string { return d.name }
 // Traffic returns the daemon's local VTTIF accumulator.
 func (d *Daemon) Traffic() *vttif.Local { return d.traffic }
 
-// Stats returns a copy of the daemon's counters.
+// Stats returns a snapshot of the daemon's counters.
 func (d *Daemon) Stats() DaemonStats {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.stats
+	return DaemonStats{
+		FramesFromVMs:   d.cnt.fromVMs.Load(),
+		FramesDelivered: d.cnt.delivered.Load(),
+		FramesForwarded: d.cnt.forwarded.Load(),
+		FramesFlooded:   d.cnt.flooded.Load(),
+		FramesDropped:   d.cnt.dropped.Load(),
+		TTLExpired:      d.cnt.ttlExpired.Load(),
+		WrenFeedDropped: d.cnt.feedDropped.Load(),
+	}
 }
 
-// SetWrenFeed installs the capture sink for this daemon's link traffic
-// (typically wren.Monitor.Feed).
+// SetWrenFeed installs a per-record capture sink for this daemon's link
+// traffic. Records are conveyed through the daemon's bounded feed ring
+// and delivered from a dedicated analyzer goroutine, so a slow sink never
+// stalls forwarding; under overload the oldest records are dropped and
+// counted (WrenFeedDropped / wren_feed_ring_dropped_total). Prefer
+// SetWrenBatchFeed for sinks with a batch form (wren.Monitor.FeedAll).
 func (d *Daemon) SetWrenFeed(fn func(pcap.Record)) {
+	if fn == nil {
+		d.SetWrenBatchFeed(nil)
+		return
+	}
+	d.SetWrenBatchFeed(func(rs []pcap.Record) {
+		for _, r := range rs {
+			fn(r)
+		}
+	})
+}
+
+// SetWrenBatchFeed installs the batched capture sink: the analyzer
+// goroutine drains the feed ring and calls fn with each batch, preserving
+// record order. The batch slice is reused between calls — sinks must not
+// retain it. A nil fn detaches the sink (ring contents are discarded).
+func (d *Daemon) SetWrenBatchFeed(fn func([]pcap.Record)) {
+	if fn == nil {
+		d.wrenBatch.Store(nil)
+		return
+	}
+	d.startFeedRing()
+	d.wrenBatch.Store(&fn)
+}
+
+// SetWrenFeedCapacity overrides the feed-ring capacity (records). It must
+// be called before the first SetWrenFeed/SetWrenBatchFeed; afterwards it
+// has no effect. Zero or negative keeps the default (8192).
+func (d *Daemon) SetWrenFeedCapacity(n int) {
 	d.mu.Lock()
-	d.wrenFeed = fn
+	d.feedCap = n
 	d.mu.Unlock()
+}
+
+// startFeedRing lazily creates the ring and its analyzer goroutine.
+func (d *Daemon) startFeedRing() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ring.Load() != nil || d.closed {
+		return
+	}
+	r := newFeedRing(d.feedCap)
+	d.ring.Store(r)
+	d.wg.Add(1)
+	go d.feedLoop(r)
 }
 
 // SetControlHandler installs the handler for control pushes from peers.
@@ -120,12 +195,21 @@ func (d *Daemon) SetLogger(l *slog.Logger) {
 	d.log = l
 	d.mu.Unlock()
 }
-func (d *Daemon) feedWren(r pcap.Record) {
-	d.mu.RLock()
-	fn := d.wrenFeed
-	d.mu.RUnlock()
-	if fn != nil {
-		fn(r)
+
+// feedWren enqueues one capture record for the analyzer goroutine. It
+// never blocks: with no sink installed it is a pair of atomic loads, and
+// a full ring drops the oldest record rather than stalling the caller.
+func (d *Daemon) feedWren(rec pcap.Record) {
+	if d.wrenBatch.Load() == nil {
+		return
+	}
+	r := d.ring.Load()
+	if r == nil {
+		return
+	}
+	if r.push(rec) {
+		d.cnt.feedDropped.Add(1)
+		d.met.WrenFeedDropped.Inc()
 	}
 }
 
@@ -218,12 +302,20 @@ func (d *Daemon) handshakeNamed(conn net.Conn, initiator bool) (string, error) {
 	go func() {
 		defer d.wg.Done()
 		defer d.dropLink(link)
+		// One pooled buffer is reused across messages; it is replaced only
+		// when a message's bytes escape the call (local VM delivery or a
+		// control handler), so a pure transit stream performs zero
+		// allocations per frame.
+		bufp := msgBufs.Get().(*[]byte)
+		defer func() { msgBufs.Put(bufp) }()
 		for {
-			typ, payload, err := readMessage(conn)
+			typ, payload, err := readMessageInto(conn, bufp)
 			if err != nil {
 				return
 			}
-			d.handleMessage(link, typ, payload)
+			if d.handleMessage(link, typ, payload) {
+				bufp = msgBufs.Get().(*[]byte)
+			}
 		}
 	}()
 	return peer, nil
@@ -236,16 +328,19 @@ func (d *Daemon) registerLink(link *Link) error {
 		d.mu.Unlock()
 		return errors.New("vnet: daemon closed")
 	}
-	if old, ok := d.links[link.peer]; ok {
-		old.close()
-	}
+	old := d.fwd.Load().links[link.peer]
 	link.mFramesSent, link.mBytesSent = d.met.linkCounters(link.peer)
-	d.links[link.peer] = link
+	d.swapFwdLocked(func(t *fwdTable) { t.links[link.peer] = link })
 	d.met.Handshakes.Inc()
 	d.met.LinksOpened.Inc()
 	up := d.onLinkUp
 	log := d.log
 	d.mu.Unlock()
+	if old != nil {
+		// Closed outside d.mu: a virtual-UDP link's teardown re-enters the
+		// daemon to update the demux snapshot.
+		old.close()
+	}
 	if log != nil {
 		log.Info("link up", "peer", link.peer)
 	}
@@ -259,9 +354,9 @@ func (d *Daemon) registerLink(link *Link) error {
 func (d *Daemon) dropLink(link *Link) {
 	link.close()
 	d.mu.Lock()
-	dropped := d.links[link.peer] == link
+	dropped := d.fwd.Load().links[link.peer] == link
 	if dropped {
-		delete(d.links, link.peer)
+		d.swapFwdLocked(func(t *fwdTable) { delete(t.links, link.peer) })
 	}
 	d.met.LinksClosed.Inc()
 	log := d.log
@@ -272,37 +367,44 @@ func (d *Daemon) dropLink(link *Link) {
 }
 
 // handleMessage processes one link message; shared by the TCP stream
-// reader and the UDP datagram demultiplexer.
-func (d *Daemon) handleMessage(link *Link, typ byte, payload []byte) {
+// reader and the UDP datagram demultiplexer. It reports whether payload
+// escaped the call (a VM port or control handler may retain it) — when
+// false the caller may reuse the buffer for the next message.
+func (d *Daemon) handleMessage(link *Link, typ byte, payload []byte) (retained bool) {
 	switch typ {
 	case msgFrame:
 		if len(payload) < frameHeaderLen {
-			return
+			return false
 		}
-		link.mu.Lock()
-		link.stats.FramesReceived++
-		link.stats.BytesReceived += uint64(len(payload))
-		link.mu.Unlock()
+		link.frRecv.Add(1)
+		link.bRecv.Add(uint64(len(payload)))
 		seq := int64(binary.BigEndian.Uint64(payload[1:9]))
-		if end := seq + int64(len(payload)); end > link.recvBytes {
-			link.recvBytes = end
+		if end := seq + int64(len(payload)); end > link.recvBytes.Load() {
+			// Monotonic max under concurrent delivery (virtual-UDP demux
+			// and TCP readers may race on a re-registered link).
+			for {
+				cur := link.recvBytes.Load()
+				if end <= cur || link.recvBytes.CompareAndSwap(cur, end) {
+					break
+				}
+			}
 		}
 		// Acknowledge immediately (the self-clocking Wren observes).
 		// Highest-byte semantics keep the cumulative ACK meaningful even
 		// when virtual-UDP links lose datagrams.
-		link.sendAck(link.recvBytes)
+		link.sendAck(link.recvBytes.Load())
 		ttl := payload[0]
-		f, err := ethernet.Unmarshal(payload[frameHeaderLen:])
-		if err != nil {
-			return
+		hdr, ok := ethernet.ParseHeader(payload[frameHeaderLen:])
+		if !ok {
+			return false
 		}
-		d.handleFrame(f, link.peer, ttl)
+		return d.relayFrame(payload, hdr, link.peer, ttl)
 	case msgAck:
 		if len(payload) != 8 {
-			return
+			return false
 		}
 		cum := int64(binary.BigEndian.Uint64(payload))
-		link.ackedBytes = cum
+		link.ackedBytes.Store(cum)
 		d.feedWren(pcap.Record{
 			At:    time.Now().UnixNano(),
 			Dir:   pcap.In,
@@ -311,52 +413,47 @@ func (d *Daemon) handleMessage(link *Link, typ byte, payload []byte) {
 			IsAck: true,
 			Ack:   cum,
 		})
+		return false
 	case msgControl:
 		d.mu.RLock()
 		fn := d.onControl
 		d.mu.RUnlock()
 		if fn != nil {
 			fn(link.peer, payload)
+			return true // the handler may retain the payload
 		}
+		return false
 	}
+	return false
 }
 
 // AttachVM registers a local VM's virtual interface: frames addressed to
 // mac are delivered through port.
 func (d *Daemon) AttachVM(mac ethernet.MAC, port VMPort) {
-	d.mu.Lock()
-	d.vms[mac] = port
-	d.mu.Unlock()
+	d.mutateFwd(func(t *fwdTable) { t.vms[mac] = port })
 }
 
 // DetachVM removes a VM (e.g. after migration away).
 func (d *Daemon) DetachVM(mac ethernet.MAC) {
-	d.mu.Lock()
-	delete(d.vms, mac)
-	d.mu.Unlock()
+	d.mutateFwd(func(t *fwdTable) { delete(t.vms, mac) })
 }
 
 // AddRule installs an explicit forwarding rule: frames to dst leave via the
 // link to peer. Explicit rules take precedence over learned locations.
 func (d *Daemon) AddRule(dst ethernet.MAC, peer string) {
-	d.mu.Lock()
-	d.rules[dst] = peer
-	d.mu.Unlock()
+	d.mutateFwd(func(t *fwdTable) { t.rules[dst] = peer })
 }
 
 // RemoveRule deletes an explicit rule.
 func (d *Daemon) RemoveRule(dst ethernet.MAC) {
-	d.mu.Lock()
-	delete(d.rules, dst)
-	d.mu.Unlock()
+	d.mutateFwd(func(t *fwdTable) { delete(t.rules, dst) })
 }
 
 // Rules returns a copy of the explicit forwarding table.
 func (d *Daemon) Rules() map[ethernet.MAC]string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make(map[ethernet.MAC]string, len(d.rules))
-	for k, v := range d.rules {
+	t := d.fwd.Load()
+	out := make(map[ethernet.MAC]string, len(t.rules))
+	for k, v := range t.rules {
 		out[k] = v
 	}
 	return out
@@ -366,10 +463,9 @@ func (d *Daemon) Rules() map[ethernet.MAC]string {
 // peer each source MAC was last seen arriving from. On a hub daemon this
 // approximates where each VM lives.
 func (d *Daemon) Learned() map[ethernet.MAC]string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make(map[ethernet.MAC]string, len(d.learned))
-	for k, v := range d.learned {
+	t := d.fwd.Load()
+	out := make(map[ethernet.MAC]string, len(t.learned))
+	for k, v := range t.learned {
 		out[k] = v
 	}
 	return out
@@ -378,9 +474,7 @@ func (d *Daemon) Learned() map[ethernet.MAC]string {
 // SetDefaultRoute points unknown destinations at the link to peer — every
 // non-proxy daemon defaults to the Proxy, forming the initial star.
 func (d *Daemon) SetDefaultRoute(peer string) {
-	d.mu.Lock()
-	d.deflt = peer
-	d.mu.Unlock()
+	d.mutateFwd(func(t *fwdTable) { t.deflt = peer })
 }
 
 // Disconnect tears down the link to peer, if any, and reports whether a
@@ -397,18 +491,15 @@ func (d *Daemon) Disconnect(peer string) bool {
 
 // Link returns the live link to peer, if any.
 func (d *Daemon) Link(peer string) (*Link, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	l, ok := d.links[peer]
+	l, ok := d.fwd.Load().links[peer]
 	return l, ok
 }
 
 // Peers lists currently connected peer daemons.
 func (d *Daemon) Peers() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.links))
-	for p := range d.links {
+	t := d.fwd.Load()
+	out := make([]string, 0, len(t.links))
+	for p := range t.links {
 		out = append(out, p)
 	}
 	return out
@@ -427,142 +518,205 @@ func (d *Daemon) SendControl(peer string, payload []byte) error {
 // The frame is counted by VTTIF and forwarded.
 func (d *Daemon) InjectFrame(f *ethernet.Frame) {
 	d.traffic.AddFrame(f.Src, f.Dst, f.WireLen())
-	d.mu.Lock()
-	d.stats.FramesFromVMs++
+	d.cnt.fromVMs.Add(1)
 	d.met.FramesFromVMs.Inc()
-	d.mu.Unlock()
 	d.handleFrame(f, "", DefaultTTL)
 }
 
-// handleFrame implements the forwarding table: local delivery, explicit
-// rule, learned location, broadcast flood, or default route.
+// handleFrame implements the forwarding table for frames materialized as
+// an ethernet.Frame (VM ingress): local delivery, explicit rule, learned
+// location, broadcast flood, or default route. Frames relayed between
+// peers take the zero-copy relayFrame path instead.
 func (d *Daemon) handleFrame(f *ethernet.Frame, fromPeer string, ttl byte) {
 	if fromPeer != "" {
 		// Learn where the source lives (bridge learning), so replies avoid
 		// extra hops through the default route.
-		d.mu.Lock()
-		d.learned[f.Src] = fromPeer
-		d.mu.Unlock()
+		d.learn(f.Src, fromPeer)
 	}
 	if f.Dst.IsBroadcast() {
 		d.flood(f, fromPeer, ttl)
 		return
 	}
-	d.mu.RLock()
-	port, isLocal := d.vms[f.Dst]
-	peer, haveRule := d.rules[f.Dst]
-	if !haveRule {
-		peer, haveRule = d.learned[f.Dst]
-	}
-	deflt := d.deflt
-	d.mu.RUnlock()
-
-	if isLocal {
-		d.mu.Lock()
-		d.stats.FramesDelivered++
+	port, link := d.fwd.Load().route(f.Dst, fromPeer)
+	if port != nil {
+		d.cnt.delivered.Add(1)
 		d.met.FramesDelivered.Inc()
-		d.mu.Unlock()
 		port(f)
 		return
 	}
-	target := ""
-	switch {
-	case haveRule && peer != fromPeer:
-		target = peer
-	case deflt != "" && deflt != fromPeer:
-		target = deflt
-	}
-	if target == "" {
+	if link == nil {
 		d.drop()
 		return
 	}
-	d.forward(f, target, fromPeer, ttl)
+	d.forward(f, link, fromPeer, ttl)
 }
 
-func (d *Daemon) forward(f *ethernet.Frame, peer, fromPeer string, ttl byte) {
+// relayFrame routes a frame arriving from a peer using only its raw
+// msgFrame payload ([ttl][seq:8][frame]): the 14-byte Ethernet header is
+// parsed in place and, on transit, TTL and per-link sequence are
+// rewritten directly in the received buffer — a relayed frame performs
+// zero heap allocations. It reports whether payload escaped (local
+// delivery materializes a Frame whose payload aliases the buffer).
+func (d *Daemon) relayFrame(payload []byte, hdr ethernet.Header, fromPeer string, ttl byte) (retained bool) {
+	d.learn(hdr.Src, fromPeer)
+	if hdr.Dst.IsBroadcast() {
+		return d.floodRaw(payload, hdr, fromPeer, ttl)
+	}
+	port, link := d.fwd.Load().route(hdr.Dst, fromPeer)
+	if port != nil {
+		f, err := ethernet.Unmarshal(payload[frameHeaderLen:])
+		if err != nil {
+			return false
+		}
+		d.cnt.delivered.Add(1)
+		d.met.FramesDelivered.Inc()
+		port(f)
+		return true
+	}
+	if link == nil {
+		d.drop()
+		return false
+	}
+	// Transiting the overlay costs a hop.
+	if ttl <= 1 {
+		d.cnt.ttlExpired.Add(1)
+		d.met.TTLExpired.Inc()
+		return false
+	}
+	payload[0] = ttl - 1
+	if err := link.sendFramePayload(payload); err != nil {
+		d.drop()
+		return false
+	}
+	d.cnt.forwarded.Add(1)
+	d.met.FramesForwarded.Inc()
+	return false
+}
+
+// forward sends a VM-ingress frame toward a peer, assembling the msgFrame
+// payload in a pooled buffer.
+func (d *Daemon) forward(f *ethernet.Frame, link *Link, fromPeer string, ttl byte) {
 	if fromPeer != "" { // transiting the overlay costs a hop
 		if ttl <= 1 {
-			d.mu.Lock()
-			d.stats.TTLExpired++
+			d.cnt.ttlExpired.Add(1)
 			d.met.TTLExpired.Inc()
-			d.mu.Unlock()
 			return
 		}
 		ttl--
 	}
-	link, ok := d.Link(peer)
-	if !ok {
+	bufp := msgBufs.Get().(*[]byte)
+	payload, err := encodeFramePayload(bufp, f, ttl)
+	if err != nil {
+		msgBufs.Put(bufp)
 		d.drop()
 		return
 	}
-	raw, err := f.Marshal()
+	err = link.sendFramePayload(payload)
+	msgBufs.Put(bufp)
 	if err != nil {
 		d.drop()
 		return
 	}
-	if err := link.sendFrame(ttl, raw); err != nil {
-		d.drop()
-		return
-	}
-	d.mu.Lock()
-	d.stats.FramesForwarded++
+	d.cnt.forwarded.Add(1)
 	d.met.FramesForwarded.Inc()
-	d.mu.Unlock()
 }
 
-// flood sends a broadcast everywhere except where it came from.
+// encodeFramePayload builds [ttl][seq placeholder:8][frame] in bufp's
+// backing array, growing it if needed.
+func encodeFramePayload(bufp *[]byte, f *ethernet.Frame, ttl byte) ([]byte, error) {
+	n := frameHeaderLen + f.WireLen()
+	if cap(*bufp) < n {
+		*bufp = make([]byte, n)
+	}
+	payload := (*bufp)[:n]
+	payload[0] = ttl
+	if err := f.EncodeTo(payload[frameHeaderLen:]); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// flood sends a VM-ingress broadcast everywhere except where it came from.
 func (d *Daemon) flood(f *ethernet.Frame, fromPeer string, ttl byte) {
-	d.mu.RLock()
-	ports := make([]VMPort, 0, len(d.vms))
-	for mac, port := range d.vms {
+	t := d.fwd.Load()
+	for mac, port := range t.vms {
 		if mac != f.Src {
-			ports = append(ports, port)
+			port(f)
 		}
-	}
-	peers := make([]string, 0, len(d.links))
-	for p := range d.links {
-		if p != fromPeer {
-			peers = append(peers, p)
-		}
-	}
-	d.mu.RUnlock()
-	for _, port := range ports {
-		port(f)
 	}
 	if fromPeer != "" {
 		if ttl <= 1 {
-			d.mu.Lock()
-			d.stats.TTLExpired++
+			d.cnt.ttlExpired.Add(1)
 			d.met.TTLExpired.Inc()
-			d.mu.Unlock()
 			return
 		}
 		ttl--
 	}
-	raw, err := f.Marshal()
-	if err != nil {
+	if len(t.links) == 0 {
 		return
 	}
-	for _, p := range peers {
-		if link, ok := d.Link(p); ok {
-			if err := link.sendFrame(ttl, raw); err == nil {
-				d.mu.Lock()
-				d.stats.FramesFlooded++
-				d.met.FramesFlooded.Inc()
-				d.mu.Unlock()
-			}
+	bufp := msgBufs.Get().(*[]byte)
+	payload, err := encodeFramePayload(bufp, f, ttl)
+	if err != nil {
+		msgBufs.Put(bufp)
+		return
+	}
+	for peer, link := range t.links {
+		if peer == fromPeer {
+			continue
+		}
+		if err := link.sendFramePayload(payload); err == nil {
+			d.cnt.flooded.Add(1)
+			d.met.FramesFlooded.Inc()
 		}
 	}
+	msgBufs.Put(bufp)
+}
+
+// floodRaw is the relay-path flood: local ports get a materialized Frame
+// (only built if a port exists), peers get the raw payload with TTL and
+// sequence rewritten in place.
+func (d *Daemon) floodRaw(payload []byte, hdr ethernet.Header, fromPeer string, ttl byte) (retained bool) {
+	t := d.fwd.Load()
+	var f *ethernet.Frame
+	for mac, port := range t.vms {
+		if mac == hdr.Src {
+			continue
+		}
+		if f == nil {
+			var err error
+			if f, err = ethernet.Unmarshal(payload[frameHeaderLen:]); err != nil {
+				return retained
+			}
+		}
+		port(f)
+		retained = true
+	}
+	if ttl <= 1 {
+		d.cnt.ttlExpired.Add(1)
+		d.met.TTLExpired.Inc()
+		return retained
+	}
+	payload[0] = ttl - 1
+	for peer, link := range t.links {
+		if peer == fromPeer {
+			continue
+		}
+		if err := link.sendFramePayload(payload); err == nil {
+			d.cnt.flooded.Add(1)
+			d.met.FramesFlooded.Inc()
+		}
+	}
+	return retained
 }
 
 func (d *Daemon) drop() {
-	d.mu.Lock()
-	d.stats.FramesDropped++
+	d.cnt.dropped.Add(1)
 	d.met.FramesDropped.Inc()
-	d.mu.Unlock()
 }
 
-// Close shuts the daemon down: listener and all links.
+// Close shuts the daemon down: listener, all links, and the feed ring's
+// analyzer goroutine (which performs a final drain).
 func (d *Daemon) Close() {
 	d.mu.Lock()
 	if d.closed {
@@ -572,8 +726,9 @@ func (d *Daemon) Close() {
 	d.closed = true
 	ln := d.ln
 	udp := d.udpSock
-	links := make([]*Link, 0, len(d.links))
-	for _, l := range d.links {
+	t := d.fwd.Load()
+	links := make([]*Link, 0, len(t.links))
+	for _, l := range t.links {
 		links = append(links, l)
 	}
 	d.mu.Unlock()
@@ -585,6 +740,9 @@ func (d *Daemon) Close() {
 	}
 	for _, l := range links {
 		l.close()
+	}
+	if r := d.ring.Load(); r != nil {
+		close(r.stop)
 	}
 	d.wg.Wait()
 }

@@ -137,9 +137,7 @@ func TestStarForwardingAfterAnnouncement(t *testing.T) {
 	// Announce macB: broadcast teaches the proxy its location.
 	b.InjectFrame(&ethernet.Frame{Dst: ethernet.Broadcast, Src: macB, Type: ethernet.TypeControl})
 	waitFor(t, "proxy learns", func() bool {
-		proxy.mu.RLock()
-		_, ok := proxy.learned[macB]
-		proxy.mu.RUnlock()
+		_, ok := proxy.Learned()[macB]
 		return ok
 	})
 	a.InjectFrame(&ethernet.Frame{Dst: macB, Src: ethernet.VMMAC(1), Type: ethernet.TypeApp})

@@ -1,0 +1,260 @@
+package vnet
+
+import (
+	"sync"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/pcap"
+)
+
+// This file holds the data-plane fast-path machinery: the immutable
+// forwarding snapshot the per-frame path reads without locks, the batched
+// bridge-learning applier that keeps snapshot swaps off the steady-state
+// path, the bounded feed ring that decouples Wren ingest from forwarding,
+// and the message-buffer pool behind the zero-copy relay.
+
+// fwdTable is one immutable forwarding snapshot: local VM ports, explicit
+// rules, learned MAC locations, live links, and the default route. The
+// daemon publishes it through an atomic pointer; readers never lock, and
+// every mutation (control plane or batched learning) installs a fresh
+// copy. Nil maps are valid — lookups on them simply miss.
+type fwdTable struct {
+	vms     map[ethernet.MAC]VMPort
+	rules   map[ethernet.MAC]string
+	learned map[ethernet.MAC]string
+	links   map[string]*Link
+	deflt   string
+}
+
+// clone deep-copies the table so a mutation never touches maps a reader
+// may hold.
+func (t *fwdTable) clone() *fwdTable {
+	nt := &fwdTable{
+		vms:     make(map[ethernet.MAC]VMPort, len(t.vms)+1),
+		rules:   make(map[ethernet.MAC]string, len(t.rules)+1),
+		learned: make(map[ethernet.MAC]string, len(t.learned)+1),
+		links:   make(map[string]*Link, len(t.links)+1),
+		deflt:   t.deflt,
+	}
+	for k, v := range t.vms {
+		nt.vms[k] = v
+	}
+	for k, v := range t.rules {
+		nt.rules[k] = v
+	}
+	for k, v := range t.learned {
+		nt.learned[k] = v
+	}
+	for k, v := range t.links {
+		nt.links[k] = v
+	}
+	return nt
+}
+
+// route resolves a unicast destination against the snapshot: a local VM
+// port, or the link to forward on (nil port and nil link = drop). The
+// precedence matches the classic bridge: local delivery, explicit rule,
+// learned location, default route — with split horizon (never back out the
+// ingress peer).
+func (t *fwdTable) route(dst ethernet.MAC, fromPeer string) (VMPort, *Link) {
+	if port, ok := t.vms[dst]; ok {
+		return port, nil
+	}
+	peer, ok := t.rules[dst]
+	if !ok {
+		peer, ok = t.learned[dst]
+	}
+	switch {
+	case ok && peer != fromPeer:
+		return nil, t.links[peer]
+	case t.deflt != "" && t.deflt != fromPeer:
+		return nil, t.links[t.deflt]
+	}
+	return nil, nil
+}
+
+// mutateFwd installs a new forwarding snapshot: clone, apply, swap. All
+// control-plane mutations and the learning applier funnel through here,
+// serialized by d.mu.
+func (d *Daemon) mutateFwd(fn func(*fwdTable)) {
+	d.mu.Lock()
+	d.swapFwdLocked(fn)
+	d.mu.Unlock()
+}
+
+// swapFwdLocked is mutateFwd for callers already holding d.mu.
+func (d *Daemon) swapFwdLocked(fn func(*fwdTable)) {
+	t := d.fwd.Load().clone()
+	fn(t)
+	d.fwd.Store(t)
+	d.met.SnapshotSwaps.Inc()
+}
+
+// learn records that src was seen arriving from fromPeer (bridge
+// learning). The steady state — the location is already in the snapshot —
+// is a lock-free map read. Location changes (first sighting, VM
+// migration) are folded into the snapshot through a combining buffer:
+// concurrent learners enqueue under a small mutex and one of them applies
+// the whole batch in a single snapshot swap, so a burst of new sources
+// costs one copy-on-write, not one per frame.
+func (d *Daemon) learn(src ethernet.MAC, fromPeer string) {
+	if d.fwd.Load().learned[src] == fromPeer {
+		return
+	}
+	d.learnMu.Lock()
+	if d.learnPend == nil {
+		d.learnPend = make(map[ethernet.MAC]string)
+	}
+	d.learnPend[src] = fromPeer
+	if d.learnBusy {
+		// The active applier re-checks the buffer after each swap and will
+		// fold this update in.
+		d.learnMu.Unlock()
+		return
+	}
+	d.learnBusy = true
+	for len(d.learnPend) > 0 {
+		batch := d.learnPend
+		d.learnPend = nil
+		d.learnMu.Unlock()
+		d.mutateFwd(func(t *fwdTable) {
+			for mac, peer := range batch {
+				t.learned[mac] = peer
+			}
+		})
+		d.learnMu.Lock()
+	}
+	d.learnBusy = false
+	d.learnMu.Unlock()
+}
+
+// feedRing is the bounded queue between the forwarding goroutines and the
+// Wren analyzer goroutine. Producers never block: when the ring is full
+// the oldest record is dropped and counted, so measurement backpressure
+// can never stall forwarding — the property that keeps the measurement
+// "free". A single consumer drains whole batches, locking once per batch.
+type feedRing struct {
+	mu   sync.Mutex
+	buf  []pcap.Record
+	head int // index of the oldest record
+	n    int // occupancy
+
+	notify chan struct{} // cap 1: consumer wake-up
+	stop   chan struct{} // closed by Daemon.Close
+}
+
+// defaultFeedRingCap bounds pending Wren records per daemon (~80 B each).
+const defaultFeedRingCap = 8192
+
+func newFeedRing(capacity int) *feedRing {
+	if capacity <= 0 {
+		capacity = defaultFeedRingCap
+	}
+	return &feedRing{
+		buf:    make([]pcap.Record, capacity),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+}
+
+// push enqueues one record, evicting the oldest when full, and reports
+// whether an eviction happened.
+func (r *feedRing) push(rec pcap.Record) (dropped bool) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+		r.n--
+		dropped = true
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = rec
+	r.n++
+	r.mu.Unlock()
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+	return dropped
+}
+
+// drain moves everything pending into scratch (grown if needed) and
+// returns the filled batch; order is preserved.
+func (r *feedRing) drain(scratch []pcap.Record) []pcap.Record {
+	r.mu.Lock()
+	n := r.n
+	if n == 0 {
+		r.mu.Unlock()
+		return scratch[:0]
+	}
+	if cap(scratch) < n {
+		scratch = make([]pcap.Record, 0, len(r.buf))
+	}
+	out := scratch[:n]
+	first := len(r.buf) - r.head
+	if first >= n {
+		copy(out, r.buf[r.head:r.head+n])
+	} else {
+		copy(out, r.buf[r.head:])
+		copy(out[first:], r.buf[:n-first])
+	}
+	r.head += n
+	if r.head >= len(r.buf) {
+		r.head -= len(r.buf)
+	}
+	r.n = 0
+	r.mu.Unlock()
+	return out
+}
+
+// feedLoop is the dedicated analyzer goroutine: it drains the ring in
+// batches and hands them to the installed sink. It exits after a final
+// drain when the ring is stopped.
+func (d *Daemon) feedLoop(r *feedRing) {
+	defer d.wg.Done()
+	scratch := make([]pcap.Record, 0, len(r.buf))
+	deliver := func() {
+		batch := d.ringDrainAndDeliver(r, scratch)
+		if cap(batch) > cap(scratch) {
+			scratch = batch
+		}
+	}
+	for {
+		select {
+		case <-r.notify:
+			deliver()
+		case <-r.stop:
+			deliver()
+			return
+		}
+	}
+}
+
+// ringDrainAndDeliver drains one batch and hands it to the current sink
+// (records are discarded when no sink is installed).
+func (d *Daemon) ringDrainAndDeliver(r *feedRing, scratch []pcap.Record) []pcap.Record {
+	batch := r.drain(scratch)
+	if len(batch) == 0 {
+		return batch
+	}
+	if fn := d.wrenBatch.Load(); fn != nil {
+		(*fn)(batch)
+	}
+	return batch
+}
+
+// msgBufs recycles message payload buffers between the link read loops,
+// the relay path, and the frame send path. A transit frame lives its
+// whole life in one pooled buffer: read in place, TTL/seq rewritten in
+// place, written out, reused. Buffers only leave the cycle when a frame
+// is delivered to a local VM port or a control payload is handed to a
+// handler (either may retain the bytes).
+var msgBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}

@@ -1,8 +1,10 @@
 package vnet
 
 import (
+	"encoding/binary"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freemeasure/internal/obs"
@@ -39,6 +41,11 @@ func (t *tcpTransport) kind() string { return "tcp" }
 // with an optional token-bucket rate limit emulating the capacity of the
 // physical path underneath (on a localhost testbed every path would
 // otherwise be equally instant).
+//
+// Traffic counters and the Wren sequence bookkeeping are atomics: they
+// are written by the reader goroutine and by arbitrary sending goroutines
+// concurrently. writeMu serializes only what must be serial — the wire
+// ordering of outgoing messages and the token bucket.
 type Link struct {
 	daemon *Daemon
 	peer   string
@@ -50,11 +57,20 @@ type Link struct {
 	tokens   float64 // bytes available
 	burst    float64 // bucket depth in bytes
 	refillAt time.Time
+	ackBuf   [8]byte // scratch for sendAck (guarded by writeMu)
 
 	// Wren bookkeeping: cumulative payload bytes, as TCP sequence numbers.
-	sentBytes  int64
-	recvBytes  int64
-	ackedBytes int64
+	// sentBytes advances under writeMu; recvBytes/ackedBytes advance on
+	// the receive path; all three may be read from any goroutine.
+	sentBytes  atomic.Int64
+	recvBytes  atomic.Int64
+	ackedBytes atomic.Int64
+
+	// Lifetime traffic counters (LinkStats).
+	frSent atomic.Uint64
+	frRecv atomic.Uint64
+	bSent  atomic.Uint64
+	bRecv  atomic.Uint64
 
 	// Per-peer metric series, minted at registration (nil when the daemon
 	// is uninstrumented).
@@ -62,18 +78,26 @@ type Link struct {
 	mBytesSent  *obs.Counter
 
 	mu     sync.Mutex
-	stats  LinkStats
 	closed bool
 }
 
 // Peer returns the remote daemon's name.
 func (l *Link) Peer() string { return l.peer }
 
-// Stats returns a copy of the counters.
+// Stats returns a snapshot of the counters.
 func (l *Link) Stats() LinkStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	return LinkStats{
+		FramesSent:     l.frSent.Load(),
+		FramesReceived: l.frRecv.Load(),
+		BytesSent:      l.bSent.Load(),
+		BytesReceived:  l.bRecv.Load(),
+	}
+}
+
+// SeqState returns the link's Wren sequence bookkeeping: cumulative bytes
+// sent, received, and acknowledged by the peer.
+func (l *Link) SeqState() (sent, recv, acked int64) {
+	return l.sentBytes.Load(), l.recvBytes.Load(), l.ackedBytes.Load()
 }
 
 // SetRateMbps installs or changes the link's token-bucket rate limit
@@ -112,28 +136,24 @@ func (l *Link) throttle(n int) {
 	}
 }
 
-// sendFrame writes an encoded frame with a hop limit, emitting the Wren
-// departure record.
-func (l *Link) sendFrame(ttl byte, frame []byte) error {
-	payload := make([]byte, frameHeaderLen+len(frame))
-	payload[0] = ttl
-	copy(payload[frameHeaderLen:], frame)
-
+// sendFramePayload writes an assembled msgFrame payload
+// ([ttl][seq:8][frame]), stamping this link's cumulative sequence number
+// into payload[1:9] in place — no copy, no allocation. The caller owns
+// the buffer again once the call returns. The Wren departure record is
+// emitted into the daemon's feed ring.
+func (l *Link) sendFramePayload(payload []byte) error {
 	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
 	l.throttle(len(payload) + 5)
-	seq := l.sentBytes
-	for i := 0; i < 8; i++ {
-		payload[1+i] = byte(uint64(seq) >> (56 - 8*i))
-	}
+	seq := l.sentBytes.Load()
+	binary.BigEndian.PutUint64(payload[1:9], uint64(seq))
 	if err := l.tr.send(msgFrame, payload); err != nil {
+		l.writeMu.Unlock()
 		return err
 	}
-	l.sentBytes += int64(len(payload))
-	l.mu.Lock()
-	l.stats.FramesSent++
-	l.stats.BytesSent += uint64(len(payload))
-	l.mu.Unlock()
+	l.sentBytes.Store(seq + int64(len(payload)))
+	l.writeMu.Unlock()
+	l.frSent.Add(1)
+	l.bSent.Add(uint64(len(payload)))
 	l.mFramesSent.Inc()
 	l.mBytesSent.Add(uint64(len(payload)))
 	l.daemon.met.BytesSent.Add(uint64(len(payload)))
@@ -151,13 +171,10 @@ func (l *Link) sendFrame(ttl byte, frame []byte) error {
 // sendAck writes a cumulative acknowledgment (not rate limited: acks are
 // tiny and limiting them would deadlock a saturated duplex link).
 func (l *Link) sendAck(cum int64) error {
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(cum >> (56 - 8*i))
-	}
 	l.writeMu.Lock()
 	defer l.writeMu.Unlock()
-	return l.tr.send(msgAck, buf[:])
+	binary.BigEndian.PutUint64(l.ackBuf[:], uint64(cum))
+	return l.tr.send(msgAck, l.ackBuf[:])
 }
 
 // sendControl writes an opaque control payload (VTTIF/Wren matrix pushes).

@@ -25,6 +25,8 @@ type Metrics struct {
 	UDPDatagramsRx  *obs.Counter // vnet_udp_datagrams_rx_total
 	UDPDatagramsTx  *obs.Counter // vnet_udp_datagrams_tx_total
 	UDPMalformed    *obs.Counter // vnet_udp_malformed_total
+	SnapshotSwaps   *obs.Counter // vnet_fwd_snapshot_swaps_total
+	WrenFeedDropped *obs.Counter // wren_feed_ring_dropped_total
 }
 
 // NewMetrics registers the daemon metrics on reg (a nil reg yields the
@@ -59,6 +61,10 @@ func NewMetrics(reg *obs.Registry) Metrics {
 			"Datagrams sent from the virtual-UDP endpoint."),
 		UDPMalformed: reg.Counter("vnet_udp_malformed_total",
 			"Datagrams discarded for bad framing (short or length mismatch)."),
+		SnapshotSwaps: reg.Counter("vnet_fwd_snapshot_swaps_total",
+			"Forwarding-snapshot installs (control-plane mutations and batched learning applies)."),
+		WrenFeedDropped: reg.Counter("wren_feed_ring_dropped_total",
+			"Capture records evicted from the Wren feed ring because the analyzer fell behind."),
 	}
 }
 
@@ -85,9 +91,7 @@ func (d *Daemon) SetMetrics(m Metrics) {
 		m.reg.GaugeFunc("vnet_links_active",
 			"Currently registered overlay links.",
 			func() float64 {
-				d.mu.RLock()
-				defer d.mu.RUnlock()
-				return float64(len(d.links))
+				return float64(len(d.fwd.Load().links))
 			}, "daemon", d.name)
 	}
 }

@@ -176,7 +176,7 @@ func NewStar(names []string, vttifCfg vttif.Config, wrenCfg wren.Config) (*Overl
 			return nil, err
 		}
 		m := wren.NewMonitor(name, wrenCfg)
-		d.SetWrenFeed(m.Feed)
+		d.SetWrenBatchFeed(m.FeedAll)
 		return &Node{Daemon: d, Wren: m, addr: addr}, nil
 	}
 	proxy, err := mk("proxy")

@@ -43,8 +43,18 @@ func writeMessage(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readMessage reads one message.
+// readMessage reads one message into a fresh buffer (handshake path; the
+// link read loops use readMessageInto with a pooled buffer instead).
 func readMessage(r io.Reader) (typ byte, payload []byte, err error) {
+	var buf []byte
+	return readMessageInto(r, &buf)
+}
+
+// readMessageInto reads one message into bufp's backing array, growing it
+// when the message is larger than its capacity. The returned payload
+// aliases *bufp; callers reuse the buffer across messages unless the
+// payload escaped downstream.
+func readMessageInto(r io.Reader, bufp *[]byte) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -53,7 +63,10 @@ func readMessage(r io.Reader) (typ byte, payload []byte, err error) {
 	if n > maxMessage {
 		return 0, nil, fmt.Errorf("vnet: message length %d exceeds limit", n)
 	}
-	payload = make([]byte, n)
+	if uint32(cap(*bufp)) < n {
+		*bufp = make([]byte, n)
+	}
+	payload = (*bufp)[:n]
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}

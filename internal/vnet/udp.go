@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"freemeasure/internal/obs"
@@ -27,6 +28,38 @@ const (
 	helloAck     byte = 1
 )
 
+// udpDemux is the immutable per-datagram demultiplexing snapshot: links
+// and pending dials keyed by remote address. Like fwdTable it is swapped
+// atomically under d.mu, so the read loop resolves every datagram without
+// taking a lock.
+type udpDemux struct {
+	links map[string]*Link
+	dials map[string]chan string
+}
+
+func (u *udpDemux) clone() *udpDemux {
+	nu := &udpDemux{
+		links: make(map[string]*Link, len(u.links)+1),
+		dials: make(map[string]chan string, len(u.dials)+1),
+	}
+	for k, v := range u.links {
+		nu.links[k] = v
+	}
+	for k, v := range u.dials {
+		nu.dials[k] = v
+	}
+	return nu
+}
+
+// mutateUDP installs a new demux snapshot under d.mu.
+func (d *Daemon) mutateUDP(fn func(*udpDemux)) {
+	d.mu.Lock()
+	u := d.udp.Load().clone()
+	fn(u)
+	d.udp.Store(u)
+	d.mu.Unlock()
+}
+
 func helloPayload(flag byte, name string) []byte {
 	out := make([]byte, 1+len(name))
 	out[0] = flag
@@ -35,23 +68,34 @@ func helloPayload(flag byte, name string) []byte {
 }
 
 // udpTransport sends link messages as datagrams on the daemon's shared
-// socket.
+// socket. The assembly buffer is reused across sends (one datagram is in
+// flight per transport at a time; sendMu covers callers outside the
+// link's writeMu, e.g. hello retries from the read loop).
 type udpTransport struct {
 	sock  *net.UDPConn
 	raddr *net.UDPAddr
 	drop  func()       // removes this link from the demux table
 	tx    *obs.Counter // datagrams-sent series (nil when uninstrumented)
+
+	sendMu  sync.Mutex
+	sendBuf []byte
 }
 
 func (t *udpTransport) send(typ byte, payload []byte) error {
 	if len(payload)+5 > maxDatagram {
 		return fmt.Errorf("vnet: udp message %d bytes exceeds datagram limit", len(payload))
 	}
-	buf := make([]byte, 5+len(payload))
+	t.sendMu.Lock()
+	n := 5 + len(payload)
+	if cap(t.sendBuf) < n {
+		t.sendBuf = make([]byte, n)
+	}
+	buf := t.sendBuf[:n]
 	buf[0] = typ
 	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
 	copy(buf[5:], payload)
 	_, err := t.sock.WriteToUDP(buf, t.raddr)
+	t.sendMu.Unlock()
 	t.tx.Inc()
 	return err
 }
@@ -105,9 +149,15 @@ func (d *Daemon) UDPAddr() (string, bool) {
 }
 
 func (d *Daemon) udpReadLoop(sock *net.UDPConn) {
-	buf := make([]byte, maxDatagram+1)
+	recv := make([]byte, maxDatagram+1)
+	// Message payloads are copied out of the socket buffer into a pooled
+	// buffer that is reused datagram to datagram, and replaced only when
+	// the payload escapes (local delivery, control handlers) — the same
+	// zero-allocation regime as the TCP read loop.
+	bufp := msgBufs.Get().(*[]byte)
+	defer func() { msgBufs.Put(bufp) }()
 	for {
-		n, raddr, err := sock.ReadFromUDP(buf)
+		n, raddr, err := sock.ReadFromUDP(recv)
 		if err != nil {
 			return
 		}
@@ -116,19 +166,22 @@ func (d *Daemon) udpReadLoop(sock *net.UDPConn) {
 			d.met.UDPMalformed.Inc()
 			continue
 		}
-		typ := buf[0]
-		ln := binary.BigEndian.Uint32(buf[1:5])
+		typ := recv[0]
+		ln := binary.BigEndian.Uint32(recv[1:5])
 		if int(ln) != n-5 {
 			d.met.UDPMalformed.Inc()
 			continue // malformed datagram framing
 		}
-		payload := append([]byte(nil), buf[5:n]...)
+		if cap(*bufp) < n-5 {
+			*bufp = make([]byte, n-5)
+		}
+		payload := (*bufp)[:n-5]
+		copy(payload, recv[5:n])
 		key := raddr.String()
 
-		d.mu.RLock()
-		link := d.udpLinks[key]
-		pending := d.udpDials[key]
-		d.mu.RUnlock()
+		u := d.udp.Load()
+		link := u.links[key]
+		pending := u.dials[key]
 
 		if typ == msgHello {
 			// Hello datagrams carry [flag][name]: flag 0 is a dial request
@@ -161,7 +214,9 @@ func (d *Daemon) udpReadLoop(sock *net.UDPConn) {
 		if link == nil {
 			continue // non-hello traffic from an unknown peer
 		}
-		d.handleMessage(link, typ, payload)
+		if d.handleMessage(link, typ, payload) {
+			bufp = msgBufs.Get().(*[]byte)
+		}
 	}
 }
 
@@ -172,18 +227,20 @@ func (d *Daemon) acceptUDPLink(sock *net.UDPConn, raddr *net.UDPAddr, peer strin
 	tr := &udpTransport{sock: sock, raddr: raddr, tx: d.met.UDPDatagramsTx}
 	link := &Link{daemon: d, peer: peer, tr: tr}
 	tr.drop = func() {
-		d.mu.Lock()
-		if d.udpLinks[key] == link {
-			delete(d.udpLinks, key)
-		}
-		d.mu.Unlock()
+		d.mutateUDP(func(u *udpDemux) {
+			if u.links[key] == link {
+				delete(u.links, key)
+			}
+		})
 	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return nil
 	}
-	d.udpLinks[key] = link
+	u := d.udp.Load().clone()
+	u.links[key] = link
+	d.udp.Store(u)
 	d.mu.Unlock()
 	if err := d.registerLink(link); err != nil {
 		return nil
@@ -220,13 +277,11 @@ func (d *Daemon) ConnectUDP(addr string) (string, error) {
 		d.mu.Unlock()
 		return "", errors.New("vnet: daemon closed")
 	}
-	d.udpDials[key] = reply
+	u := d.udp.Load().clone()
+	u.dials[key] = reply
+	d.udp.Store(u)
 	d.mu.Unlock()
-	defer func() {
-		d.mu.Lock()
-		delete(d.udpDials, key)
-		d.mu.Unlock()
-	}()
+	defer d.mutateUDP(func(u *udpDemux) { delete(u.dials, key) })
 
 	hello := &udpTransport{sock: sock, raddr: raddr, tx: d.met.UDPDatagramsTx}
 	deadline := time.After(3 * time.Second)

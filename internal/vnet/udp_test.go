@@ -166,9 +166,7 @@ func TestMixedTransportsSameOverlay(t *testing.T) {
 	// Announce macB so the hub learns its location via the UDP link.
 	b.InjectFrame(&ethernet.Frame{Dst: ethernet.Broadcast, Src: macB, Type: ethernet.TypeControl})
 	waitFor(t, "hub learns over udp", func() bool {
-		hub.mu.RLock()
-		defer hub.mu.RUnlock()
-		_, ok := hub.learned[macB]
+		_, ok := hub.Learned()[macB]
 		return ok
 	})
 	a.InjectFrame(&ethernet.Frame{Dst: macB, Src: ethernet.VMMAC(1), Type: ethernet.TypeApp})

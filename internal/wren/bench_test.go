@@ -1,0 +1,67 @@
+package wren
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"freemeasure/internal/pcap"
+)
+
+// Ingest micro-benchmarks for the online monitor: Feed is called once per
+// captured packet on the VNET data plane, so its cost and its behaviour
+// under goroutine parallelism bound how much traffic "free" measurement
+// can keep up with. CI runs these with -benchmem (see the bench job);
+// before/after tables live in docs/OPERATIONS.md.
+
+// BenchmarkMonitorFeed (single-goroutine ingest) lives in metrics_test.go
+// alongside its instrumented variants.
+
+// BenchmarkMonitorFeedParallel measures concurrent ingest from many
+// goroutines, each feeding its own flow — the contention profile of a
+// daemon forwarding for many peers at once.
+func BenchmarkMonitorFeedParallel(b *testing.B) {
+	m := NewMonitor("local", Config{})
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rec := pcap.Record{
+			At: 1, Dir: pcap.Out,
+			Flow: pcap.FlowKey{Local: "local", Remote: fmt.Sprintf("peer%d", id.Add(1))},
+			Size: 1500, Len: 1460,
+		}
+		i := int64(0)
+		for pb.Next() {
+			i++
+			rec.At = i
+			rec.Seq = i * 1460
+			m.Feed(rec)
+		}
+	})
+}
+
+// BenchmarkMonitorFeedBatch measures FeedAll over a mixed batch spanning
+// several flows — the shape the daemon's feed ring delivers.
+func BenchmarkMonitorFeedBatch(b *testing.B) {
+	m := NewMonitor("local", Config{})
+	const batchLen = 256
+	batch := make([]pcap.Record, batchLen)
+	for i := range batch {
+		batch[i] = pcap.Record{
+			At: int64(i + 1), Dir: pcap.Out,
+			Flow: pcap.FlowKey{Local: "local", Remote: fmt.Sprintf("peer%d", i%8)},
+			Size: 1500, Seq: int64(i) * 1460, Len: 1460,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := int64(i) * batchLen
+		for j := range batch {
+			batch[j].At = base + int64(j) + 1
+		}
+		m.FeedAll(batch)
+	}
+	b.ReportMetric(float64(batchLen)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

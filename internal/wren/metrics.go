@@ -42,9 +42,7 @@ func NewMonitorMetrics(reg *obs.Registry) MonitorMetrics {
 // SetMetrics attaches metrics to the monitor. Call before feeding traffic;
 // the zero value detaches.
 func (m *Monitor) SetMetrics(mm MonitorMetrics) {
-	m.mu.Lock()
-	m.met = mm
-	m.mu.Unlock()
+	m.met.Store(&mm)
 }
 
 // RepositoryMetrics holds the trace repository's exported counters.

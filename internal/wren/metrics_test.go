@@ -113,9 +113,10 @@ func benchmarkFeed(b *testing.B, setup func(*Monitor)) {
 		r.At += 100 * us
 		r.Seq += 1460
 		m.Feed(r)
-		if len(m.flows[r.Flow].outs) >= m.cfg.MaxPending {
+		sh := m.shardFor(r.Flow.Remote)
+		if len(sh.flows[r.Flow].outs) >= m.cfg.MaxPending {
 			b.StopTimer()
-			m.flows[r.Flow].outs = m.flows[r.Flow].outs[:0]
+			sh.flows[r.Flow].outs = sh.flows[r.Flow].outs[:0]
 			b.StartTimer()
 		}
 	}

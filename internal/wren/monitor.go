@@ -1,8 +1,10 @@
 package wren
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freemeasure/internal/pcap"
@@ -20,6 +22,11 @@ type Config struct {
 	// MaxPending bounds per-flow buffered records (default 1<<16); beyond
 	// it the oldest pending data is abandoned.
 	MaxPending int
+	// Shards sets the monitor's lock striping width (default 16, rounded
+	// up to a power of two, capped at 64 so a batch's touched-shard set
+	// fits one machine word). Records shard by remote endpoint, so all
+	// state for one path lives under a single shard lock.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -31,6 +38,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPending == 0 {
 		c.MaxPending = 1 << 16
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Shards > 64 {
+		c.Shards = 64
+	}
+	if c.Shards&(c.Shards-1) != 0 {
+		c.Shards = 1 << bits.Len(uint(c.Shards))
 	}
 	return c
 }
@@ -48,119 +64,215 @@ type pathState struct {
 	recent []Observation // capped log for the SOAP GetObservations call
 }
 
+// monitorShard holds the flows and paths whose remote endpoint hashes to
+// this stripe. Because the shard key is the remote name, a flow and the
+// pathState its observations feed always share one lock — Poll and the
+// per-remote queries never cross shards.
+type monitorShard struct {
+	mu      sync.Mutex
+	flows   map[pcap.FlowKey]*flowStream
+	paths   map[string]*pathState
+	fedOut  uint64 // guarded by mu
+	fedAck  uint64
+	emitted uint64
+	_       [16]byte // pad to a cache line so neighboring locks don't bounce
+}
+
 // Monitor is Wren's online analysis engine (the user-level daemon): feed it
 // capture records, poll it periodically, query it for per-remote available
 // bandwidth and latency. It is safe for concurrent use, so the same code
 // serves the single-threaded simulator and the multi-goroutine VNET
-// overlay.
+// overlay. State is striped across shards keyed by remote endpoint, so
+// feeds for different peers never contend on one lock.
 type Monitor struct {
-	mu      sync.Mutex
-	cfg     Config
-	local   string
-	flows   map[pcap.FlowKey]*flowStream
-	paths   map[string]*pathState
-	lastAt  int64 // newest record timestamp seen
-	fedOut  uint64
-	fedAck  uint64
-	emitted uint64
-	met     MonitorMetrics
+	cfg    Config
+	local  string
+	shards []monitorShard
+	mask   uint32
+	lastAt atomic.Int64 // newest record timestamp seen
+	met    atomic.Pointer[MonitorMetrics]
 }
 
 // NewMonitor creates a monitor for the host named local.
 func NewMonitor(local string, cfg Config) *Monitor {
-	return &Monitor{
-		cfg:   cfg.withDefaults(),
-		local: local,
-		flows: make(map[pcap.FlowKey]*flowStream),
-		paths: make(map[string]*pathState),
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		cfg:    cfg,
+		local:  local,
+		shards: make([]monitorShard, cfg.Shards),
+		mask:   uint32(cfg.Shards - 1),
 	}
+	for i := range m.shards {
+		m.shards[i].flows = make(map[pcap.FlowKey]*flowStream)
+		m.shards[i].paths = make(map[string]*pathState)
+	}
+	m.met.Store(&MonitorMetrics{})
+	return m
 }
 
 // Local returns the monitored host's endpoint name.
 func (m *Monitor) Local() string { return m.local }
 
+// shardFor hashes a remote endpoint name (FNV-1a) onto a shard.
+func (m *Monitor) shardFor(remote string) *monitorShard {
+	return &m.shards[m.shardIndex(remote)]
+}
+
+// observeAt advances the monotonic newest-timestamp watermark.
+func (m *Monitor) observeAt(at int64) {
+	for {
+		cur := m.lastAt.Load()
+		if at <= cur || m.lastAt.CompareAndSwap(cur, at) {
+			return
+		}
+	}
+}
+
 // Feed ingests one capture record. Outgoing data packets and incoming ACKs
 // drive the measurement; everything else is ignored (incoming data and
 // outgoing ACKs belong to the reverse path, measured by the peer's Wren).
 func (m *Monitor) Feed(r pcap.Record) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.met.RecordsFed.Inc()
-	if r.At > m.lastAt {
-		m.lastAt = r.At
+	m.met.Load().RecordsFed.Inc()
+	m.observeAt(r.At)
+	sh := m.shardFor(r.Flow.Remote)
+	sh.mu.Lock()
+	sh.ingest(m.cfg.MaxPending, r)
+	sh.mu.Unlock()
+}
+
+// batchScratch pools the per-record shard-index slices FeedAll uses to
+// group a batch, so steady-state batching allocates nothing.
+var batchScratch = sync.Pool{New: func() any {
+	b := make([]uint8, 0, 512)
+	return &b
+}}
+
+// FeedAll ingests a batch of records, locking each touched shard exactly
+// once: records are bucketed by shard index up front (shard count <= 64,
+// so the touched set is one bitmask), then each shard drains its bucket
+// under a single lock acquisition.
+func (m *Monitor) FeedAll(rs []pcap.Record) {
+	if len(rs) == 0 {
+		return
 	}
+	m.met.Load().RecordsFed.Add(uint64(len(rs)))
+	idxp := batchScratch.Get().(*[]uint8)
+	idx := *idxp
+	if cap(idx) < len(rs) {
+		idx = make([]uint8, len(rs))
+	}
+	idx = idx[:len(rs)]
+	var touched uint64
+	newest := int64(0)
+	for i := range rs {
+		idx[i] = m.shardIndex(rs[i].Flow.Remote)
+		touched |= 1 << idx[i]
+		if rs[i].At > newest {
+			newest = rs[i].At
+		}
+	}
+	m.observeAt(newest)
+	for touched != 0 {
+		s := uint8(bits.TrailingZeros64(touched))
+		touched &^= 1 << s
+		sh := &m.shards[s]
+		sh.mu.Lock()
+		for i := range rs {
+			if idx[i] == s {
+				sh.ingest(m.cfg.MaxPending, rs[i])
+			}
+		}
+		sh.mu.Unlock()
+	}
+	*idxp = idx
+	batchScratch.Put(idxp)
+}
+
+// shardIndex returns the stripe index for a remote endpoint name.
+func (m *Monitor) shardIndex(remote string) uint8 {
+	h := uint32(2166136261)
+	for i := 0; i < len(remote); i++ {
+		h ^= uint32(remote[i])
+		h *= 16777619
+	}
+	return uint8(h & m.mask)
+}
+
+// ingest files one record into the shard's pending streams. Called with
+// sh.mu held.
+func (sh *monitorShard) ingest(maxPending int, r pcap.Record) {
 	switch {
 	case r.Dir == pcap.Out && !r.IsAck:
-		fs := m.flow(r.Flow)
+		fs := sh.flow(r.Flow)
 		fs.outs = append(fs.outs, r)
-		m.fedOut++
-		if len(fs.outs) > m.cfg.MaxPending {
-			fs.outs = append(fs.outs[:0], fs.outs[len(fs.outs)-m.cfg.MaxPending/2:]...)
+		sh.fedOut++
+		if len(fs.outs) > maxPending {
+			fs.outs = append(fs.outs[:0], fs.outs[len(fs.outs)-maxPending/2:]...)
 		}
 	case r.Dir == pcap.In && r.IsAck:
 		// The ACK stream for local->remote data arrives from the remote:
 		// key it under the same (local, remote) flow.
 		key := pcap.FlowKey{Local: r.Flow.Local, Remote: r.Flow.Remote}
-		fs := m.flow(key)
+		fs := sh.flow(key)
 		fs.acks = append(fs.acks, r)
-		m.fedAck++
-		if len(fs.acks) > m.cfg.MaxPending {
-			fs.acks = append(fs.acks[:0], fs.acks[len(fs.acks)-m.cfg.MaxPending/2:]...)
+		sh.fedAck++
+		if len(fs.acks) > maxPending {
+			fs.acks = append(fs.acks[:0], fs.acks[len(fs.acks)-maxPending/2:]...)
 		}
 	}
 }
 
-// FeedAll ingests a batch of records.
-func (m *Monitor) FeedAll(rs []pcap.Record) {
-	for _, r := range rs {
-		m.Feed(r)
-	}
-}
-
-func (m *Monitor) flow(key pcap.FlowKey) *flowStream {
-	fs, ok := m.flows[key]
+func (sh *monitorShard) flow(key pcap.FlowKey) *flowStream {
+	fs, ok := sh.flows[key]
 	if !ok {
 		fs = &flowStream{}
-		m.flows[key] = fs
+		sh.flows[key] = fs
 	}
 	return fs
 }
 
-func (m *Monitor) path(remote string) *pathState {
-	ps, ok := m.paths[remote]
+func (sh *monitorShard) path(cfg *Config, remote string) *pathState {
+	ps, ok := sh.paths[remote]
 	if !ok {
 		ps = &pathState{
-			bw:  NewBandwidthEstimator(m.cfg.Estimator),
-			lat: NewLatencyEstimator(m.cfg.Estimator),
+			bw:  NewBandwidthEstimator(cfg.Estimator),
+			lat: NewLatencyEstimator(cfg.Estimator),
 		}
-		m.paths[remote] = ps
+		sh.paths[remote] = ps
 	}
 	return ps
 }
 
 // Poll runs the analysis over pending traffic and returns the number of new
 // observations produced. Call it periodically (the observation thread of
-// the paper's user-level component).
+// the paper's user-level component). Shards are polled one at a time, so
+// concurrent feeds to other shards proceed unimpeded.
 func (m *Monitor) Poll() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.met.PollSeconds != nil {
+	met := m.met.Load()
+	if met.PollSeconds != nil {
 		defer func(start time.Time) {
-			m.met.PollSeconds.Observe(time.Since(start).Seconds())
+			met.PollSeconds.Observe(time.Since(start).Seconds())
 		}(time.Now())
 	}
+	lastAt := m.lastAt.Load()
 	produced := 0
-	for key, fs := range m.flows {
-		produced += m.pollFlow(key, fs)
-		if len(fs.outs) == 0 && len(fs.acks) == 0 {
-			delete(m.flows, key)
+	for s := range m.shards {
+		sh := &m.shards[s]
+		sh.mu.Lock()
+		for key, fs := range sh.flows {
+			produced += m.pollFlow(sh, met, lastAt, key, fs)
+			if len(fs.outs) == 0 && len(fs.acks) == 0 {
+				delete(sh.flows, key)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return produced
 }
 
-func (m *Monitor) pollFlow(key pcap.FlowKey, fs *flowStream) int {
-	trains, tailStart := ScanTrains(fs.outs, m.lastAt, m.cfg.Scan)
+// pollFlow analyzes one flow's pending trains. Called with sh.mu held.
+func (m *Monitor) pollFlow(sh *monitorShard, met *MonitorMetrics, lastAt int64, key pcap.FlowKey, fs *flowStream) int {
+	trains, tailStart := ScanTrains(fs.outs, lastAt, m.cfg.Scan)
 	produced := 0
 	keepFrom := tailStart
 	for _, tr := range trains {
@@ -171,39 +283,39 @@ func (m *Monitor) pollFlow(key pcap.FlowKey, fs *flowStream) int {
 		// would otherwise be counted repeatedly.
 		switch status {
 		case AnalyzeOK:
-			ps := m.path(key.Remote)
+			ps := sh.path(&m.cfg, key.Remote)
 			ps.bw.Add(obs)
 			ps.lat.Add(obs.At, obs.MinRTT)
 			ps.recent = append(ps.recent, obs)
 			if len(ps.recent) > 4*m.cfg.Estimator.Window {
 				ps.recent = append(ps.recent[:0], ps.recent[len(ps.recent)-2*m.cfg.Estimator.Window:]...)
 			}
-			m.emitted++
+			sh.emitted++
 			produced++
-			m.met.TrainsFormed.Inc()
-			m.met.EstimatesPublished.Inc()
+			met.TrainsFormed.Inc()
+			met.EstimatesPublished.Inc()
 			if obs.Congested {
-				m.met.SICIncreasing.Inc()
+				met.SICIncreasing.Inc()
 			} else {
-				m.met.SICNonIncreasing.Inc()
+				met.SICNonIncreasing.Inc()
 			}
 		case AnalyzeWaiting:
-			if m.lastAt-tr.End < m.cfg.DeferLimit {
+			if lastAt-tr.End < m.cfg.DeferLimit {
 				// Wait for the ACKs; everything from this train on stays
 				// pending and the scan repeats next poll.
-				idx := m.indexOf(fs.outs, tr.Start)
+				idx := indexOf(fs.outs, tr.Start)
 				if idx >= 0 && idx < keepFrom {
 					keepFrom = idx
 				}
 			} else {
 				// Too old: abandon (ACKs lost).
-				m.met.TrainsFormed.Inc()
-				m.met.SICDiscarded.Inc()
+				met.TrainsFormed.Inc()
+				met.SICDiscarded.Inc()
 			}
 		case AnalyzeDiscard:
 			// Unusable train; consumed silently.
-			m.met.TrainsFormed.Inc()
-			m.met.SICDiscarded.Inc()
+			met.TrainsFormed.Inc()
+			met.SICDiscarded.Inc()
 		}
 		if keepFrom < tailStart {
 			break // deferred: later trains will be rescanned anyway
@@ -221,7 +333,7 @@ func (m *Monitor) pollFlow(key pcap.FlowKey, fs *flowStream) int {
 	return produced
 }
 
-func (m *Monitor) indexOf(outs []pcap.Record, at int64) int {
+func indexOf(outs []pcap.Record, at int64) int {
 	i := sort.Search(len(outs), func(j int) bool { return outs[j].At >= at })
 	if i < len(outs) && outs[i].At == at {
 		return i
@@ -231,9 +343,10 @@ func (m *Monitor) indexOf(outs []pcap.Record, at int64) int {
 
 // AvailableBandwidth returns the current estimate toward remote.
 func (m *Monitor) AvailableBandwidth(remote string) (Estimate, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ps, ok := m.paths[remote]
+	sh := m.shardFor(remote)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ps, ok := sh.paths[remote]
 	if !ok {
 		return Estimate{}, false
 	}
@@ -242,9 +355,10 @@ func (m *Monitor) AvailableBandwidth(remote string) (Estimate, bool) {
 
 // Latency returns the one-way latency estimate toward remote in ms.
 func (m *Monitor) Latency(remote string) (float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ps, ok := m.paths[remote]
+	sh := m.shardFor(remote)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ps, ok := sh.paths[remote]
 	if !ok {
 		return 0, false
 	}
@@ -253,11 +367,14 @@ func (m *Monitor) Latency(remote string) (float64, bool) {
 
 // Remotes lists the endpoints with measurement state, sorted.
 func (m *Monitor) Remotes() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.paths))
-	for r := range m.paths {
-		out = append(out, r)
+	var out []string
+	for s := range m.shards {
+		sh := &m.shards[s]
+		sh.mu.Lock()
+		for r := range sh.paths {
+			out = append(out, r)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -266,9 +383,10 @@ func (m *Monitor) Remotes() []string {
 // Observations returns the logged observations for remote newer than
 // sinceNs, oldest first — the stream the SOAP interface serves to clients.
 func (m *Monitor) Observations(remote string, sinceNs int64) []Observation {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ps, ok := m.paths[remote]
+	sh := m.shardFor(remote)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ps, ok := sh.paths[remote]
 	if !ok {
 		return nil
 	}
@@ -288,9 +406,16 @@ type MonitorStats struct {
 	Observations uint64
 }
 
-// Stats returns the monitor's counters.
+// Stats returns the monitor's counters, summed across shards.
 func (m *Monitor) Stats() MonitorStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return MonitorStats{OutRecords: m.fedOut, AckRecords: m.fedAck, Observations: m.emitted}
+	var st MonitorStats
+	for s := range m.shards {
+		sh := &m.shards[s]
+		sh.mu.Lock()
+		st.OutRecords += sh.fedOut
+		st.AckRecords += sh.fedAck
+		st.Observations += sh.emitted
+		sh.mu.Unlock()
+	}
+	return st
 }

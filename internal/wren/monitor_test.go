@@ -73,13 +73,14 @@ func TestMonitorAbandonsStaleTrains(t *testing.T) {
 	if n := m.Poll(); n != 0 {
 		t.Fatalf("Poll produced %d", n)
 	}
-	m.mu.Lock()
-	fs := m.flows[pcap.FlowKey{Local: "a", Remote: "b"}]
+	sh := m.shardFor("b")
+	sh.mu.Lock()
+	fs := sh.flows[pcap.FlowKey{Local: "a", Remote: "b"}]
 	pending := 0
 	if fs != nil {
 		pending = len(fs.outs)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if pending != 0 {
 		t.Fatalf("stale train still pending: %d records", pending)
 	}

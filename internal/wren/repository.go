@@ -256,6 +256,28 @@ func (f *Forwarder) Feed(r pcap.Record) {
 	}
 }
 
+// FeedAll accepts a batch of capture records under one lock acquisition —
+// the shape the VNET daemon's feed ring delivers. The relevance filter is
+// applied per record; flushes trigger whenever the outgoing batch reaches
+// the threshold mid-ingest.
+func (f *Forwarder) FeedAll(rs []pcap.Record) {
+	if len(rs) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range rs {
+		if (r.Dir == pcap.Out && !r.IsAck) || (r.Dir == pcap.In && r.IsAck) {
+			f.batch = append(f.batch, r)
+			if len(f.batch) >= f.batchSz {
+				f.flushLocked()
+			}
+		} else {
+			f.filtered++
+		}
+	}
+}
+
 // Flush ships any buffered records immediately. The returned error is the
 // last transport failure; it clears once a flush succeeds again.
 func (f *Forwarder) Flush() error {
