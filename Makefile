@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet
+.PHONY: build test race bench chaos fmt vet
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Daemon|Monitor|Buffer' -benchmem -count=5 \
 		./internal/vnet/ ./internal/wren/ ./internal/pcap/
+
+# Fault-injection suites (docs/OPERATIONS.md "Chaos testing"). Seed and
+# trace dir come from the environment: CHAOS_SEED pins the scenario seed,
+# CHAOS_TRACE_DIR collects flight-recorder JSON for failed runs.
+chaos:
+	$(GO) test -race -shuffle=on -count=1 -run 'TestChaos' \
+		./internal/chaos/ ./internal/control/ ./internal/vnet/ ./internal/wren/
 
 fmt:
 	gofmt -l -w .

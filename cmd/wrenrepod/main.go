@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"freemeasure/internal/obs"
@@ -88,7 +90,16 @@ func main() {
 		svc.ServeHTTP(w, r)
 	})
 	logger.Info("SOAP/HTTP up", "url", "http://"+*httpAddr+"/origins")
-	if err := http.ListenAndServe(*httpAddr, mux); err != nil {
-		fatal("http", "err", err)
-	}
+	go func() {
+		if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+			fatal("http", "err", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	batches, records := repo.Received()
+	logger.Info("shutting down", "batches", batches, "records", records)
+	repo.Close()
 }

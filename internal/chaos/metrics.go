@@ -1,0 +1,27 @@
+package chaos
+
+import "freemeasure/internal/obs"
+
+// Metrics counts fault activity. The zero value (nil collectors) is the
+// uninstrumented no-op state, matching the repo-wide convention.
+type Metrics struct {
+	Injected *obs.Counter // chaos_faults_injected_total
+	Cleared  *obs.Counter // chaos_faults_cleared_total
+	Errors   *obs.Counter // chaos_fault_errors_total
+	Active   *obs.Gauge   // chaos_faults_active
+}
+
+// NewMetrics registers the chaos counters on reg (nil reg yields the
+// no-op zero value).
+func NewMetrics(reg *obs.Registry) Metrics {
+	return Metrics{
+		Injected: reg.Counter("chaos_faults_injected_total",
+			"Faults applied by the chaos runner."),
+		Cleared: reg.Counter("chaos_faults_cleared_total",
+			"Faults cleared after their scripted duration."),
+		Errors: reg.Counter("chaos_fault_errors_total",
+			"Scenario events the fabric could not apply."),
+		Active: reg.Gauge("chaos_faults_active",
+			"Faults currently in effect."),
+	}
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"freemeasure/internal/vnet"
+)
+
+// OverlayFabric injects faults into a live vnet.Overlay. Natively
+// supported: Partition ("a<->b" daemon names, "proxy" allowed), Clamp
+// (same target form, both directions), and StarveFeed (a daemon name).
+// Outage and Crash are delegated to services registered with
+// RegisterService, so a test can script "the repository goes away at
+// t=2s" without the fabric knowing how to kill it.
+//
+// A live overlay runs real goroutines over real TCP, so runs are not
+// bit-reproducible — the chaos suite asserts invariants here, and uses
+// SimFabric when it needs determinism.
+type OverlayFabric struct {
+	Overlay *vnet.Overlay
+
+	mu       sync.Mutex
+	services map[string]Service
+}
+
+// Service is an outage-able component: Down makes it unavailable, Up
+// restores it (possibly on the same address).
+type Service struct {
+	Down func() error
+	Up   func() error
+}
+
+// NewOverlayFabric wraps a running overlay.
+func NewOverlayFabric(o *vnet.Overlay) *OverlayFabric {
+	return &OverlayFabric{Overlay: o, services: make(map[string]Service)}
+}
+
+// RegisterService names a component the scenario may take down with
+// Outage or Crash events.
+func (f *OverlayFabric) RegisterService(name string, svc Service) {
+	f.mu.Lock()
+	f.services[name] = svc
+	f.mu.Unlock()
+}
+
+// node resolves a daemon name, including the proxy.
+func (f *OverlayFabric) node(name string) *vnet.Node {
+	if name == "proxy" {
+		return f.Overlay.Proxy
+	}
+	return f.Overlay.Node(name)
+}
+
+// pair splits an "a<->b" target.
+func (f *OverlayFabric) pair(target string) (*vnet.Node, *vnet.Node, error) {
+	parts := strings.Split(target, "<->")
+	if len(parts) != 2 {
+		return nil, nil, fmt.Errorf("chaos: bad overlay target %q (want \"a<->b\")", target)
+	}
+	na, nb := f.node(parts[0]), f.node(parts[1])
+	if na == nil || nb == nil {
+		return nil, nil, fmt.Errorf("chaos: unknown daemon in %q", target)
+	}
+	return na, nb, nil
+}
+
+// Inject implements Fabric.
+func (f *OverlayFabric) Inject(fault Fault, target string) (func(), error) {
+	switch fault.Kind {
+	case Partition:
+		na, nb, err := f.pair(target)
+		if err != nil {
+			return nil, err
+		}
+		na.Daemon.Disconnect(nb.Daemon.Name())
+		nb.Daemon.Disconnect(na.Daemon.Name())
+		return func() {
+			// Heal by redialing; either direction restores the duplex link.
+			if _, err := na.Daemon.Connect(nb.Addr()); err != nil {
+				nb.Daemon.Connect(na.Addr())
+			}
+		}, nil
+	case Clamp:
+		na, nb, err := f.pair(target)
+		if err != nil {
+			return nil, err
+		}
+		var restores []func()
+		for _, side := range [][2]*vnet.Node{{na, nb}, {nb, na}} {
+			if l, ok := side[0].Daemon.Link(side[1].Daemon.Name()); ok {
+				l, orig := l, l.RateMbps()
+				l.SetRateMbps(fault.Mbps)
+				restores = append(restores, func() { l.SetRateMbps(orig) })
+			}
+		}
+		if len(restores) == 0 {
+			return nil, fmt.Errorf("chaos: no link between %s", target)
+		}
+		return func() {
+			for _, r := range restores {
+				r()
+			}
+		}, nil
+	case StarveFeed:
+		n := f.node(target)
+		if n == nil {
+			return nil, fmt.Errorf("chaos: unknown daemon %q", target)
+		}
+		n.Daemon.SetWrenBatchFeed(nil)
+		return func() { n.Daemon.SetWrenBatchFeed(n.Wren.FeedAll) }, nil
+	case Outage, Crash:
+		f.mu.Lock()
+		svc, ok := f.services[target]
+		f.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("chaos: no registered service %q", target)
+		}
+		if err := svc.Down(); err != nil {
+			return nil, err
+		}
+		return func() {
+			if svc.Up != nil {
+				svc.Up()
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("chaos: overlay fabric cannot inject %q", fault.Kind)
+	}
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"freemeasure/internal/simnet"
+)
+
+// SimFabric injects faults into a simnet.Network. Targets name links by
+// host ID: "1->2" is the directed link from host 1 to host 2, "1<->2"
+// both directions. Every random stream is seeded from (Seed, target,
+// kind), and everything runs on the simulator goroutine, so a scenario
+// replays identically from the same seed.
+type SimFabric struct {
+	Net  *simnet.Network
+	Seed int64
+
+	active map[*simnet.Link][]*simFault
+}
+
+type simFault struct {
+	fault Fault
+	rng   *rand.Rand
+}
+
+// NewSimFabric wraps net with a fault layer seeded by seed.
+func NewSimFabric(net *simnet.Network, seed int64) *SimFabric {
+	return &SimFabric{Net: net, Seed: seed, active: make(map[*simnet.Link][]*simFault)}
+}
+
+// links resolves a target string to the link(s) it names.
+func (s *SimFabric) links(target string) ([]*simnet.Link, error) {
+	var a, b int
+	if _, err := fmt.Sscanf(target, "%d<->%d", &a, &b); err == nil {
+		la, lb := s.Net.Link(simnet.HostID(a), simnet.HostID(b)), s.Net.Link(simnet.HostID(b), simnet.HostID(a))
+		if la == nil || lb == nil {
+			return nil, fmt.Errorf("chaos: no duplex link %s", target)
+		}
+		return []*simnet.Link{la, lb}, nil
+	}
+	if _, err := fmt.Sscanf(target, "%d->%d", &a, &b); err == nil {
+		l := s.Net.Link(simnet.HostID(a), simnet.HostID(b))
+		if l == nil {
+			return nil, fmt.Errorf("chaos: no link %s", target)
+		}
+		return []*simnet.Link{l}, nil
+	}
+	return nil, fmt.Errorf("chaos: bad sim target %q (want \"a->b\" or \"a<->b\")", target)
+}
+
+// rng derives the deterministic stream for one (target, kind) pair.
+func (s *SimFabric) rng(target string, kind Kind) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(target))
+	h.Write([]byte(kind))
+	return rand.New(rand.NewSource(s.Seed ^ int64(h.Sum64())))
+}
+
+// Inject implements Fabric.
+func (s *SimFabric) Inject(f Fault, target string) (func(), error) {
+	ls, err := s.links(target)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case Loss, Reorder, Duplicate, Delay, Partition:
+	case Clamp:
+		return s.clamp(ls, f.Mbps), nil
+	default:
+		return nil, fmt.Errorf("chaos: sim fabric cannot inject %q", f.Kind)
+	}
+	var clears []func()
+	for i, l := range ls {
+		sf := &simFault{fault: f, rng: s.rng(fmt.Sprintf("%s#%d", target, i), f.Kind)}
+		l := l
+		s.active[l] = append(s.active[l], sf)
+		s.recompose(l)
+		clears = append(clears, func() {
+			faults := s.active[l]
+			for j, other := range faults {
+				if other == sf {
+					s.active[l] = append(faults[:j], faults[j+1:]...)
+					break
+				}
+			}
+			s.recompose(l)
+		})
+	}
+	return func() {
+		for _, c := range clears {
+			c()
+		}
+	}, nil
+}
+
+// clamp caps the links' rates and returns the restore hook.
+func (s *SimFabric) clamp(ls []*simnet.Link, mbps float64) func() {
+	orig := make([]float64, len(ls))
+	for i, l := range ls {
+		orig[i] = l.RateMbps()
+		l.SetRate(mbps)
+	}
+	return func() {
+		for i, l := range ls {
+			l.SetRate(orig[i])
+		}
+	}
+}
+
+// recompose rebuilds the link's interceptor from its active fault list.
+func (s *SimFabric) recompose(l *simnet.Link) {
+	faults := s.active[l]
+	if len(faults) == 0 {
+		l.SetInterceptor(nil)
+		return
+	}
+	fs := append([]*simFault(nil), faults...)
+	l.SetInterceptor(func(pkt *simnet.Packet) simnet.Verdict {
+		var v simnet.Verdict
+		for _, sf := range fs {
+			f := sf.fault
+			switch f.Kind {
+			case Partition:
+				v.Drop = true
+			case Loss:
+				if sf.rng.Float64() < f.Rate {
+					v.Drop = true
+				}
+			case Duplicate:
+				if sf.rng.Float64() < f.Rate {
+					v.Duplicate = true
+				}
+			case Reorder:
+				if sf.rng.Float64() < f.Rate {
+					jitter := f.Jitter
+					if jitter <= 0 {
+						jitter = time.Millisecond
+					}
+					v.ExtraDelay += simnet.Duration(jitter)
+				}
+			case Delay:
+				d := simnet.Duration(f.Extra)
+				if f.Jitter > 0 {
+					d += simnet.Duration(sf.rng.Int63n(int64(f.Jitter)))
+				}
+				v.ExtraDelay += d
+			}
+		}
+		return v
+	})
+}

@@ -273,9 +273,18 @@ type SOAPSource struct {
 	// (defaults 100 and 1).
 	DefaultLinkMbps  float64
 	DefaultLatencyMs float64
+	// Timeout bounds each SOAP call (default 5s). Without it a single
+	// unreachable or wedged endpoint would stall the sense phase — and with
+	// it the whole control loop — indefinitely; with it the pair falls back
+	// to the defaults for that cycle and the loop keeps cycling.
+	Timeout time.Duration
 
 	clients []*wren.Client
 }
+
+// defaultSOAPTimeout caps one sense-phase SOAP call when none is
+// configured.
+const defaultSOAPTimeout = 5 * time.Second
 
 // Snapshot implements ProblemSource.
 func (s *SOAPSource) Snapshot() (*Snapshot, error) {
@@ -285,9 +294,14 @@ func (s *SOAPSource) Snapshot() (*Snapshot, error) {
 			n, len(s.Endpoints))
 	}
 	if s.clients == nil {
+		timeout := s.Timeout
+		if timeout == 0 {
+			timeout = defaultSOAPTimeout
+		}
 		s.clients = make([]*wren.Client, n)
 		for i, url := range s.Endpoints {
 			s.clients[i] = wren.NewClient(url)
+			s.clients[i].SetTimeout(timeout)
 		}
 	}
 	defBW, defLat := s.DefaultLinkMbps, s.DefaultLatencyMs

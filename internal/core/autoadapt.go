@@ -24,6 +24,28 @@ type AutoAdaptConfig struct {
 	MinAbsolute    float64
 	// HoldDown is the minimum time between applied plans (default 2*Every).
 	HoldDown time.Duration
+	// Clock is the loop's time source; nil means wall time. Tests inject
+	// a manually advanced clock (chaos.FakeClock) so tick and hold-down
+	// behavior can be exercised without real sleeps.
+	Clock Clock
+}
+
+// Clock abstracts the adaptation loop's time source.
+type Clock interface {
+	Now() time.Time
+	// Ticker returns a channel delivering ticks every d, and a stop
+	// function releasing it.
+	Ticker(d time.Duration) (<-chan time.Time, func())
+}
+
+// wallClock is the production Clock: real time.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Ticker(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
 }
 
 func (c AutoAdaptConfig) withDefaults() AutoAdaptConfig {
@@ -38,6 +60,9 @@ func (c AutoAdaptConfig) withDefaults() AutoAdaptConfig {
 	}
 	if c.HoldDown == 0 {
 		c.HoldDown = 2 * c.Every
+	}
+	if c.Clock == nil {
+		c.Clock = wallClock{}
 	}
 	return c
 }
@@ -91,13 +116,13 @@ func (a *AutoAdapter) Stats() AutoAdaptStats {
 
 func (a *AutoAdapter) loop() {
 	defer close(a.done)
-	ticker := time.NewTicker(a.cfg.Every)
-	defer ticker.Stop()
+	ticks, stop := a.cfg.Clock.Ticker(a.cfg.Every)
+	defer stop()
 	for {
 		select {
 		case <-a.stop:
 			return
-		case <-ticker.C:
+		case <-ticks:
 			a.step()
 		}
 	}
@@ -106,7 +131,7 @@ func (a *AutoAdapter) loop() {
 func (a *AutoAdapter) step() {
 	a.mu.Lock()
 	a.stats.Evaluations++
-	held := time.Since(a.lastApplied) < a.cfg.HoldDown && !a.lastApplied.IsZero()
+	held := a.cfg.Clock.Now().Sub(a.lastApplied) < a.cfg.HoldDown && !a.lastApplied.IsZero()
 	a.mu.Unlock()
 	if held {
 		return
@@ -143,7 +168,7 @@ func (a *AutoAdapter) step() {
 	}
 	a.mu.Lock()
 	a.stats.Applied++
-	a.lastApplied = time.Now()
+	a.lastApplied = a.cfg.Clock.Now()
 	fn := a.OnApply
 	a.mu.Unlock()
 	if fn != nil {

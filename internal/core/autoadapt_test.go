@@ -4,8 +4,29 @@ import (
 	"testing"
 	"time"
 
+	"freemeasure/internal/chaos"
 	"freemeasure/internal/vttif"
 )
+
+// The auto-adapt tests drive the loop from a manually advanced clock:
+// every tick and the hold-down window run on fake time, so nothing here
+// sleeps through an evaluation period and the damping assertions are
+// exact instead of racy. Only the Wren measurement warm-up (real traffic
+// over the in-process overlay) still waits on wall time.
+
+// tickUntil advances the fake clock one period at a time until cond
+// holds, yielding briefly between ticks so the loop goroutine can run.
+func tickUntil(t *testing.T, clk *chaos.FakeClock, every time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(45 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		clk.Advance(every)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
 
 func TestAutoAdaptMigratesAndDamps(t *testing.T) {
 	s, err := NewSystem(Config{
@@ -63,10 +84,13 @@ func TestAutoAdaptMigratesAndDamps(t *testing.T) {
 			measuredAbove("proxy", "fast1", 20)
 	})
 
+	const every = 200 * time.Millisecond
+	clk := chaos.NewFakeClock()
 	applied := make(chan *Plan, 8)
 	a := s.StartAutoAdapt(AutoAdaptConfig{
-		Every:    200 * time.Millisecond,
-		HoldDown: 10 * time.Second, // one shot within the test window
+		Every:    every,
+		HoldDown: 10 * time.Second, // fake time: no second shot below
+		Clock:    clk,
 	})
 	a.OnApply = func(p *Plan) {
 		select {
@@ -76,27 +100,26 @@ func TestAutoAdaptMigratesAndDamps(t *testing.T) {
 	}
 	defer a.Stop()
 
+	tickUntil(t, clk, every, "an applied plan", func() bool { return a.Stats().Applied > 0 })
 	select {
 	case p := <-applied:
 		if len(p.Migrations) == 0 {
 			t.Fatalf("applied plan had no migrations: %+v", p)
 		}
-	case <-time.After(45 * time.Second):
-		t.Fatalf("auto-adapt never applied a plan (stats %+v)", a.Stats())
+	case <-time.After(10 * time.Second):
+		t.Fatalf("OnApply never fired (stats %+v)", a.Stats())
 	}
-	if v2.Daemon().Name() == "slowhost" {
-		t.Fatal("VM2 still on slow host")
-	}
-	// Hold-down: no second application in the next second even though the
-	// loop keeps evaluating.
-	before := a.Stats().Applied
-	time.Sleep(1 * time.Second)
-	st := a.Stats()
-	if st.Applied != before {
-		t.Fatalf("hold-down violated: applied %d -> %d", before, st.Applied)
-	}
-	if st.Evaluations < 2 {
-		t.Fatalf("loop stopped evaluating: %+v", st)
+	waitFor(t, "migration", 10*time.Second, func() bool { return v2.Daemon().Name() != "slowhost" })
+
+	// Hold-down: tick well past several periods of fake time — all inside
+	// the 10 s hold-down window — and the loop must evaluate without
+	// applying again.
+	before := a.Stats()
+	tickUntil(t, clk, every, "post-apply evaluations", func() bool {
+		return a.Stats().Evaluations >= before.Evaluations+5
+	})
+	if st := a.Stats(); st.Applied != before.Applied {
+		t.Fatalf("hold-down violated: applied %d -> %d", before.Applied, st.Applied)
 	}
 }
 
@@ -117,26 +140,22 @@ func TestAutoAdaptSkipsWhenAlreadyGood(t *testing.T) {
 			time.Sleep(20 * time.Millisecond)
 		}
 	}()
-	a := s.StartAutoAdapt(AutoAdaptConfig{Every: 100 * time.Millisecond})
+	const every = 100 * time.Millisecond
+	clk := chaos.NewFakeClock()
+	a := s.StartAutoAdapt(AutoAdaptConfig{Every: every, Clock: clk})
 	defer a.Stop()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		st := a.Stats()
-		if st.Skipped >= 2 {
-			if st.Applied != 0 {
-				t.Fatalf("applied a plan on an already-good placement: %+v", st)
-			}
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
+	tickUntil(t, clk, every, "skip decisions", func() bool { return a.Stats().Skipped >= 2 })
+	if st := a.Stats(); st.Applied != 0 {
+		t.Fatalf("applied a plan on an already-good placement: %+v", st)
 	}
-	t.Fatalf("loop never reached skip decisions: %+v", a.Stats())
 }
 
 func TestAutoAdaptStopIsClean(t *testing.T) {
 	s := newTestSystem(t, []string{"h1"})
-	a := s.StartAutoAdapt(AutoAdaptConfig{Every: 50 * time.Millisecond})
-	time.Sleep(120 * time.Millisecond)
+	const every = 50 * time.Millisecond
+	clk := chaos.NewFakeClock()
+	a := s.StartAutoAdapt(AutoAdaptConfig{Every: every, Clock: clk})
+	tickUntil(t, clk, every, "first evaluation", func() bool { return a.Stats().Evaluations > 0 })
 	a.Stop() // must not hang or panic; loop counts errors (no demands)
 	if a.Stats().Evaluations == 0 {
 		t.Fatal("loop never ran")

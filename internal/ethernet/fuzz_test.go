@@ -1,0 +1,78 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseHeader hammers the zero-copy header decoder with arbitrary
+// bytes: it must never panic or over-read, must agree with Unmarshal on
+// what is and is not a frame, and must decode exactly the first 14 bytes.
+func FuzzParseHeader(f *testing.F) {
+	good, _ := (&Frame{
+		Dst: VMMAC(1), Src: VMMAC(2), Type: TypeApp, Payload: []byte("payload"),
+	}).Marshal()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen-1))
+	f.Add(make([]byte, HeaderLen))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, ok := ParseHeader(b)
+		if ok != (len(b) >= HeaderLen) {
+			t.Fatalf("ParseHeader ok=%v for %d bytes (HeaderLen=%d)", ok, len(b), HeaderLen)
+		}
+		frame, err := Unmarshal(b)
+		if ok != (err == nil) {
+			t.Fatalf("ParseHeader ok=%v but Unmarshal err=%v", ok, err)
+		}
+		if !ok {
+			if h != (Header{}) {
+				t.Fatalf("failed parse returned non-zero header %+v", h)
+			}
+			return
+		}
+		// Header fields match the full decode, byte for byte.
+		if h.Dst != frame.Dst || h.Src != frame.Src || h.Type != frame.Type {
+			t.Fatalf("ParseHeader %+v disagrees with Unmarshal %+v", h, frame)
+		}
+		if !bytes.Equal(h.Dst[:], b[0:6]) || !bytes.Equal(h.Src[:], b[6:12]) {
+			t.Fatalf("header %+v does not reflect input prefix % x", h, b[:HeaderLen])
+		}
+		// Re-encoding the decoded frame reproduces the input (when within
+		// MTU; larger inputs only fail the explicit bound check).
+		if len(frame.Payload) <= MaxPayload {
+			out, err := frame.Marshal()
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(out, b) {
+				t.Fatalf("roundtrip mismatch:\n in  % x\n out % x", b, out)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalMarshal checks the frame decoder on its own: arbitrary
+// input either errors or yields a frame whose payload aliases the input
+// without copying beyond it.
+func FuzzUnmarshalMarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen+MaxPayload))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		frame, err := Unmarshal(b)
+		if err != nil {
+			if len(b) >= HeaderLen {
+				t.Fatalf("Unmarshal rejected a full header: %v", err)
+			}
+			return
+		}
+		if got, want := len(frame.Payload), len(b)-HeaderLen; got != want {
+			t.Fatalf("payload length %d, want %d", got, want)
+		}
+		if frame.WireLen() != len(b) {
+			t.Fatalf("WireLen %d, want %d", frame.WireLen(), len(b))
+		}
+	})
+}

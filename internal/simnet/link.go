@@ -35,8 +35,35 @@ type Link struct {
 	lossRate float64
 	lossRng  *rand.Rand
 
+	intercept Interceptor
+
 	stats LinkStats
 }
+
+// Verdict is an Interceptor's decision about one packet. The zero value
+// passes the packet through untouched.
+type Verdict struct {
+	// Drop discards the packet before it reaches the queue (counted as
+	// Lost, like the built-in loss emulation).
+	Drop bool
+	// Duplicate enqueues a second copy alongside the original.
+	Duplicate bool
+	// ExtraDelay holds the packet off the queue for this long before it
+	// contends for the wire. Varying it per packet reorders arrivals.
+	ExtraDelay Duration
+}
+
+// Interceptor inspects every packet offered to the link — the hook the
+// chaos fault-injection layer uses for loss, duplication, added
+// latency/jitter, reordering, and partitions. It runs on the simulator
+// goroutine, so implementations need no locking but must be deterministic
+// for replayable runs.
+type Interceptor func(pkt *Packet) Verdict
+
+// SetInterceptor installs (or, with nil, removes) the link's packet
+// interceptor. It composes with the built-in loss emulation: the
+// interceptor runs first.
+func (l *Link) SetInterceptor(fn Interceptor) { l.intercept = fn }
 
 // From returns the sending host ID.
 func (l *Link) From() HostID { return l.from }
@@ -88,9 +115,35 @@ func (l *Link) txTime(size int) Duration {
 	return Duration(sec * float64(Second))
 }
 
-// enqueue accepts a packet for transmission, dropping it if the queue is
-// full (droptail) or the loss emulation fires.
+// enqueue accepts a packet for transmission, dropping it if the
+// interceptor or the loss emulation fires, or the queue is full
+// (droptail).
 func (l *Link) enqueue(pkt *Packet) {
+	if l.intercept != nil {
+		v := l.intercept(pkt)
+		if v.Drop {
+			l.stats.Lost++
+			return
+		}
+		if v.Duplicate {
+			dup := *pkt
+			if v.ExtraDelay > 0 {
+				l.net.sim.After(v.ExtraDelay, func() { l.offer(&dup) })
+			} else {
+				l.offer(&dup)
+			}
+		}
+		if v.ExtraDelay > 0 {
+			l.net.sim.After(v.ExtraDelay, func() { l.offer(pkt) })
+			return
+		}
+	}
+	l.offer(pkt)
+}
+
+// offer is the post-interceptor enqueue path: loss emulation, then the
+// droptail queue or the wire.
+func (l *Link) offer(pkt *Packet) {
 	if l.lossRate > 0 && l.lossRng.Float64() < l.lossRate {
 		l.stats.Lost++
 		return

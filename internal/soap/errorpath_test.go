@@ -1,0 +1,141 @@
+package soap
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The error-path suite: every way a real endpoint misbehaves — refusing
+// connections, answering slowly, or speaking garbage — must surface as an
+// error from Call, never a hang or a silently-zero response.
+
+func TestClientConnectionRefused(t *testing.T) {
+	// Reserve a port, then free it: dialing it is an instant refusal.
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	c := &Client{URL: url, Timeout: 2 * time.Second}
+	var resp pingResp
+	start := time.Now()
+	err := c.Call(&pingReq{Msg: "hi"}, &resp)
+	if err == nil {
+		t.Fatal("Call against a closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), "soap: post") {
+		t.Fatalf("error %v, want a transport error wrapped as soap: post", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("refused connection took %v to fail", elapsed)
+	}
+}
+
+func TestClientTimeoutOnSlowServer(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := &Client{URL: ts.URL, Timeout: 100 * time.Millisecond}
+	var resp pingResp
+	start := time.Now()
+	err := c.Call(&pingReq{Msg: "hi"}, &resp)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Call against a wedged server succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, configured 100ms", elapsed)
+	}
+}
+
+func TestClientSlowBodyTimesOut(t *testing.T) {
+	// Headers arrive promptly but the body never finishes: the timeout
+	// must cover the read, not just the dial.
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("<soap:Envelope"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := &Client{URL: ts.URL, Timeout: 100 * time.Millisecond}
+	var resp pingResp
+	start := time.Now()
+	err := c.Call(&pingReq{Msg: "hi"}, &resp)
+	if err == nil {
+		t.Fatal("Call with a never-ending body succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("body read timeout took %v, configured 100ms", elapsed)
+	}
+}
+
+func TestClientGarbageResponse(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"not xml", "<<<this is not xml"},
+		{"empty", ""},
+		{"html error page", "<html><body><h1>502 Bad Gateway</h1></body></html>"},
+		{"xml but no envelope", "<Pong>hi</Pong>"},
+		{"envelope with empty body", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body></Body></Envelope>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+			c := &Client{URL: ts.URL, Timeout: 2 * time.Second}
+			var resp pingResp
+			if err := c.Call(&pingReq{Msg: "hi"}, &resp); err == nil {
+				t.Fatalf("Call decoded garbage %q into %+v", tc.body, resp)
+			}
+		})
+	}
+}
+
+func TestClientFaultIsTypedError(t *testing.T) {
+	ts := httptest.NewServer(pingServer())
+	defer ts.Close()
+	c := &Client{URL: ts.URL, Timeout: 2 * time.Second}
+	var resp pingResp
+	err := c.Call(&pingReq{Msg: "boom"}, &resp)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %v (%T), want *Fault", err, err)
+	}
+	if f.Code != "soap:Server" || !strings.Contains(f.Message, "exploded") {
+		t.Fatalf("fault %+v, want soap:Server / exploded", f)
+	}
+}
+
+func TestClientOversizedResponseTruncated(t *testing.T) {
+	// The client caps response reads at 1 MiB; a server streaming an
+	// endless body must produce a decode error, not unbounded memory use.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><PingResponse>`))
+		junk := strings.Repeat("<echo>x</echo>", 1<<10)
+		for i := 0; i < (2 << 20 / len(junk)); i++ {
+			w.Write([]byte(junk))
+		}
+		w.Write([]byte(`</PingResponse></Body></Envelope>`))
+	}))
+	defer ts.Close()
+	c := &Client{URL: ts.URL, Timeout: 5 * time.Second}
+	var resp pingResp
+	if err := c.Call(&pingReq{Msg: "hi"}, &resp); err == nil {
+		t.Fatal("Call accepted a >1MiB response")
+	}
+}

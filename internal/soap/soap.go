@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // envelopeNS is the SOAP 1.1 envelope namespace.
@@ -165,8 +166,12 @@ func (s *Server) fault(w http.ResponseWriter, code, msg string) {
 
 // Client calls SOAP endpoints.
 type Client struct {
-	HTTP *http.Client // nil means http.DefaultClient
+	HTTP *http.Client // nil means a default client honoring Timeout
 	URL  string
+	// Timeout bounds one whole Call (dial, request, response body) when
+	// HTTP is nil. Zero means no timeout — a hung server hangs the caller,
+	// so control-loop users should always set one.
+	Timeout time.Duration
 }
 
 // Call posts req's envelope and decodes the response body into resp.
@@ -174,7 +179,11 @@ type Client struct {
 func (c *Client) Call(req, resp interface{}) error {
 	hc := c.HTTP
 	if hc == nil {
-		hc = http.DefaultClient
+		if c.Timeout > 0 {
+			hc = &http.Client{Timeout: c.Timeout}
+		} else {
+			hc = http.DefaultClient
+		}
 	}
 	body, err := Marshal(req)
 	if err != nil {

@@ -1,0 +1,190 @@
+package vnet_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freemeasure/internal/chaos"
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/pcap"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func appFrame(dst, src ethernet.MAC, payload int) *ethernet.Frame {
+	return &ethernet.Frame{Dst: dst, Src: src, Type: ethernet.TypeApp, Payload: make([]byte, payload)}
+}
+
+// TestChaosPartitionReroutesViaDefaultRoute: a forwarding rule points at a
+// peer whose link a partition just severed. The frame must fall through to
+// the default route (the star hub) instead of blackholing, and the direct
+// path must come back when the partition heals.
+func TestChaosPartitionReroutesViaDefaultRoute(t *testing.T) {
+	o, err := vnet.NewStar([]string{"h1", "h2"}, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if err := o.ConnectPair("h1", "h2"); err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := o.Node("h1").Daemon, o.Node("h2").Daemon
+	waitCond(t, "direct link", func() bool { _, ok := h1.Link("h2"); return ok })
+
+	var delivered atomic.Uint64
+	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	h1.AttachVM(vm1, func(*ethernet.Frame) {})
+	h2.AttachVM(vm2, func(*ethernet.Frame) { delivered.Add(1) })
+	h1.AddRule(vm2, "h2") // pin the direct path, as an applied plan would
+
+	// Teach the hub where vm2 lives (bridge learning from a reply frame):
+	// the hub forwards unicast only to learned destinations.
+	h2.InjectFrame(appFrame(vm1, vm2, 64))
+	waitCond(t, "hub learns vm2", func() bool {
+		return o.Proxy.Daemon.Learned()[vm2] == "h2"
+	})
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			h1.InjectFrame(appFrame(vm2, vm1, 512))
+		}
+	}
+	send(20)
+	waitCond(t, "delivery over direct link", func() bool { return delivered.Load() >= 20 })
+
+	fab := chaos.NewOverlayFabric(o)
+	clear, err := fab.Inject(chaos.Fault{Kind: chaos.Partition}, "h1<->h2")
+	if err != nil {
+		t.Fatalf("inject partition: %v", err)
+	}
+	waitCond(t, "link teardown", func() bool { _, ok := h1.Link("h2"); return !ok })
+
+	// The rule for vm2 still names "h2", whose link is gone: frames must
+	// detour through the hub, not vanish.
+	before := delivered.Load()
+	send(20)
+	waitCond(t, "delivery during partition (via hub)", func() bool {
+		return delivered.Load() >= before+20
+	})
+	if fl := o.Proxy.Daemon.Stats(); fl.FramesFlooded == 0 && fl.FramesForwarded == 0 {
+		t.Fatalf("hub saw no detoured traffic: %+v", fl)
+	}
+
+	clear() // heal: the fabric redials the pair
+	waitCond(t, "direct link restored", func() bool { _, ok := h1.Link("h2"); return ok })
+	before = delivered.Load()
+	send(20)
+	waitCond(t, "delivery after heal", func() bool { return delivered.Load() >= before+20 })
+}
+
+// TestChaosStarveFeedKeepsDataPlaneAlive: detaching a daemon's Wren feed
+// (analyzer outage) must not disturb forwarding, and the feed must resume
+// when the fault clears.
+func TestChaosStarveFeedKeepsDataPlaneAlive(t *testing.T) {
+	o, err := vnet.NewStar([]string{"h1", "h2"}, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	h1 := o.Node("h1").Daemon
+	n1 := o.Node("h1")
+
+	var delivered atomic.Uint64
+	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	h2 := o.Node("h2").Daemon
+	h2.AttachVM(vm2, func(*ethernet.Frame) { delivered.Add(1) })
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			h1.InjectFrame(appFrame(vm2, vm1, 512))
+		}
+	}
+
+	// Teach the hub where vm2 lives before measuring delivery.
+	h2.InjectFrame(appFrame(vm1, vm2, 64))
+	waitCond(t, "hub learns vm2", func() bool {
+		return o.Proxy.Daemon.Learned()[vm2] == "h2"
+	})
+	send(30)
+	waitCond(t, "baseline delivery", func() bool { return delivered.Load() >= 30 })
+	waitCond(t, "wren feed flowing", func() bool { return n1.Wren.Stats().OutRecords > 0 })
+
+	fab := chaos.NewOverlayFabric(o)
+	clear, err := fab.Inject(chaos.Fault{Kind: chaos.StarveFeed}, "h1")
+	if err != nil {
+		t.Fatalf("inject starve-feed: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // drain records already in the ring
+	starvedAt := n1.Wren.Stats().OutRecords
+	before := delivered.Load()
+	send(30)
+	waitCond(t, "delivery while starved", func() bool { return delivered.Load() >= before+30 })
+	if got := n1.Wren.Stats().OutRecords; got != starvedAt {
+		t.Fatalf("monitor still fed while starved: %d -> %d", starvedAt, got)
+	}
+
+	clear()
+	send(30)
+	waitCond(t, "feed resumed after clear", func() bool {
+		return n1.Wren.Stats().OutRecords > starvedAt
+	})
+}
+
+// TestChaosFeedRingDropsOldestNeverBlocks wedges the analyzer sink
+// completely: the bounded feed ring must shed the oldest records (counted
+// in WrenFeedDropped) while the data plane keeps forwarding at full rate.
+func TestChaosFeedRingDropsOldestNeverBlocks(t *testing.T) {
+	unblock := make(chan struct{})
+	a := vnet.NewDaemon("a")
+	a.SetWrenFeedCapacity(64)
+	a.SetWrenBatchFeed(func([]pcap.Record) { <-unblock })
+	if _, err := a.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	b := vnet.NewDaemon("b")
+	addrB, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	defer close(unblock) // free the wedged analyzer before Close waits on it
+	if _, err := a.Connect(addrB); err != nil {
+		t.Fatal(err)
+	}
+
+	var delivered atomic.Uint64
+	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	b.AttachVM(vm2, func(*ethernet.Frame) { delivered.Add(1) })
+	a.SetDefaultRoute("b")
+
+	const frames = 1000 // >> ring capacity 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			a.InjectFrame(appFrame(vm2, vm1, 256))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("data plane blocked behind the wedged Wren sink")
+	}
+	waitCond(t, "all frames delivered", func() bool { return delivered.Load() == frames })
+	if got := a.Stats().WrenFeedDropped; got == 0 {
+		t.Fatal("ring overflow dropped nothing — either it blocked or it is unbounded")
+	}
+}

@@ -64,10 +64,16 @@ func (t *fwdTable) route(dst ethernet.MAC, fromPeer string) (VMPort, *Link) {
 	if !ok {
 		peer, ok = t.learned[dst]
 	}
-	switch {
-	case ok && peer != fromPeer:
-		return nil, t.links[peer]
-	case t.deflt != "" && t.deflt != fromPeer:
+	if ok && peer != fromPeer {
+		if l := t.links[peer]; l != nil {
+			return nil, l
+		}
+		// The ruled/learned peer's link is down (a partition or crash took
+		// it). Fall through to the default route rather than blackholing:
+		// the hub path usually survives, and the stale entry will be
+		// re-learned when the frame round-trips.
+	}
+	if t.deflt != "" && t.deflt != fromPeer {
 		return nil, t.links[t.deflt]
 	}
 	return nil, nil

@@ -114,6 +114,13 @@ func (l *Link) SetRateMbps(mbps float64) {
 	l.refillAt = time.Now()
 }
 
+// RateMbps returns the current token-bucket rate limit (0 = unlimited).
+func (l *Link) RateMbps() float64 {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	return l.rateMbps
+}
+
 // throttle blocks until the bucket holds n bytes. Called with writeMu held.
 func (l *Link) throttle(n int) {
 	if l.rateMbps <= 0 {

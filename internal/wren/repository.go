@@ -33,6 +33,7 @@ type Repository struct {
 	mu       sync.Mutex
 	monitors map[string]*Monitor
 	ln       net.Listener
+	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 	batches  uint64
@@ -69,10 +70,26 @@ func (r *Repository) Listen(addr string) (string, error) {
 			if err != nil {
 				return
 			}
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				conn.Close()
+				return
+			}
+			if r.conns == nil {
+				r.conns = make(map[net.Conn]struct{})
+			}
+			r.conns[conn] = struct{}{}
+			r.mu.Unlock()
 			r.wg.Add(1)
 			go func() {
 				defer r.wg.Done()
-				defer conn.Close()
+				defer func() {
+					conn.Close()
+					r.mu.Lock()
+					delete(r.conns, conn)
+					r.mu.Unlock()
+				}()
 				r.serve(conn)
 			}()
 		}
@@ -157,14 +174,24 @@ func (r *Repository) Received() (batches, records uint64) {
 	return r.batches, r.records
 }
 
-// Close stops the listener and waits for connection handlers.
+// Close stops the listener, severs open forwarder connections, and waits
+// for the handlers. Closing the connections matters: a handler blocks in
+// Decode until its peer sends or hangs up, so without it an idle (or
+// wedged) forwarder would hold Close hostage indefinitely.
 func (r *Repository) Close() {
 	r.mu.Lock()
 	r.closed = true
 	ln := r.ln
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
 	r.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	r.wg.Wait()
 }
@@ -183,37 +210,57 @@ type Forwarder struct {
 	batch     []pcap.Record
 	sent      uint64
 	filtered  uint64 // not Wren-relevant, never shipped
+	closed    bool
 	lastErr   error
 	retryBase time.Duration
 	retryMax  time.Duration
 	backoff   time.Duration
 	nextRetry time.Time
+	writeTO   time.Duration
 	met       ForwarderMetrics
 	log       *slog.Logger
 }
 
-// DialRepository connects to a repository. batchSize bounds how many
+// defaultWriteTimeout bounds one batch write so a repository that accepted
+// the connection but stopped reading (half-open peer, wedged host) cannot
+// block a flush — and whoever drives it — forever.
+const defaultWriteTimeout = 5 * time.Second
+
+// NewForwarder creates a forwarder without dialing: the first flush
+// connects, so a daemon can start before its repository is up and rely on
+// the reconnect machinery from the beginning. batchSize bounds how many
 // records accumulate before a flush (default 128).
-func DialRepository(addr, origin string, batchSize int) (*Forwarder, error) {
+func NewForwarder(addr, origin string, batchSize int) (*Forwarder, error) {
 	if origin == "" {
 		return nil, fmt.Errorf("wren: forwarder needs an origin name")
 	}
 	if batchSize <= 0 {
 		batchSize = 128
 	}
+	return &Forwarder{
+		origin:    origin,
+		addr:      addr,
+		batchSz:   batchSize,
+		retryBase: 100 * time.Millisecond,
+		retryMax:  5 * time.Second,
+		writeTO:   defaultWriteTimeout,
+	}, nil
+}
+
+// DialRepository connects to a repository, failing fast when it is
+// unreachable. batchSize bounds how many records accumulate before a
+// flush (default 128). Use NewForwarder to start disconnected instead.
+func DialRepository(addr, origin string, batchSize int) (*Forwarder, error) {
+	f, err := NewForwarder(addr, origin, batchSize)
+	if err != nil {
+		return nil, err
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Forwarder{
-		origin:    origin,
-		addr:      addr,
-		conn:      conn,
-		enc:       gob.NewEncoder(conn),
-		batchSz:   batchSize,
-		retryBase: 100 * time.Millisecond,
-		retryMax:  5 * time.Second,
-	}, nil
+	f.conn, f.enc = conn, gob.NewEncoder(conn)
+	return f, nil
 }
 
 // SetLogger attaches a structured logger for transport events — failed
@@ -291,9 +338,18 @@ func (f *Forwarder) flushLocked() {
 	if len(f.batch) == 0 {
 		return
 	}
+	if f.closed {
+		// Records fed after Close (the feed ring drains asynchronously) must
+		// not resurrect the connection.
+		f.trimLocked()
+		return
+	}
 	if f.conn == nil && !f.reconnectLocked() {
 		f.trimLocked()
 		return
+	}
+	if f.writeTO > 0 {
+		f.conn.SetWriteDeadline(time.Now().Add(f.writeTO))
 	}
 	if err := f.enc.Encode(traceBatch{Origin: f.origin, Records: f.batch}); err != nil {
 		f.failLocked(err)
@@ -366,10 +422,29 @@ func (f *Forwarder) Stats() (sent, filtered uint64) {
 	return f.sent, f.filtered
 }
 
-// Close flushes and closes the connection.
+// Backoff reports the reconnect state: the current backoff (0 when the
+// last flush succeeded or nothing failed yet) and when the next redial is
+// allowed. Tests and /debug introspection use it to verify the cap.
+func (f *Forwarder) Backoff() (backoff time.Duration, nextRetry time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.backoff, f.nextRetry
+}
+
+// Connected reports whether a connection to the repository currently
+// exists.
+func (f *Forwarder) Connected() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.conn != nil
+}
+
+// Close flushes and closes the connection. Further flushes become no-ops:
+// a record fed after Close never redials.
 func (f *Forwarder) Close() error {
 	f.mu.Lock()
 	f.flushLocked()
+	f.closed = true
 	err := f.lastErr
 	conn := f.conn
 	f.conn, f.enc = nil, nil

@@ -3,6 +3,7 @@ package wren
 import (
 	"encoding/xml"
 	"fmt"
+	"time"
 
 	"freemeasure/internal/soap"
 )
@@ -129,9 +130,17 @@ type Client struct {
 	soap soap.Client
 }
 
-// NewClient creates a client for the endpoint URL.
+// NewClient creates a client for the endpoint URL with no call timeout
+// (a hung endpoint hangs the caller; see SetTimeout).
 func NewClient(url string) *Client {
 	return &Client{soap: soap.Client{URL: url}}
+}
+
+// SetTimeout bounds every subsequent call (dial through response body).
+// Control loops that sense over SOAP must set one: an unreachable or
+// wedged endpoint otherwise stalls the whole sense phase indefinitely.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.soap.Timeout = d
 }
 
 // AvailableBandwidth queries the estimate toward remote.
