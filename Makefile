@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench chaos fmt vet
+.PHONY: build test race bench chaos estbench fmt vet
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,15 @@ bench:
 # CHAOS_TRACE_DIR collects flight-recorder JSON for failed runs.
 chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'TestChaos' \
-		./internal/chaos/ ./internal/control/ ./internal/vnet/ ./internal/wren/
+		./internal/chaos/ ./internal/control/ ./internal/vnet/ ./internal/wren/ \
+		./internal/estimator/eval/
+
+# Estimator benchmark (docs/ESTIMATORS.md): replays the seeded scenario
+# suite through every registered estimator and regenerates the committed
+# BENCH_ESTIMATORS.json. CI runs the same command with -baseline to fail
+# on accuracy regressions.
+estbench:
+	$(GO) run ./cmd/estbench -seed 1 -out BENCH_ESTIMATORS.json
 
 fmt:
 	gofmt -l -w .

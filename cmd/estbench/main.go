@@ -1,0 +1,114 @@
+// estbench replays the seeded simnet benchmark scenarios through every
+// registered bandwidth estimator and writes the scorecard as JSON —
+// accuracy (relative error against ground truth), convergence time per
+// cross-traffic step, and probe overhead for the active estimators.
+//
+//	go run ./cmd/estbench -out BENCH_ESTIMATORS.json          # full suite
+//	go run ./cmd/estbench -scenario lan-steps -estimators sic
+//	go run ./cmd/estbench -baseline BENCH_ESTIMATORS.json -tolerance 0.20
+//
+// With -baseline the run exits 1 if any estimator's mean relative error
+// regressed past the tolerance — the CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"freemeasure/internal/estimator"
+	"freemeasure/internal/estimator/eval"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_ESTIMATORS.json", "report output path (- for stdout)")
+		seed      = flag.Int64("seed", 1, "simulation seed; the suite is fully deterministic per seed")
+		scenario  = flag.String("scenario", "all", "scenario to run (all, or a name from the suite)")
+		ests      = flag.String("estimators", "all", "comma-separated estimator names (all = every registered)")
+		baseline  = flag.String("baseline", "", "baseline report to gate against (exit 1 on regression)")
+		tolerance = flag.Float64("tolerance", 0.20, "fractional mean-rel-err regression allowed vs the baseline")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "estbench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	scenarios := eval.Scenarios()
+	if *scenario != "all" {
+		var picked []eval.Scenario
+		for _, sc := range scenarios {
+			if sc.Name == *scenario {
+				picked = append(picked, sc)
+			}
+		}
+		if len(picked) == 0 {
+			var names []string
+			for _, sc := range scenarios {
+				names = append(names, sc.Name)
+			}
+			fmt.Fprintf(os.Stderr, "estbench: unknown scenario %q (have: %s)\n", *scenario, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		scenarios = picked
+	}
+
+	names := estimator.Names()
+	if *ests != "all" {
+		names = strings.Split(*ests, ",")
+		for _, n := range names {
+			if _, err := estimator.New(n, estimator.Config{}); err != nil {
+				fmt.Fprintf(os.Stderr, "estbench: %v (have: %s)\n", err, strings.Join(estimator.Names(), ", "))
+				os.Exit(2)
+			}
+		}
+	}
+
+	rep, err := eval.RunAll(scenarios, names, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "estbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "estbench: write report: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Println("wrote", *out)
+	}
+	for _, sc := range rep.Scenarios {
+		for _, e := range sc.Estimators {
+			fmt.Printf("%-20s %-9s mean_rel_err=%.4f p90=%.4f converged=%d/%d probe_mbps=%.3f\n",
+				sc.Scenario, e.Name, e.MeanRelErr, e.P90RelErr, e.StepsConverged, e.Steps, e.ProbeMbps)
+		}
+	}
+
+	if *baseline != "" {
+		base, err := eval.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "estbench: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		if problems := eval.Compare(base, rep, *tolerance); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"log/slog"
+	"math"
+	"sync"
+	"time"
+
+	"freemeasure/internal/estimator"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/wren"
+)
+
+// legFusion implements the control.Fusion on-demand hook for a hub
+// daemon. The controller's passive view only covers pairs the
+// application actually talks across; when it asks about a pair with
+// nothing fresh, legFusion actively measures the hub's own star legs to
+// both endpoints — vnet.Daemon.Probe trains, observed by the hub's Wren
+// monitor exactly like application traffic and fed to a per-peer
+// self-loading estimator — and answers with the bottleneck of the two
+// legs, the same composition ViewSource uses for hub-legs estimates.
+//
+// Probing is rate limited per peer and kicked off asynchronously: the
+// control loop never blocks on a train, it just gets a better answer on
+// a later cycle once the estimator has converged.
+type legFusion struct {
+	d      *vnet.Daemon
+	set    *estimator.Set
+	logger *slog.Logger
+	// staleAfter is how fresh a leg estimate must be to be served, and
+	// also the floor between two probe kicks at the same peer.
+	staleAfter time.Duration
+
+	mu       sync.Mutex
+	lastKick map[string]time.Time
+	probing  map[string]bool
+}
+
+// newLegFusion wires the fusion helper to the daemon's monitor feed.
+func newLegFusion(d *vnet.Daemon, mon *wren.Monitor, staleAfter time.Duration, logger *slog.Logger) (*legFusion, error) {
+	set, err := estimator.NewSet("selfload", estimator.Config{
+		MaxAge: staleAfter.Nanoseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	set.AttachMonitor(mon)
+	return &legFusion{
+		d: d, set: set, logger: logger,
+		staleAfter: staleAfter,
+		lastKick:   make(map[string]time.Time),
+		probing:    make(map[string]bool),
+	}, nil
+}
+
+// OnDemand answers the controller with min(leg(from), leg(to)); ok is
+// false until both legs have an estimate.
+func (f *legFusion) OnDemand(from, to string) (float64, bool) {
+	a, okA := f.leg(from)
+	b, okB := f.leg(to)
+	if !okA || !okB {
+		return 0, false
+	}
+	return math.Min(a, b), true
+}
+
+// leg returns the current estimate for the hub->peer leg, kicking off a
+// probe train when the estimate is missing or stale.
+func (f *legFusion) leg(peer string) (float64, bool) {
+	now := time.Now().UnixNano()
+	est, ok := f.set.Estimate(peer, now)
+	if !ok || est.Stale(now, f.staleAfter.Nanoseconds()) {
+		f.kick(peer)
+	}
+	if !ok || est.Mbps <= 0 {
+		return 0, false
+	}
+	return est.Mbps, true
+}
+
+// kick starts one asynchronous probe train toward peer, at most one in
+// flight and at most one per staleAfter interval.
+func (f *legFusion) kick(peer string) {
+	f.mu.Lock()
+	if f.probing[peer] || time.Since(f.lastKick[peer]) < f.staleAfter {
+		f.mu.Unlock()
+		return
+	}
+	f.probing[peer] = true
+	f.lastKick[peer] = time.Now()
+	f.mu.Unlock()
+
+	go func() {
+		defer func() {
+			f.mu.Lock()
+			f.probing[peer] = false
+			f.mu.Unlock()
+		}()
+		pr, ok := f.set.NextProbe(peer, time.Now().UnixNano())
+		if !ok {
+			return
+		}
+		if err := f.d.Probe(peer, pr.RateMbps, pr.Packets, pr.SizeBytes); err != nil {
+			f.logger.Warn("active probe failed", "peer", peer, "err", err)
+		}
+	}()
+}

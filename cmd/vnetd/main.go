@@ -47,10 +47,16 @@ func main() {
 		ctrlInt  = flag.Duration("controller-interval", 2*time.Second, "controller cycle period")
 		ctrlMin  = flag.Float64("controller-min-improvement", 0.1, "hysteresis: fractional objective gain required before acting")
 		ctrlAbs  = flag.Float64("controller-min-absolute", 1.0, "hysteresis: absolute objective gain required before acting")
+		estFuse  = flag.Duration("est-fusion", 0, "fuse active probe estimates into the controller's view when passive measurements are older than this (0 = passive only; requires -controller)")
 	)
 	flag.Parse()
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "vnetd: -name is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *estFuse > 0 && !*ctrl {
+		fmt.Fprintln(os.Stderr, "vnetd: -est-fusion requires -controller")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -185,6 +191,14 @@ func main() {
 				}
 				return out
 			},
+		}
+		if *estFuse > 0 {
+			fusion, err := newLegFusion(d, monitor, *estFuse, logger)
+			if err != nil {
+				fatal("est-fusion", "err", err)
+			}
+			src.Fusion = &control.Fusion{StaleAfter: *estFuse, OnDemand: fusion.OnDemand}
+			logger.Info("active estimate fusion enabled", "stale_after", *estFuse)
 		}
 		ctrlLog := obs.NewLogger(os.Stderr, "control", *name)
 		ctl, err = control.New(control.Config{

@@ -175,6 +175,56 @@ func TestCLIOverlayAndSOAP(t *testing.T) {
 	run(t, "wrenctl", "-url", "http://"+soapA+"/", "obs", "driver")
 }
 
+// TestCLIEstimateFusion: a hub vnetd with -controller -est-fusion probes
+// its star legs when the passive plane has nothing — the in-process leaf
+// daemons receive the probe trains (and nothing else sends them frames),
+// and the controller's provenance eventually attributes estimates to
+// "active-probe".
+func TestCLIEstimateFusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	listenHub, metricsHub := freePort(t), freePort(t)
+	startTool(t, "vnetd", "-name", "hub", "-listen", listenHub,
+		"-controller", "-controller-interval", "200ms",
+		"-est-fusion", "1s", "-poll", "100ms", "-metrics-addr", metricsHub)
+	waitTCP(t, listenHub)
+	waitTCP(t, metricsHub)
+
+	var leaves []*vnet.Daemon
+	for _, name := range []string{"leafA", "leafB"} {
+		leaf := vnet.NewDaemon(name)
+		defer leaf.Close()
+		if _, err := leaf.Connect(listenHub); err != nil {
+			t.Fatal(err)
+		}
+		leaves = append(leaves, leaf)
+	}
+
+	// The leaves never exchange application traffic, so every msgFrame
+	// they receive from the hub is an active probe.
+	deadline := time.Now().Add(30 * time.Second)
+	probed := func(d *vnet.Daemon) bool {
+		l, ok := d.Link("hub")
+		return ok && l.Stats().FramesReceived >= 10
+	}
+	for time.Now().Before(deadline) && !(probed(leaves[0]) && probed(leaves[1])) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	for _, leaf := range leaves {
+		if !probed(leaf) {
+			t.Fatalf("%s received no probe train from the hub", leaf.Name())
+		}
+	}
+	for time.Now().Before(deadline) {
+		if strings.Contains(httpGet(t, "http://"+metricsHub+"/debug/state"), `"active-probe"`) {
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	t.Fatal("controller provenance never showed an active-probe estimate")
+}
+
 // TestCLIMetricsEndpoint: a vnetd started with -metrics-addr serves the
 // operator surface — /metrics in Prometheus text format with live wren_*
 // and vnet_* series, /healthz, and the pprof index — while forwarding

@@ -46,10 +46,15 @@ func TestSmokeFlagValidation(t *testing.T) {
 	}{
 		{"vnetd missing -name", "vnetd", nil, "-name is required"},
 		{"vnetd unknown flag", "vnetd", []string{"-name", "x", "-no-such-flag"}, "flag provided but not defined"},
+		{"vnetd est-fusion without controller", "vnetd", []string{"-name", "x", "-est-fusion", "5s"}, "-est-fusion requires -controller"},
 		{"wrenrepod unknown flag", "wrenrepod", []string{"-bogus"}, "flag provided but not defined"},
 		{"vadaptctl unknown flag", "vadaptctl", []string{"-no-such-flag", "spec.json"}, "flag provided but not defined"},
 		{"wrentrace no arguments", "wrentrace", nil, "usage: wrentrace"},
 		{"wrenctl unknown flag", "wrenctl", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"estbench unknown flag", "estbench", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"estbench unknown scenario", "estbench", []string{"-scenario", "no-such-scenario"}, "unknown scenario"},
+		{"estbench unknown estimator", "estbench", []string{"-estimators", "no-such-estimator"}, "unknown estimator"},
+		{"estbench stray arguments", "estbench", []string{"stray"}, "unexpected arguments"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -59,6 +64,26 @@ func TestSmokeFlagValidation(t *testing.T) {
 			}
 			if !strings.Contains(out, tc.want) {
 				t.Fatalf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestSmokeHelpExitsZero: -h prints usage and exits 0, so operators can
+// always ask a binary what it does.
+func TestSmokeHelpExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	for _, bin := range []string{"estbench", "vnetd", "wrenrepod"} {
+		t.Run(bin, func(t *testing.T) {
+			cmd := exec.Command(filepath.Join(buildTools(t), bin), "-h")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s -h exited non-zero: %v\n%s", bin, err, out)
+			}
+			if !strings.Contains(string(out), "Usage") && !strings.Contains(string(out), "usage") {
+				t.Fatalf("%s -h printed no usage text:\n%s", bin, out)
 			}
 		})
 	}

@@ -45,7 +45,9 @@ type PathProvenance struct {
 	// measurement in the demanded direction), "reverse" (the opposite
 	// direction's measurement, used because passive measurement only sees
 	// directions the application sends in), "hub-legs" (composed from the
-	// two star legs through the hub), or "default" (nothing measured).
+	// two star legs through the hub), "active-probe" (an on-demand active
+	// measurement supplied by the fusion hook because the passive plane
+	// had nothing fresh), or "default" (nothing measured).
 	Source string `json:"source"`
 	// Kind and Quality describe the Wren estimator that produced a
 	// measured value ("" / 0 for fallbacks).
@@ -97,6 +99,55 @@ type ViewSource struct {
 	// (defaults 100 and 1).
 	DefaultLinkMbps  float64
 	DefaultLatencyMs float64
+	// Fusion, when non-nil, supplements the passive view with on-demand
+	// active measurements: pairs the passive plane never measured (or
+	// whose measurement has gone stale) are offered to Fusion.OnDemand
+	// before falling back to defaults. The passive estimate always wins
+	// while fresh — active probing costs the path real bytes, so it is the
+	// exception, not the rule.
+	Fusion *Fusion
+}
+
+// Fusion is the passive/active winner-fusion policy: passive (free)
+// estimates by default, an active probe estimate only when the passive
+// plane has nothing fresh to offer for a pair the controller needs.
+type Fusion struct {
+	// StaleAfter is the passive-measurement age beyond which OnDemand is
+	// consulted (default 30s).
+	StaleAfter time.Duration
+	// OnDemand returns an actively measured bandwidth for the pair, or
+	// ok=false when none is available (yet). Implementations should kick
+	// off probing on first request and answer from their latest belief —
+	// the control loop will be back next cycle.
+	OnDemand func(from, to string) (mbps float64, ok bool)
+}
+
+func (f *Fusion) staleAfter() float64 {
+	if f.StaleAfter <= 0 {
+		return 30
+	}
+	return f.StaleAfter.Seconds()
+}
+
+// fuse overrides a passive estimate with an active one when the passive
+// side is missing or stale, updating the provenance to say so.
+func (f *Fusion) fuse(bw float64, prov PathProvenance) (float64, PathProvenance) {
+	if f == nil || f.OnDemand == nil {
+		return bw, prov
+	}
+	stale := prov.Source == "default" || prov.AgeSec > f.staleAfter()
+	if !stale {
+		return bw, prov
+	}
+	mbps, ok := f.OnDemand(prov.From, prov.To)
+	if !ok || mbps <= 0 {
+		return bw, prov
+	}
+	prov.Source = "active-probe"
+	prov.Kind, prov.Quality = "", 0
+	prov.AgeSec = 0
+	prov.Mbps = mbps
+	return mbps, prov
 }
 
 func (s *ViewSource) defaults() (hub string, bw, lat float64) {
@@ -157,6 +208,7 @@ func (s *ViewSource) estimate(from, to string) (bw, lat float64, prov PathProven
 			prov.AgeSec = time.Since(p.UpdatedAt).Seconds()
 		}
 		prov.Mbps, prov.LatencyMs = bw, lat
+		bw, prov = s.Fusion.fuse(bw, prov)
 		return bw, lat, prov
 	}
 	up, _, okUp := s.measuredPath(from, hub)
@@ -187,6 +239,7 @@ func (s *ViewSource) estimate(from, to string) (bw, lat float64, prov PathProven
 		}
 	}
 	prov.Mbps, prov.LatencyMs = bw, lat
+	bw, prov = s.Fusion.fuse(bw, prov)
 	return bw, lat, prov
 }
 

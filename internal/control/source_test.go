@@ -1,0 +1,100 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
+)
+
+// fusionView builds a ViewSource over a bare GlobalView with the given
+// fusion hook.
+func fusionView(f *Fusion) (*ViewSource, *vnet.GlobalView) {
+	view := vnet.NewGlobalView(vttif.Config{Alpha: 1, HoldUpdates: 1})
+	src := &ViewSource{
+		View:   view,
+		Hosts:  func() []string { return []string{"a", "b"} },
+		VMs:    func() []VMInfo { return nil },
+		Fusion: f,
+	}
+	return src, view
+}
+
+// TestFusionFillsUnmeasuredPair: a pair the passive plane never measured
+// gets the active estimate, attributed as "active-probe".
+func TestFusionFillsUnmeasuredPair(t *testing.T) {
+	var asked [][2]string
+	src, _ := fusionView(&Fusion{
+		OnDemand: func(from, to string) (float64, bool) {
+			asked = append(asked, [2]string{from, to})
+			return 42, true
+		},
+	})
+	bw, _, prov := src.estimate("a", "b")
+	if bw != 42 {
+		t.Fatalf("bandwidth = %v, want the active 42", bw)
+	}
+	if prov.Source != "active-probe" || prov.Mbps != 42 {
+		t.Fatalf("provenance = %+v, want active-probe/42", prov)
+	}
+	if len(asked) != 1 || asked[0] != [2]string{"a", "b"} {
+		t.Fatalf("OnDemand calls = %v", asked)
+	}
+}
+
+// TestFusionDefersToFreshPassive: a fresh passive measurement wins and
+// the active hook is never consulted.
+func TestFusionDefersToFreshPassive(t *testing.T) {
+	src, view := fusionView(&Fusion{
+		OnDemand: func(from, to string) (float64, bool) {
+			t.Fatalf("OnDemand consulted despite fresh passive measurement (%s->%s)", from, to)
+			return 0, false
+		},
+	})
+	view.SetPath("a", "b", vnet.PathMeasurement{
+		Mbps: 77, BWFound: true, UpdatedAt: time.Now(),
+	})
+	bw, _, prov := src.estimate("a", "b")
+	if bw != 77 || prov.Source != "direct" {
+		t.Fatalf("got %v/%s, want the passive 77/direct", bw, prov.Source)
+	}
+}
+
+// TestFusionOverridesStalePassive: once the passive measurement ages past
+// StaleAfter the active estimate takes over.
+func TestFusionOverridesStalePassive(t *testing.T) {
+	src, view := fusionView(&Fusion{
+		StaleAfter: 10 * time.Second,
+		OnDemand:   func(from, to string) (float64, bool) { return 33, true },
+	})
+	view.SetPath("a", "b", vnet.PathMeasurement{
+		Mbps: 77, BWFound: true, UpdatedAt: time.Now().Add(-time.Minute),
+	})
+	bw, _, prov := src.estimate("a", "b")
+	if bw != 33 || prov.Source != "active-probe" {
+		t.Fatalf("got %v/%s, want the active 33/active-probe", bw, prov.Source)
+	}
+}
+
+// TestFusionFallsThroughWhenActiveHasNothing: an ok=false answer leaves
+// the default estimate and its provenance untouched.
+func TestFusionFallsThroughWhenActiveHasNothing(t *testing.T) {
+	src, _ := fusionView(&Fusion{
+		OnDemand: func(from, to string) (float64, bool) { return 0, false },
+	})
+	bw, _, prov := src.estimate("a", "b")
+	if prov.Source != "default" || bw != 100 {
+		t.Fatalf("got %v/%s, want the 100/default fallback", bw, prov.Source)
+	}
+}
+
+// TestFusionNilIsInert: a ViewSource without a fusion hook behaves as
+// before.
+func TestFusionNilIsInert(t *testing.T) {
+	src, _ := fusionView(nil)
+	bw, _, prov := src.estimate("a", "b")
+	if bw != 100 || prov.Source != "default" {
+		t.Fatalf("got %v/%s, want 100/default", bw, prov.Source)
+	}
+}

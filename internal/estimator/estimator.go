@@ -1,0 +1,104 @@
+package estimator
+
+// Kind classifies how an estimator obtains its observations.
+type Kind int
+
+const (
+	// Passive estimators ride on the application's own traffic — the
+	// paper's "free" measurement: zero probe overhead.
+	Passive Kind = iota
+	// Active estimators inject probe trains of their own, trading network
+	// overhead for the ability to measure idle or stale paths on demand.
+	Active
+)
+
+func (k Kind) String() string {
+	if k == Active {
+		return "active"
+	}
+	return "passive"
+}
+
+// Observation is one measurement opportunity on a path: a resolved packet
+// train with its rate and congestion analysis. Passive estimators receive
+// these from the Wren train tap (Attach); active ones additionally receive
+// the results of their own probe trains, flagged Probe.
+type Observation struct {
+	At        int64   // train end timestamp (ns)
+	RateMbps  float64 // the train's initial sending rate
+	Congested bool    // SIC verdict: RTTs rose (or loss) across the train
+	Ambiguous bool    // no verdict: trend neither clearly rising nor flat
+	MinRTT    int64   // smallest per-packet RTT in the train (ns)
+
+	// Departures and RTTs are the train's per-packet detail, parallel
+	// slices (RTTs entries < 0 are unmatched). Optional: estimators that
+	// need only the (rate, verdict) pair ignore them; the min-plus
+	// estimator fits its delay slope from them. Callers retain ownership —
+	// estimators must copy what they keep.
+	Departures []int64
+	RTTs       []int64
+
+	Probe bool // true when the train was an injected probe, not app traffic
+}
+
+// Estimate is an estimator's current belief about a path's available
+// bandwidth. Mbps is the point estimate; [Lo, Hi] brackets it (Hi may be
+// +Inf when no congestion has ever been observed, Lo 0 when no rate has
+// passed cleanly). Confidence in [0, 1] reflects how well the window's
+// evidence pins the value down; UpdatedAt lets callers judge staleness.
+type Estimate struct {
+	Mbps       float64
+	Lo, Hi     float64
+	Confidence float64
+	Count      int   // observations contributing
+	UpdatedAt  int64 // timestamp of the newest contributing observation (ns)
+}
+
+// AgeSec returns the estimate's age at time now in seconds.
+func (e Estimate) AgeSec(now int64) float64 {
+	if now <= e.UpdatedAt {
+		return 0
+	}
+	return float64(now-e.UpdatedAt) / 1e9
+}
+
+// Stale reports whether the estimate is older than maxAge (ns) at now.
+func (e Estimate) Stale(now, maxAge int64) bool {
+	return now-e.UpdatedAt > maxAge
+}
+
+// Estimator is one available-bandwidth estimation strategy for a single
+// path. Implementations are not safe for concurrent use; wrap with Set for
+// multi-path, multi-goroutine feeding.
+type Estimator interface {
+	// Name returns the registry name ("sic", "minplus", "selfload").
+	Name() string
+	// Kind reports whether the estimator is passive or active.
+	Kind() Kind
+	// Observe feeds one resolved train. Implementations decide what to
+	// keep: SIC ignores ambiguous trains, min-plus uses any train with
+	// per-packet RTTs, selfload folds every verdict into its bracket.
+	Observe(Observation)
+	// Estimate returns the current belief at time now (ns). ok is false
+	// until the estimator has enough evidence to say anything.
+	Estimate(now int64) (Estimate, bool)
+	// Reset discards all state, as after a path change or chaos event.
+	Reset()
+}
+
+// Probe describes one probe train an active estimator wants sent: Packets
+// packets of SizeBytes each, paced at RateMbps.
+type Probe struct {
+	RateMbps  float64
+	Packets   int
+	SizeBytes int
+}
+
+// Prober is implemented by Active estimators. NextProbe returns the probe
+// train the estimator wants next, or ok=false when it is satisfied for
+// now. The transport (eval.ProbeDriver over simnet, vnet.Daemon.Probe over
+// the live overlay) sends the train and feeds the resulting Observation
+// back through Observe.
+type Prober interface {
+	NextProbe(now int64) (Probe, bool)
+}

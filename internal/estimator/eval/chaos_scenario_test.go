@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// chaosSeed mirrors the repo-wide convention: CHAOS_SEED pins the seed
+// (the CI matrix runs several), 42 otherwise.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", v, err)
+		}
+		return seed
+	}
+	return 42
+}
+
+// TestChaosLossEpisodeReconverges drives the loss-recovery scenario —
+// a seeded 20% random-loss fault injected on the bottleneck through the
+// chaos fabric — and requires each estimator to produce a sane estimate
+// again after the episode clears. During the fault itself estimates may
+// swing arbitrarily (loss reads as congestion); the contract is recovery,
+// not grace under fire.
+func TestChaosLossEpisodeReconverges(t *testing.T) {
+	seed := chaosSeed(t)
+	sc := LossRecovery()
+	for _, name := range []string{"sic", "minplus", "selfload"} {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(sc, name, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The episode ends at 22s; judge only the settled tail.
+			var tail []Sample
+			for _, s := range res.Samples {
+				if s.T >= sc.Loss.To.Sec()+10 {
+					tail = append(tail, s)
+				}
+			}
+			if len(tail) == 0 {
+				t.Fatal("no post-episode samples")
+			}
+			last := tail[len(tail)-1]
+			if !last.Ok {
+				t.Fatalf("no estimate %0.fs after the loss episode cleared", last.T-sc.Loss.To.Sec())
+			}
+			if re := relErr(last); re > 0.5 {
+				t.Errorf("final estimate %.1f vs truth %.1f (rel err %.2f): did not reconverge", last.Est, last.Truth, re)
+			}
+		})
+	}
+}

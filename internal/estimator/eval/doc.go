@@ -1,0 +1,28 @@
+// Package eval is the estimator zoo's ground-truth evaluation harness: it
+// replays identical seeded simnet scenarios — known topologies, cross
+// traffic with a known schedule, an application workload riding the same
+// path — through every registered estimator and scores each on accuracy
+// (relative error against ground truth), convergence time after each
+// cross-traffic step, and probe overhead (bytes of traffic the estimator
+// injected that the passive ones get for free).
+//
+// Ground truth follows the paper's own method (SNMP on the congested
+// link): per sample interval, available bandwidth on a hop is its capacity
+// minus the cross traffic actually delivered over it, and the end-to-end
+// truth is the minimum over hops. The simulator is deterministic, so a
+// (scenario, seed) pair replays byte-identically: every estimator sees
+// exactly the same packet history, and differences in score are differences
+// in estimator, not in luck.
+//
+// Scenarios cover a single-bottleneck LAN dumbbell with stepped cross
+// traffic (the Figure 2 shape) and a two-hop parking lot where the
+// bottleneck migrates between hops mid-run. An optional seeded loss
+// episode (internal/chaos) supports the reconvergence tests. Active
+// estimators are driven by ProbeDriver, which turns Prober requests into
+// paced probe trains over the simulated network and analyzes the replies
+// with the same trend test Wren applies to passive trains.
+//
+// Run executes one (scenario, estimator) cell; RunAll produces the full
+// Report that cmd/estbench serializes to BENCH_ESTIMATORS.json, and
+// Compare gates CI on regressions against the committed baseline.
+package eval

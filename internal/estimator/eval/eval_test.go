@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"freemeasure/internal/estimator"
+)
+
+// TestRunDeterminism: the simulator is seeded end to end, so the same
+// (scenario, estimator, seed) triple must reproduce the identical sample
+// series — the property the committed baseline and CI gate rely on.
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(LANSteps(), "sic", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(LANSteps(), "sic", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	if a.Metrics != b.Metrics {
+		t.Fatalf("metrics differ:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestAllEstimatorsBoundedError runs the full benchmark matrix and holds
+// every cell under a loose accuracy ceiling. The committed
+// BENCH_ESTIMATORS.json pins the tight per-cell numbers; this test only
+// guards against an estimator going completely wrong (the bounds are
+// roughly 1.5x the seed-1 results).
+func TestAllEstimatorsBoundedError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark matrix; skipped in -short")
+	}
+	// Per-cell ceiling overrides; everything else must stay under 0.6.
+	// selfload on loss-recovery is structurally worst: during the loss
+	// episode every probe train drops packets and reads as congestion.
+	ceil := map[string]float64{"loss-recovery/selfload": 0.7}
+	for _, sc := range Scenarios() {
+		for _, name := range estimator.Names() {
+			res, err := Run(sc, name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Metrics
+			limit := 0.6
+			if c, ok := ceil[sc.Name+"/"+name]; ok {
+				limit = c
+			}
+			if m.MeanRelErr < 0 || m.MeanRelErr > limit {
+				t.Errorf("%s/%s: mean rel err %.3f, want (0, %.2f]", sc.Name, name, m.MeanRelErr, limit)
+			}
+			if m.Steps == 0 || m.StepsConverged == 0 {
+				t.Errorf("%s/%s: converged on %d/%d steps, want at least one", sc.Name, name, m.StepsConverged, m.Steps)
+			}
+			if kind := estimator.MustNew(name, estimator.Config{}).Kind(); kind == estimator.Active {
+				if m.Probes == 0 || m.ProbeMbps <= 0 {
+					t.Errorf("%s/%s: active estimator reported no probe overhead", sc.Name, name)
+				}
+			} else if m.Probes != 0 || m.ProbeMbps != 0 {
+				t.Errorf("%s/%s: passive estimator reported probe overhead %v/%v", sc.Name, name, m.Probes, m.ProbeMbps)
+			}
+		}
+	}
+}
+
+// TestReportRoundTrip: WriteJSON output must load back unchanged and the
+// schema tag must be enforced.
+func TestReportRoundTrip(t *testing.T) {
+	rep, err := RunAll([]Scenario{LossRecovery()}, []string{"sic"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 3 || len(got.Scenarios) != 1 || got.Scenarios[0].Scenario != "loss-recovery" {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if got.Scenarios[0].Estimators[0] != rep.Scenarios[0].Estimators[0] {
+		t.Fatalf("estimator result changed across round trip")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"estbench/v0"}`), 0o644)
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("want schema mismatch error")
+	}
+}
+
+// TestCompare exercises the regression gate on synthetic reports.
+func TestCompare(t *testing.T) {
+	mk := func(err float64, names ...string) *Report {
+		sr := ScenarioResult{Scenario: "s"}
+		for _, n := range names {
+			sr.Estimators = append(sr.Estimators, EstimatorResult{Name: n, MeanRelErr: err})
+		}
+		return &Report{Schema: ReportSchema, Scenarios: []ScenarioResult{sr}}
+	}
+	if p := Compare(mk(0.30, "a"), mk(0.34, "a"), 0.20); len(p) != 0 {
+		t.Fatalf("within tolerance flagged: %v", p)
+	}
+	if p := Compare(mk(0.30, "a"), mk(0.40, "a"), 0.20); len(p) != 1 {
+		t.Fatalf("regression not flagged: %v", p)
+	}
+	if p := Compare(mk(0.30, "a", "b"), mk(0.30, "a"), 0.20); len(p) != 1 {
+		t.Fatalf("missing estimator not flagged: %v", p)
+	}
+	// Near-zero baselines get an absolute floor so noise never flags.
+	if p := Compare(mk(0.0, "a"), mk(0.009, "a"), 0.20); len(p) != 0 {
+		t.Fatalf("noise above zero baseline flagged: %v", p)
+	}
+}

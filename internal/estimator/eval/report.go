@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReportSchema versions the BENCH_ESTIMATORS.json layout.
+const ReportSchema = "estbench/v1"
+
+// EstimatorResult is one estimator's scorecard on one scenario.
+type EstimatorResult struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+
+	// Accuracy over post-warmup samples: relative error against ground
+	// truth, with missing estimates scored as 1.0.
+	Samples    int     `json:"samples"`
+	MeanRelErr float64 `json:"mean_rel_err"`
+	P90RelErr  float64 `json:"p90_rel_err"`
+
+	// Convergence: mean seconds from each ground-truth step to the first
+	// sample within 25%, counted as the full inter-step window when never
+	// reached.
+	Steps              int     `json:"steps"`
+	StepsConverged     int     `json:"steps_converged"`
+	MeanConvergenceSec float64 `json:"mean_convergence_sec"`
+
+	// Overhead: probe traffic injected (zero for passive estimators).
+	Probes            int     `json:"probes,omitempty"`
+	ProbeMbps         float64 `json:"probe_mbps"`
+	ProbeOverheadFrac float64 `json:"probe_overhead_frac"`
+
+	FinalMbps      float64 `json:"final_mbps"`
+	FinalTruthMbps float64 `json:"final_truth_mbps"`
+}
+
+// ScenarioResult groups every estimator's scorecard on one scenario.
+type ScenarioResult struct {
+	Scenario   string            `json:"scenario"`
+	Estimators []EstimatorResult `json:"estimators"`
+}
+
+// Report is the full benchmark output.
+type Report struct {
+	Schema    string           `json:"schema"`
+	Seed      int64            `json:"seed"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// RunAll evaluates every named estimator on every scenario with one seed.
+func RunAll(scenarios []Scenario, names []string, seed int64) (*Report, error) {
+	rep := &Report{Schema: ReportSchema, Seed: seed}
+	for _, sc := range scenarios {
+		sr := ScenarioResult{Scenario: sc.Name}
+		for _, name := range names {
+			run, err := Run(sc, name, seed)
+			if err != nil {
+				return nil, fmt.Errorf("run %s/%s: %w", sc.Name, name, err)
+			}
+			sr.Estimators = append(sr.Estimators, run.Metrics)
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report deterministically (stable field and slice
+// order, rounded floats) so the committed baseline diffs cleanly.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadReport reads a report written by WriteJSON.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// Compare gates the current report against a committed baseline: any
+// estimator whose mean relative error regressed by more than tolerance
+// (fractional, e.g. 0.20) — or that vanished from a scenario — is
+// reported. An empty slice means no regression.
+func Compare(baseline, current *Report, tolerance float64) []string {
+	var problems []string
+	index := func(r *Report) map[string]EstimatorResult {
+		m := make(map[string]EstimatorResult)
+		for _, sc := range r.Scenarios {
+			for _, e := range sc.Estimators {
+				m[sc.Scenario+"/"+e.Name] = e
+			}
+		}
+		return m
+	}
+	base, cur := index(baseline), index(current)
+	for key, b := range base {
+		c, ok := cur[key]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from current report", key))
+			continue
+		}
+		// The +0.01 floor keeps near-zero baselines from flagging noise.
+		limit := b.MeanRelErr*(1+tolerance) + 0.01
+		if c.MeanRelErr > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: mean_rel_err %.4f exceeds baseline %.4f by more than %.0f%%",
+				key, c.MeanRelErr, b.MeanRelErr, tolerance*100))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,136 @@
+package eval
+
+import "freemeasure/internal/simnet"
+
+// CrossStep is one step of a hop's cross-traffic schedule.
+type CrossStep struct {
+	At   simnet.Duration
+	Mbps float64
+}
+
+// Hop is one bottleneck on the monitored path: its capacity and the CBR
+// cross-traffic schedule loading it.
+type Hop struct {
+	Mbps  float64
+	Cross []CrossStep
+}
+
+// LossEpisode is an optional seeded random-loss fault on the first hop,
+// injected through the chaos fabric — the reconvergence scenarios.
+type LossEpisode struct {
+	From, To simnet.Duration
+	Rate     float64 // drop probability in [0, 1)
+}
+
+// Scenario is one reproducible evaluation run: a topology (one hop =
+// dumbbell, several = parking lot), cross schedules with the ground truth
+// they imply, and the sampling cadence.
+type Scenario struct {
+	Name        string
+	Duration    simnet.Duration
+	SampleEvery simnet.Duration
+	WarmupSec   float64 // samples before this are excluded from error stats
+	AccessMbps  float64 // endpoint access-link rate
+	Hops        []Hop
+	Loss        *LossEpisode
+	// MaxRateMbps bounds the estimators' search space (and the active
+	// prober's first bracket); defaults to twice the fastest hop.
+	MaxRateMbps float64
+}
+
+func (sc Scenario) maxRate() float64 {
+	if sc.MaxRateMbps > 0 {
+		return sc.MaxRateMbps
+	}
+	max := 0.0
+	for _, h := range sc.Hops {
+		if h.Mbps > max {
+			max = h.Mbps
+		}
+	}
+	return 2 * max
+}
+
+// stepTimes returns the sorted distinct times the ground truth changes
+// (the convergence measurement boundaries), always including 0.
+func (sc Scenario) stepTimes() []simnet.Duration {
+	seen := map[simnet.Duration]bool{0: true}
+	out := []simnet.Duration{0}
+	for _, h := range sc.Hops {
+		for _, st := range h.Cross {
+			if !seen[st.At] {
+				seen[st.At] = true
+				out = append(out, st.At)
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// LANSteps is the Figure 2 shape: one 100 Mbit/s bottleneck whose cross
+// traffic steps 40 -> 70 -> 0 Mbit/s, so the truth steps 60 -> 30 -> 100.
+func LANSteps() Scenario {
+	return Scenario{
+		Name:        "lan-steps",
+		Duration:    simnet.Seconds(60),
+		SampleEvery: simnet.Seconds(2),
+		WarmupSec:   6,
+		AccessMbps:  100,
+		Hops: []Hop{{
+			Mbps: 100,
+			Cross: []CrossStep{
+				{At: 0, Mbps: 40},
+				{At: simnet.Seconds(20), Mbps: 70},
+				{At: simnet.Seconds(40), Mbps: 0},
+			},
+		}},
+	}
+}
+
+// ParkingLotShift is the multi-bottleneck scenario: hops of 100 and
+// 80 Mbit/s where the binding constraint migrates mid-run — first hop 2
+// (80-50=30 free vs 70 on hop 1), then hop 1 (70 free vs 80-10=70: tied,
+// then hop 2 unloads fully and hop 1 binds alone).
+func ParkingLotShift() Scenario {
+	return Scenario{
+		Name:        "parking-lot-shift",
+		Duration:    simnet.Seconds(60),
+		SampleEvery: simnet.Seconds(2),
+		WarmupSec:   6,
+		AccessMbps:  200,
+		Hops: []Hop{
+			{Mbps: 100, Cross: []CrossStep{{At: 0, Mbps: 30}}},
+			{Mbps: 80, Cross: []CrossStep{
+				{At: 0, Mbps: 50},
+				{At: simnet.Seconds(30), Mbps: 0},
+			}},
+		},
+	}
+}
+
+// LossRecovery is LANSteps' first phase with a seeded 20% loss episode in
+// the middle — the chaos reconvergence scenario.
+func LossRecovery() Scenario {
+	return Scenario{
+		Name:        "loss-recovery",
+		Duration:    simnet.Seconds(40),
+		SampleEvery: simnet.Seconds(2),
+		WarmupSec:   6,
+		AccessMbps:  100,
+		Hops: []Hop{{
+			Mbps:  100,
+			Cross: []CrossStep{{At: 0, Mbps: 40}},
+		}},
+		Loss: &LossEpisode{From: simnet.Seconds(14), To: simnet.Seconds(22), Rate: 0.2},
+	}
+}
+
+// Scenarios returns the benchmark suite cmd/estbench runs by default.
+func Scenarios() []Scenario {
+	return []Scenario{LANSteps(), ParkingLotShift(), LossRecovery()}
+}

@@ -1,0 +1,88 @@
+package estimator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config carries the knobs shared by every estimator; implementations
+// apply the subset that makes sense for them.
+type Config struct {
+	// Window bounds how many observations are retained (default 64).
+	Window int
+	// MaxAge evicts observations older than this, ns (default 60 s).
+	MaxAge int64
+	// MinRateMbps / MaxRateMbps bound the search space: no path in scope
+	// is slower or faster than these (defaults 1 and 1000). Active
+	// estimators use them as the initial bracket.
+	MinRateMbps float64
+	MaxRateMbps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 60_000_000_000
+	}
+	if c.MinRateMbps == 0 {
+		c.MinRateMbps = 1
+	}
+	if c.MaxRateMbps == 0 {
+		c.MaxRateMbps = 1000
+	}
+	return c
+}
+
+// Factory builds a fresh estimator instance from a config.
+type Factory func(Config) Estimator
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a named estimator factory. Called from init in each
+// implementation file; duplicate names panic.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("estimator: duplicate Register(" + name + ")")
+	}
+	registry[name] = f
+}
+
+// New builds the named estimator, or errors listing what is available.
+func New(name string, cfg Config) (Estimator, error) {
+	regMu.Lock()
+	f, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("estimator: unknown estimator %q (have %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// MustNew is New for callers with a statically known name.
+func MustNew(name string, cfg Config) Estimator {
+	e, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Names lists the registered estimators, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,89 @@
+package estimator
+
+import (
+	"math"
+
+	"freemeasure/internal/wren"
+)
+
+func init() {
+	Register("sic", func(cfg Config) Estimator { return NewSIC(cfg) })
+}
+
+// SIC adapts the paper's own estimator — wren.BandwidthEstimator's
+// congested/uncongested split over a sliding window of self-induced
+// congestion verdicts — onto the Estimator interface. Purely passive: it
+// uses only each train's (rate, verdict) pair and skips ambiguous trains,
+// exactly as the wren monitor does internally.
+type SIC struct {
+	cfg  Config
+	win  *wren.BandwidthEstimator
+	last int64 // newest observation timestamp
+}
+
+// NewSIC builds the adapter.
+func NewSIC(cfg Config) *SIC {
+	cfg = cfg.withDefaults()
+	return &SIC{
+		cfg: cfg,
+		win: wren.NewBandwidthEstimator(wren.EstimatorConfig{Window: cfg.Window, MaxAge: cfg.MaxAge}),
+	}
+}
+
+func (s *SIC) Name() string { return "sic" }
+func (s *SIC) Kind() Kind   { return Passive }
+
+func (s *SIC) Observe(o Observation) {
+	if o.Ambiguous || o.RateMbps <= 0 {
+		return
+	}
+	s.win.Add(wren.Observation{
+		At:        o.At,
+		ISRMbps:   o.RateMbps,
+		Congested: o.Congested,
+		TrainLen:  len(o.Departures),
+		MinRTT:    o.MinRTT,
+	})
+	if o.At > s.last {
+		s.last = o.At
+	}
+}
+
+func (s *SIC) Estimate(now int64) (Estimate, bool) {
+	we, ok := s.win.Estimate()
+	if !ok {
+		return Estimate{}, false
+	}
+	est := Estimate{
+		Mbps:      we.Mbps,
+		Lo:        we.Lo,
+		Hi:        we.Hi,
+		Count:     we.Count,
+		UpdatedAt: s.last,
+	}
+	// Quality is the split's classification purity; damp it while the
+	// window is thin, and further when the estimate is only a one-sided
+	// bound (Hi unbounded or Lo zero).
+	conf := we.Quality * saturate(we.Count, 8)
+	if math.IsInf(we.Hi, 1) || we.Lo == 0 {
+		conf *= 0.5
+	}
+	est.Confidence = conf
+	return est, true
+}
+
+func (s *SIC) Reset() {
+	s.win = wren.NewBandwidthEstimator(wren.EstimatorConfig{Window: s.cfg.Window, MaxAge: s.cfg.MaxAge})
+	s.last = 0
+}
+
+// saturate maps a count onto [0, 1], reaching 1 at full.
+func saturate(n, full int) float64 {
+	if n >= full {
+		return 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) / float64(full)
+}

@@ -1,0 +1,73 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+)
+
+// synthPath is a single-bottleneck fluid path with known ground truth:
+// capacity C, available bandwidth A (so cross traffic is C-A). A train
+// paced at rate r sees queueing delay grow with slope max(0, (r-A)/C),
+// plus seeded measurement noise — the analytic model the estimators are
+// scored against before the simnet harness does it with real queues.
+type synthPath struct {
+	availMbps float64
+	capMbps   float64
+	baseRTTns int64
+	noiseNs   float64
+	rng       *rand.Rand
+	now       int64
+}
+
+func newSynthPath(avail, capacity float64, seed int64) *synthPath {
+	return &synthPath{
+		availMbps: avail,
+		capMbps:   capacity,
+		baseRTTns: 2_000_000, // 2 ms
+		noiseNs:   20_000,    // 20 us jitter
+		rng:       rand.New(rand.NewSource(seed)),
+		now:       1_000_000_000,
+	}
+}
+
+// train synthesizes one n-packet train at rate r Mbps with 1000-byte
+// packets, returning the full Observation an analysis pipeline would emit.
+func (p *synthPath) train(r float64, n int) Observation {
+	const bytes = 1000
+	gap := int64(float64(bytes*8) / r * 1e3) // ns between departures
+	deps := make([]int64, n)
+	rtts := make([]int64, n)
+	slope := 0.0
+	if r > p.availMbps {
+		slope = (r - p.availMbps) / p.capMbps
+	}
+	minRTT := int64(math.MaxInt64)
+	for i := 0; i < n; i++ {
+		deps[i] = p.now + int64(i)*gap
+		q := slope * float64(deps[i]-deps[0])
+		noise := p.rng.NormFloat64() * p.noiseNs
+		rtts[i] = p.baseRTTns + int64(q+noise)
+		if rtts[i] < p.baseRTTns {
+			rtts[i] = p.baseRTTns
+		}
+		if rtts[i] < minRTT {
+			minRTT = rtts[i]
+		}
+	}
+	p.now = deps[n-1] + 50_000_000 // 50 ms between trains
+	return Observation{
+		At:         deps[n-1],
+		RateMbps:   r,
+		Congested:  r > p.availMbps,
+		MinRTT:     minRTT,
+		Departures: deps,
+		RTTs:       rtts,
+	}
+}
+
+// verdictOnly strips the per-packet detail, leaving the (rate, verdict)
+// pair — what a feed without RTT matching would deliver.
+func (o Observation) verdictOnly() Observation {
+	o.Departures, o.RTTs = nil, nil
+	return o
+}

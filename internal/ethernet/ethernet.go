@@ -32,7 +32,20 @@ const (
 	TypeApp uint16 = 0x88B5 // IEEE local experimental ethertype
 	// TypeControl carries VNET/VTTIF control payloads (matrix pushes).
 	TypeControl uint16 = 0x88B6
+	// TypeProbe marks active-measurement probe frames (Daemon.Probe).
+	// They are addressed to a ProbeMAC no VM owns and sent with TTL 1, so
+	// the receiving daemon drops them after acknowledging — the ACK train
+	// is the measurement.
+	TypeProbe uint16 = 0x88B7
 )
+
+// ProbeMAC returns the locally administered address used by active
+// measurement probe frames (0x02 bit set: never a real vendor MAC, never
+// a VMMAC). Probes use distinct src/dst ids so bridge learning stays
+// harmless.
+func ProbeMAC(id int) MAC {
+	return MAC{0x0a, 0x50, 0x42, byte(id >> 16), byte(id >> 8), byte(id)}
+}
 
 // HeaderLen is the encoded header size.
 const HeaderLen = 14

@@ -77,6 +77,60 @@ func NewDumbbell(sim *Sim, nLeft, nRight int, cfg DumbbellConfig) *Dumbbell {
 	return d
 }
 
+// ParkingLotConfig parameterizes NewParkingLot. The parking lot is the
+// standard multi-bottleneck shape: a chain of routers where the monitored
+// path traverses every hop while each cross flow loads exactly one, so the
+// end-to-end available bandwidth is the minimum over hops — the case a
+// single-bottleneck estimator model has to survive.
+type ParkingLotConfig struct {
+	AccessMbps    float64   // endpoint access link rate
+	AccessDelay   Duration  // per-access-link propagation delay
+	HopMbps       []float64 // rate of each router-to-router hop, left to right
+	HopDelay      Duration  // per-hop propagation delay
+	HopQueueBytes int       // droptail bound on the hops (0 = default)
+}
+
+// ParkingLot is the built topology.
+type ParkingLot struct {
+	Net      *Network
+	Src, Dst HostID   // endpoints of the monitored end-to-end path
+	Sink     HostID   // extra endpoint beside Dst (probe or second-flow sink)
+	Routers  []HostID // len(HopMbps)+1 routers, left to right
+	Hops     []*Link  // forward hop links Routers[i] -> Routers[i+1]
+	// CrossSrc[i] -> CrossDst[i] is a flow whose shortest path crosses
+	// exactly hop i.
+	CrossSrc, CrossDst []HostID
+}
+
+// NewParkingLot builds a parking lot with one cross-flow endpoint pair per
+// hop. Host IDs: Src, Dst, Sink, then routers, then cross pairs.
+func NewParkingLot(sim *Sim, cfg ParkingLotConfig) *ParkingLot {
+	hops := len(cfg.HopMbps)
+	if hops == 0 {
+		panic("simnet: parking lot needs at least one hop")
+	}
+	accessQ := 1 << 20 // deep NIC rings, as in NewDumbbell
+	n := NewNetwork(sim, 3+(hops+1)+2*hops)
+	p := &ParkingLot{Net: n, Src: 0, Dst: 1, Sink: 2}
+	for i := 0; i <= hops; i++ {
+		p.Routers = append(p.Routers, HostID(3+i))
+	}
+	n.AddDuplexLink(p.Src, p.Routers[0], cfg.AccessMbps, cfg.AccessDelay, accessQ)
+	n.AddDuplexLink(p.Dst, p.Routers[hops], cfg.AccessMbps, cfg.AccessDelay, accessQ)
+	n.AddDuplexLink(p.Sink, p.Routers[hops], cfg.AccessMbps, cfg.AccessDelay, accessQ)
+	for i, rate := range cfg.HopMbps {
+		fwd, _ := n.AddDuplexLink(p.Routers[i], p.Routers[i+1], rate, cfg.HopDelay, cfg.HopQueueBytes)
+		p.Hops = append(p.Hops, fwd)
+		src := HostID(3 + hops + 1 + 2*i)
+		dst := src + 1
+		p.CrossSrc = append(p.CrossSrc, src)
+		p.CrossDst = append(p.CrossDst, dst)
+		n.AddDuplexLink(src, p.Routers[i], cfg.AccessMbps, cfg.AccessDelay, accessQ)
+		n.AddDuplexLink(dst, p.Routers[i+1], cfg.AccessMbps, cfg.AccessDelay, accessQ)
+	}
+	return p
+}
+
 // NewPair builds the simplest topology: two hosts joined by a duplex link.
 func NewPair(sim *Sim, rateMbps float64, delay Duration, queueBytes int) (*Network, HostID, HostID) {
 	n := NewNetwork(sim, 2)

@@ -202,6 +202,45 @@ func TestDumbbellTopology(t *testing.T) {
 	}
 }
 
+func TestParkingLotTopology(t *testing.T) {
+	s := NewSim()
+	p := NewParkingLot(s, ParkingLotConfig{
+		AccessMbps:  1000,
+		AccessDelay: Milliseconds(0.05),
+		HopMbps:     []float64{100, 80},
+		HopDelay:    Milliseconds(0.2),
+	})
+	// 3 endpoints + 3 routers + 2 cross pairs.
+	if p.Net.NumHosts() != 10 {
+		t.Fatalf("hosts = %d", p.Net.NumHosts())
+	}
+	if len(p.Hops) != 2 || len(p.CrossSrc) != 2 {
+		t.Fatalf("hops = %d, cross pairs = %d", len(p.Hops), len(p.CrossSrc))
+	}
+	// The end-to-end path must traverse every hop; each cross flow exactly
+	// its own.
+	done := 0
+	p.Net.Host(p.Dst).Register(1, func(pkt *Packet, at Time) { done++ })
+	p.Net.Host(p.Sink).Register(2, func(pkt *Packet, at Time) { done++ })
+	p.Net.Send(&Packet{Flow: 1, Src: p.Src, Dst: p.Dst, Size: 1500})
+	p.Net.Send(&Packet{Flow: 2, Src: p.Src, Dst: p.Sink, Size: 1500})
+	for i := range p.Hops {
+		p.Net.Host(p.CrossDst[i]).Register(3, func(pkt *Packet, at Time) { done++ })
+		p.Net.Send(&Packet{Flow: 3, Src: p.CrossSrc[i], Dst: p.CrossDst[i], Size: 1500})
+	}
+	s.Run()
+	if done != 4 {
+		t.Fatalf("delivered %d of 4", done)
+	}
+	// Src->Dst and Src->Sink each crossed both hops; cross flow i crossed
+	// only hop i, so hop 0 saw 3 packets and hop 1 saw 3.
+	for i, hop := range p.Hops {
+		if got := hop.Stats().Delivered; got != 3 {
+			t.Fatalf("hop %d delivered %d packets, want 3", i, got)
+		}
+	}
+}
+
 func TestLinkValidation(t *testing.T) {
 	s := NewSim()
 	n := NewNetwork(s, 2)

@@ -1,0 +1,65 @@
+package vnet
+
+import (
+	"fmt"
+	"time"
+
+	"freemeasure/internal/ethernet"
+)
+
+// Probe sends one active measurement train to a connected peer: packets
+// frames of sizeBytes payload each, paced at rateMbps. The frames carry
+// ethernet.TypeProbe, a ProbeMAC destination no VM owns, and TTL 1, so
+// the receiving daemon acknowledges them (every msgFrame is acked — the
+// self-clocking Wren observes) and then drops them: they never transit
+// the overlay and never reach a VM or the VTTIF traffic matrix.
+//
+// Because sendFramePayload stamps the link's cumulative sequence and
+// emits the standard Wren departure record, the train is visible to this
+// daemon's passive monitor exactly like application traffic — an active
+// estimator tapping the monitor gets its PCT/PDT verdict on the train
+// without any dedicated return channel. Probe blocks while the train is
+// paced out (packets * sizeBytes * 8 / rateMbps seconds), so callers
+// wanting a background probe run it on their own goroutine.
+func (d *Daemon) Probe(peer string, rateMbps float64, packets, sizeBytes int) error {
+	if rateMbps <= 0 || packets <= 0 {
+		return fmt.Errorf("vnet: probe wants positive rate and packet count (got %v Mbit/s, %d packets)", rateMbps, packets)
+	}
+	link, ok := d.Link(peer)
+	if !ok {
+		return fmt.Errorf("vnet: no link to %q", peer)
+	}
+	payloadLen := sizeBytes - ethernet.HeaderLen - frameHeaderLen
+	if payloadLen < 1 {
+		payloadLen = 1
+	}
+	if payloadLen > ethernet.MaxPayload {
+		payloadLen = ethernet.MaxPayload
+	}
+	f := &ethernet.Frame{
+		Dst:     ethernet.ProbeMAC(1),
+		Src:     ethernet.ProbeMAC(0),
+		Type:    ethernet.TypeProbe,
+		Payload: make([]byte, payloadLen),
+	}
+	bufp := msgBufs.Get().(*[]byte)
+	defer msgBufs.Put(bufp)
+	payload, err := encodeFramePayload(bufp, f, 1)
+	if err != nil {
+		return err
+	}
+	gap := time.Duration(float64(len(payload)*8) / rateMbps * 1e3) // ns per frame
+	next := time.Now()
+	for i := 0; i < packets; i++ {
+		if sleep := time.Until(next); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		// sendFramePayload rewrites the sequence field in place, so the
+		// one buffer serves the whole train.
+		if err := link.sendFramePayload(payload); err != nil {
+			return fmt.Errorf("vnet: probe to %q: %w", peer, err)
+		}
+		next = next.Add(gap)
+	}
+	return nil
+}

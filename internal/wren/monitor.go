@@ -91,6 +91,28 @@ type Monitor struct {
 	mask   uint32
 	lastAt atomic.Int64 // newest record timestamp seen
 	met    atomic.Pointer[MonitorMetrics]
+	hook   atomic.Pointer[TrainHook]
+}
+
+// TrainHook observes every train the analysis resolves with measurement
+// data attached: status is AnalyzeOK or AnalyzeAmbiguous, obs carries the
+// train's rate/length/MinRTT (the Congested field is meaningless for
+// ambiguous trains), and rtts holds the per-packet round-trip times
+// (entries < 0 are unmatched). The hook runs with the owning shard locked:
+// it must be fast and must not call back into the Monitor. The slices are
+// only valid for the duration of the call.
+type TrainHook func(remote string, tr *Train, rtts []int64, obs Observation, status AnalyzeStatus)
+
+// SetTrainHook installs fn as the monitor's train tap, giving external
+// estimators the exact same Wren feed the built-in SIC estimator consumes.
+// Pass nil to remove. Per-packet RTTs are recomputed for the hook only
+// while one is installed, so an un-tapped monitor pays nothing.
+func (m *Monitor) SetTrainHook(fn TrainHook) {
+	if fn == nil {
+		m.hook.Store(nil)
+		return
+	}
+	m.hook.Store(&fn)
 }
 
 // NewMonitor creates a monitor for the host named local.
@@ -275,9 +297,14 @@ func (m *Monitor) pollFlow(sh *monitorShard, met *MonitorMetrics, lastAt int64, 
 	trains, tailStart := ScanTrains(fs.outs, lastAt, m.cfg.Scan)
 	produced := 0
 	keepFrom := tailStart
+	hook := m.hook.Load()
 	for _, tr := range trains {
 		tr := tr
 		obs, status := AnalyzeTrain(&tr, fs.acks, m.cfg.SIC)
+		if hook != nil && (status == AnalyzeOK || status == AnalyzeAmbiguous) {
+			rtts, _ := MatchRTTs(&tr, fs.acks)
+			(*hook)(key.Remote, &tr, rtts, obs, status)
+		}
 		// A train counts as formed when it resolves (observation, discard,
 		// or abandonment) — deferred trains are rescanned next poll and
 		// would otherwise be counted repeatedly.
@@ -312,8 +339,9 @@ func (m *Monitor) pollFlow(sh *monitorShard, met *MonitorMetrics, lastAt int64, 
 				met.TrainsFormed.Inc()
 				met.SICDiscarded.Inc()
 			}
-		case AnalyzeDiscard:
-			// Unusable train; consumed silently.
+		case AnalyzeDiscard, AnalyzeAmbiguous:
+			// No SIC verdict; consumed silently (ambiguous trains were
+			// already offered to the train hook above).
 			met.TrainsFormed.Inc()
 			met.SICDiscarded.Inc()
 		}

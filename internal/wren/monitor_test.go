@@ -37,6 +37,50 @@ func TestMonitorSyntheticFlow(t *testing.T) {
 	}
 }
 
+func TestMonitorTrainHookSeesResolvedTrains(t *testing.T) {
+	m := NewMonitor("a", Config{})
+	type tap struct {
+		remote string
+		rtts   int
+		status AnalyzeStatus
+		obs    Observation
+	}
+	var taps []tap
+	m.SetTrainHook(func(remote string, tr *Train, rtts []int64, obs Observation, status AnalyzeStatus) {
+		taps = append(taps, tap{remote, len(rtts), status, obs})
+	})
+	outs := mkOuts(0, 20, 100*us, 1500, 0)
+	acks := mkAcks(outs, func(i int) int64 { return 1000*us + int64(i)*50*us })
+	m.FeedAll(outs)
+	m.FeedAll(acks)
+	m.Feed(pcap.Record{At: outs[19].At + 200_000_000, Dir: pcap.In, IsAck: true,
+		Flow: pcap.FlowKey{Local: "a", Remote: "c"}, Ack: 0})
+	if n := m.Poll(); n != 1 {
+		t.Fatalf("Poll produced %d observations, want 1", n)
+	}
+	if len(taps) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(taps))
+	}
+	got := taps[0]
+	if got.remote != "b" || got.status != AnalyzeOK || !got.obs.Congested {
+		t.Fatalf("tap = %+v", got)
+	}
+	if got.rtts != 20 {
+		t.Fatalf("hook saw %d rtts, want 20 (one per packet)", got.rtts)
+	}
+	// Removing the hook stops the tap.
+	m.SetTrainHook(nil)
+	outs2 := mkOuts(1_000_000_000, 20, 100*us, 1500, 0)
+	m.FeedAll(outs2)
+	m.FeedAll(mkAcks(outs2, func(i int) int64 { return 1000 * us }))
+	m.Feed(pcap.Record{At: outs2[19].At + 200_000_000, Dir: pcap.In, IsAck: true,
+		Flow: pcap.FlowKey{Local: "a", Remote: "c"}, Ack: 0})
+	m.Poll()
+	if len(taps) != 1 {
+		t.Fatalf("hook fired after removal: %d taps", len(taps))
+	}
+}
+
 func TestMonitorDefersUntilAcksArrive(t *testing.T) {
 	m := NewMonitor("a", Config{})
 	outs := mkOuts(0, 10, 100*us, 1500, 0)

@@ -25,9 +25,14 @@ const (
 	// AnalyzeWaiting: some packets have no matching ACK yet; retry after
 	// more ACKs arrive.
 	AnalyzeWaiting
-	// AnalyzeDiscard: the train is unusable (retransmissions, ambiguous
-	// trend, RTO-inflated samples).
+	// AnalyzeDiscard: the train is unusable (retransmissions, RTO-inflated
+	// samples with no corroborating loss signal).
 	AnalyzeDiscard
+	// AnalyzeAmbiguous: the RTT trend was neither clearly increasing nor
+	// clearly flat. The returned Observation carries valid rate and RTT
+	// fields but no congestion verdict; SIC ignores such trains, while
+	// estimators with their own trend analysis may still use them.
+	AnalyzeAmbiguous
 )
 
 // SICConfig tunes the congestion trend test. The two metrics are the
@@ -219,6 +224,8 @@ func AnalyzeTrain(train *Train, acks []pcap.Record, cfg SICConfig) (Observation,
 		return obs, AnalyzeOK
 	default:
 		// Ambiguous trend: neither clearly increasing nor clearly flat.
-		return Observation{}, AnalyzeDiscard
+		// Hand the filled observation back anyway — the Congested field is
+		// meaningless, but the rate, length, and MinRTT are sound.
+		return obs, AnalyzeAmbiguous
 	}
 }

@@ -188,21 +188,31 @@ func TestAnalyzeTrainDiscardsRTOInflation(t *testing.T) {
 	}
 }
 
-func TestAnalyzeTrainAmbiguousDiscarded(t *testing.T) {
+func TestAnalyzeTrainAmbiguousKeepsObservation(t *testing.T) {
 	outs := mkOuts(0, 10, 100*us, 1500, 0)
 	// Alternating with a mild net rise: PCT ~ 0.56 (between the clear-flat
 	// 0.45 and congested 0.60 thresholds) and PDT ~ 0.2 -> ambiguous.
 	rtts := []int64{1000, 1100, 1000, 1100, 1000, 1100, 1050, 1000, 1100, 1150}
 	acks := mkAcks(outs, func(i int) int64 { return rtts[i] * us })
 	tr := mustTrain(t, outs)
-	_, status := AnalyzeTrain(&tr, acks, SICConfig{})
-	if status != AnalyzeDiscard {
-		t.Fatalf("status = %v, want AnalyzeDiscard (ambiguous)", status)
+	obs, status := AnalyzeTrain(&tr, acks, SICConfig{})
+	if status != AnalyzeAmbiguous {
+		t.Fatalf("status = %v, want AnalyzeAmbiguous", status)
+	}
+	// No verdict, but the measurement fields must still be filled so
+	// downstream estimators with their own trend analysis can use them.
+	if obs.TrainLen != 10 || obs.ISRMbps <= 0 || obs.MinRTT != 1000*us {
+		t.Fatalf("ambiguous obs = %+v, want filled fields", obs)
 	}
 }
 
 func TestAnalyzeStatusValues(t *testing.T) {
-	if AnalyzeOK == AnalyzeWaiting || AnalyzeWaiting == AnalyzeDiscard {
-		t.Fatal("status values collide")
+	vals := []AnalyzeStatus{AnalyzeOK, AnalyzeWaiting, AnalyzeDiscard, AnalyzeAmbiguous}
+	for i, a := range vals {
+		for _, b := range vals[i+1:] {
+			if a == b {
+				t.Fatal("status values collide")
+			}
+		}
 	}
 }
