@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench chaos estbench fmt vet
+.PHONY: build test race bench relaybench relaybench-baseline scale chaos estbench fmt vet
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,25 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Daemon|Monitor|Buffer' -benchmem -count=5 \
 		./internal/vnet/ ./internal/wren/ ./internal/pcap/
+
+# Relay fast-path regression fence: rerun the transit-relay benchmarks
+# and gate against the committed BENCH_RELAY.json (allocs exact, ns/op
+# within 10%). Regenerate the baseline with `make relaybench-baseline`
+# after an intentional change.
+relaybench:
+	$(GO) test -run '^$$' -bench 'TransitRelay' -benchmem -count=3 ./internal/vnet/ | \
+		$(GO) run ./cmd/benchgate -baseline BENCH_RELAY.json -tolerance 0.10
+
+relaybench-baseline:
+	$(GO) test -run '^$$' -bench 'TransitRelay' -benchmem -count=3 ./internal/vnet/ | \
+		$(GO) run ./cmd/benchgate -out BENCH_RELAY.json
+
+# Full-size sharded-mesh scale scenario: 10k daemons / 100k VMs on the
+# in-memory fabric, race detector on. The PR-sized variant (1k hosts)
+# runs inside the normal test suite; this is the nightly job.
+scale:
+	SCALE_FULL=1 $(GO) test -race -shuffle=on -count=1 -timeout 30m \
+		-run 'TestScale' -v ./internal/vnet/
 
 # Fault-injection suites (docs/OPERATIONS.md "Chaos testing"). Seed and
 # trace dir come from the environment: CHAOS_SEED pins the scenario seed,

@@ -1,0 +1,185 @@
+// benchgate turns `go test -bench -benchmem` output into a JSON report
+// and gates reruns against a committed baseline — the relay fast-path
+// regression fence for the sharded mesh.
+//
+//	go test -run '^$' -bench TransitRelay -benchmem ./internal/vnet/ |
+//	    go run ./cmd/benchgate -out BENCH_RELAY.json
+//	go test -run '^$' -bench TransitRelay -benchmem ./internal/vnet/ |
+//	    go run ./cmd/benchgate -baseline BENCH_RELAY.json -tolerance 0.10
+//
+// With -baseline the run exits 1 if any benchmark in the baseline got
+// slower than the tolerance allows, or allocates more than the baseline
+// records — allocs/op gate exactly, because the relay path's contract is
+// zero and any nonzero count is a leak onto the fast path.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured cost.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report maps benchmark name (GOMAXPROCS suffix stripped) to its result.
+// Repeated runs of the same benchmark (-count > 1) keep the fastest,
+// which is the standard noise filter for gating.
+type Report map[string]Result
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the parsed report JSON here (- for stdout)")
+		baseline  = flag.String("baseline", "", "baseline report to gate against (exit 1 on regression)")
+		tolerance = flag.Float64("tolerance", 0.10, "fractional ns/op regression allowed vs the baseline")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out == "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: need -out and/or -baseline")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(report) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		if err := write(*out, report); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions := gate(base, report, *tolerance); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: %d benchmark(s) within tolerance %.0f%%\n", len(base), *tolerance*100)
+	}
+}
+
+// parse reads `go test -bench -benchmem` output. A benchmark line looks
+// like:
+//
+//	BenchmarkDaemonTransitRelay-8   4145560   289.6 ns/op   0 B/op   0 allocs/op
+func parse(sc *bufio.Scanner) (Report, error) {
+	report := make(Report)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		res := Result{NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if res.NsPerOp < 0 {
+			continue // not a timing line (e.g. a custom metric only)
+		}
+		if prev, ok := report[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			report[name] = res
+		}
+	}
+	return report, sc.Err()
+}
+
+// gate compares run against base: every baseline benchmark must be
+// present, within tolerance on ns/op, and at or below baseline allocs.
+func gate(base, run Report, tolerance float64) []string {
+	var regressions []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		r, ok := run[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from this run", name))
+			continue
+		}
+		if limit := b.NsPerOp * (1 + tolerance); r.NsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f ns/op, baseline %.1f (limit %.1f)", name, r.NsPerOp, b.NsPerOp, limit))
+		}
+		if b.AllocsPerOp >= 0 && r.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f allocs/op, baseline %.0f (allocs gate exactly)", name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return regressions
+}
+
+func write(path string, report Report) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(report) == 0 {
+		return nil, fmt.Errorf("%s: empty baseline", path)
+	}
+	return report, nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: freemeasure/internal/vnet
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkDaemonTransitRelay-8     	 4145560	       289.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDaemonTransitRelay-8     	 4000000	       310.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDaemonTransitRelayRing-8 	 3120225	       338.6 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	freemeasure/internal/vnet	2.948s
+`
+
+func parseSample(t *testing.T, out string) Report {
+	t.Helper()
+	report, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+func TestParseStripsSuffixAndKeepsFastest(t *testing.T) {
+	report := parseSample(t, sampleOutput)
+	if len(report) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(report), report)
+	}
+	relay, ok := report["BenchmarkDaemonTransitRelay"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", report)
+	}
+	if relay.NsPerOp != 289.6 {
+		t.Fatalf("kept %v ns/op, want the fastest of the -count runs (289.6)", relay.NsPerOp)
+	}
+	ring := report["BenchmarkDaemonTransitRelayRing"]
+	if ring.NsPerOp != 338.6 || ring.AllocsPerOp != 0 || ring.BytesPerOp != 0 {
+		t.Fatalf("ring result = %+v", ring)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := parseSample(t, sampleOutput)
+	run := Report{
+		"BenchmarkDaemonTransitRelay":     {NsPerOp: 300, BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkDaemonTransitRelayRing": {NsPerOp: 360, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	if regs := gate(base, run, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestGateCatchesSlowdownAllocsAndMissing(t *testing.T) {
+	base := Report{
+		"A": {NsPerOp: 100, AllocsPerOp: 0},
+		"B": {NsPerOp: 100, AllocsPerOp: 0},
+		"C": {NsPerOp: 100, AllocsPerOp: 0},
+	}
+	run := Report{
+		"A": {NsPerOp: 150, AllocsPerOp: 0}, // too slow
+		"B": {NsPerOp: 100, AllocsPerOp: 1}, // allocs gate exactly
+		// C missing entirely
+	}
+	regs := gate(base, run, 0.10)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+}
+
+func TestGateAllowsFasterAndExtraBenchmarks(t *testing.T) {
+	base := Report{"A": {NsPerOp: 100, AllocsPerOp: 0}}
+	run := Report{
+		"A":   {NsPerOp: 50, AllocsPerOp: 0},
+		"New": {NsPerOp: 9999, AllocsPerOp: 42}, // not in baseline: not gated
+	}
+	if regs := gate(base, run, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}

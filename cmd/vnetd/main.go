@@ -36,6 +36,7 @@ func main() {
 		listenU  = flag.String("listen-udp", "", "also accept virtual-UDP links on this address")
 		connectU = flag.String("connect-udp", "", "comma-separated peer UDP addresses to dial (virtual-UDP links)")
 		deflt    = flag.String("default-route", "", "peer name for unknown destinations (the Proxy)")
+		ringSpec = flag.String("proxy-ring", "", "comma-separated name=addr proxy members; installs the consistent-hash ring, dials every other member, and arms re-home on proxy loss")
 		soapAddr = flag.String("soap", "", "serve the Wren SOAP interface on this address")
 		forward  = flag.String("forward", "", "also ship filtered traces to a wrenrepod at this address")
 		rate     = flag.Float64("rate", 0, "token-bucket rate limit (Mbit/s) for dialed links; 0 = unlimited")
@@ -60,6 +61,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var ringNames []string
+	var ringAddrs map[string]string
+	if *ringSpec != "" {
+		var err error
+		ringNames, ringAddrs, err = parseRingSpec(*ringSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnetd: -proxy-ring: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 	logger := obs.NewLogger(os.Stderr, "vnetd", *name)
 	fatal := func(msg string, args ...any) {
 		logger.Error(msg, args...)
@@ -80,6 +92,7 @@ func main() {
 		reg = obs.NewRegistry()
 		flight = obs.NewFlightRecorder(0)
 		d.SetMetrics(vnet.NewMetrics(reg))
+		d.SetFlight(flight) // daemon-side events: ring swaps/shrinks, re-homes
 		monitor.SetMetrics(wren.NewMonitorMetrics(reg))
 		d.Traffic().SetMetrics(vttif.NewLocalMetrics(reg))
 	}
@@ -148,6 +161,51 @@ func main() {
 			}
 		}
 	}
+	if ringNames != nil {
+		ring, err := vnet.NewProxyRing(ringNames, vnet.DefaultRingVnodes)
+		if err != nil {
+			fatal("proxy-ring", "err", err)
+		}
+		for _, member := range ringNames {
+			if member == *name {
+				continue
+			}
+			// Ring members boot concurrently and dial each other, so the
+			// first ones up must wait out their peers' startup.
+			var peer string
+			for attempt := 0; ; attempt++ {
+				peer, err = d.Connect(ringAddrs[member])
+				if err == nil || attempt >= 20 {
+					break
+				}
+				time.Sleep(250 * time.Millisecond)
+			}
+			if err != nil {
+				fatal("connect ring member", "member", member, "addr", ringAddrs[member], "err", err)
+			}
+			if peer != member {
+				fatal("ring member identity mismatch", "member", member, "announced", peer)
+			}
+			if *rate > 0 {
+				if l, ok := d.Link(peer); ok {
+					l.SetRateMbps(*rate)
+				}
+			}
+			logger.Info("ring member linked", "member", member, "addr", ringAddrs[member])
+		}
+		d.SetProxyRing(ring)
+		d.EnableRingRehome(func(dead, newHome string) {
+			logger.Info("re-homed off dead proxy", "dead", dead, "home", newHome)
+		})
+		if *deflt == "" {
+			if home := ring.HomeProxy(*name); home != *name {
+				d.SetDefaultRoute(home)
+				logger.Info("home proxy assigned", "peer", home)
+			}
+		}
+		logger.Info("proxy ring installed", "members", len(ringNames),
+			"version", fmt.Sprintf("%016x", ring.Version()), "share", fmt.Sprintf("%.3f", ring.Share(*name)))
+	}
 	if *deflt != "" {
 		d.SetDefaultRoute(*deflt)
 	}
@@ -159,13 +217,16 @@ func main() {
 		logger.Info("acting as control hub")
 	}
 	if *report > 0 {
-		if *deflt == "" {
-			fatal("-report needs -default-route (the hub to report to)")
+		if *deflt == "" && ringNames == nil {
+			fatal("-report needs -default-route or -proxy-ring (a hub to report to)")
 		}
+		// With -proxy-ring and no explicit -default-route, Peer stays empty
+		// and the reporter follows the live default route — so reports
+		// chase a re-home after the home proxy dies.
 		rep := vnet.NewReporter(vnet.Reporting{Daemon: d, Wren: monitor, Peer: *deflt}, *report)
 		rep.Start()
 		defer rep.Stop()
-		logger.Info("reporting", "peer", *deflt, "interval", *report)
+		logger.Info("reporting", "peer", d.DefaultRoute(), "interval", *report)
 	}
 	var ctl *control.Controller
 	if *ctrl {
@@ -262,6 +323,9 @@ func stateFunc(name string, d *vnet.Daemon, view *vnet.GlobalView, ctl *control.
 			"rules":   macMapJSON(d.Rules()),
 			"learned": macMapJSON(d.Learned()),
 		}
+		if ring := d.Ring(); ring != nil {
+			st["ring"] = ringJSON(ring, d.DefaultRoute())
+		}
 		if view != nil {
 			st["paths"] = pathsJSON(view.Paths())
 			st["traffic"] = trafficJSON(view.Agg.Rates())
@@ -270,6 +334,49 @@ func stateFunc(name string, d *vnet.Daemon, view *vnet.GlobalView, ctl *control.
 			st["controller"] = ctl.DebugState()
 		}
 		return st
+	}
+}
+
+// parseRingSpec parses the -proxy-ring member list: "name=addr" entries,
+// comma-separated, unique names, at least one member.
+func parseRingSpec(spec string) (names []string, addrs map[string]string, err error) {
+	addrs = make(map[string]string)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(entry, "=")
+		name, addr = strings.TrimSpace(name), strings.TrimSpace(addr)
+		if !ok || name == "" || addr == "" {
+			return nil, nil, fmt.Errorf("bad member %q (want name=addr)", entry)
+		}
+		if _, dup := addrs[name]; dup {
+			return nil, nil, fmt.Errorf("duplicate member %q", name)
+		}
+		names = append(names, name)
+		addrs[name] = addr
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("empty member list")
+	}
+	return names, addrs, nil
+}
+
+// ringJSON renders the installed proxy ring for /debug/state: membership,
+// the change-detection version, this daemon's home, per-member ownership
+// shares, and the merged arc summary — the route advertisement, readable.
+func ringJSON(ring *vnet.ProxyRing, home string) map[string]any {
+	shares := make(map[string]float64, ring.Len())
+	for _, m := range ring.Members() {
+		shares[m] = ring.Share(m)
+	}
+	return map[string]any{
+		"members": ring.Members(),
+		"version": fmt.Sprintf("%016x", ring.Version()),
+		"home":    home,
+		"shares":  shares,
+		"summary": ring.Summary(),
 	}
 }
 

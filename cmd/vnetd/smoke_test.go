@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Flag-surface smoke tests: the binary's exit codes are part of the
+// operator contract (docs/OPERATIONS.md) — usage errors exit 2 before
+// any socket opens, -h exits 0.
+
+var vnetdBinPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "vnetd-smoke")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	vnetdBinPath = filepath.Join(dir, "vnetd")
+	if out, err := exec.Command("go", "build", "-o", vnetdBinPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build vnetd: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runVnetd(t *testing.T, args ...string) (exitCode int, output string) {
+	t.Helper()
+	out, err := exec.Command(vnetdBinPath, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run vnetd %v: %v", args, err)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+func TestVnetdHelpExitsZero(t *testing.T) {
+	code, out := runVnetd(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "-proxy-ring") {
+		t.Fatalf("-h output does not document -proxy-ring:\n%s", out)
+	}
+}
+
+func TestVnetdMissingNameExitsTwo(t *testing.T) {
+	code, out := runVnetd(t)
+	if code != 2 || !strings.Contains(out, "-name is required") {
+		t.Fatalf("no -name exited %d, want 2 with usage\n%s", code, out)
+	}
+}
+
+func TestVnetdBadProxyRingExitsTwo(t *testing.T) {
+	cases := []struct{ name, spec, want string }{
+		{"missing addr", "pa", "bad member"},
+		{"empty addr", "pa=", "bad member"},
+		{"empty name", "=127.0.0.1:9001", "bad member"},
+		{"duplicate member", "pa=127.0.0.1:9001,pa=127.0.0.1:9002", "duplicate member"},
+		{"only separators", " , ,", "empty member list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runVnetd(t, "-name", "pa", "-proxy-ring", tc.spec)
+			if code != 2 {
+				t.Fatalf("exited %d, want 2\n%s", code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// Two ring members booted concurrently: each dials the other (with the
+// startup retry), installs the same ring, and publishes it on
+// /debug/state with a consistent home assignment.
+func TestVnetdProxyRingPairComesUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and polls HTTP")
+	}
+	ports := freePorts(t, 4)
+	spec := fmt.Sprintf("pa=127.0.0.1:%d,pb=127.0.0.1:%d", ports[0], ports[1])
+	var procs []*exec.Cmd
+	for i, name := range []string{"pa", "pb"} {
+		cmd := exec.Command(vnetdBinPath,
+			"-name", name,
+			"-listen", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-proxy-ring", spec,
+			"-metrics-addr", fmt.Sprintf("127.0.0.1:%d", ports[2+i]))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	}()
+
+	for i, name := range []string{"pa", "pb"} {
+		url := fmt.Sprintf("http://127.0.0.1:%d/debug/state", ports[2+i])
+		st := pollState(t, url)
+		ring, ok := st["ring"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s /debug/state has no ring: %v", name, st)
+		}
+		members, _ := ring["members"].([]any)
+		if len(members) != 2 || members[0] != "pa" || members[1] != "pb" {
+			t.Fatalf("%s ring members = %v, want [pa pb]", name, ring["members"])
+		}
+		if v, _ := ring["version"].(string); len(v) != 16 {
+			t.Fatalf("%s ring version = %q, want 16 hex digits", name, ring["version"])
+		}
+		// A member's home may be itself (then no default route is set) or
+		// the other member — but never an outsider.
+		if home, _ := ring["home"].(string); home != "" && home != "pa" && home != "pb" {
+			t.Fatalf("%s home = %q, not a ring member", name, home)
+		}
+	}
+}
+
+// freePorts reserves n distinct listening ports and releases them.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	var ports []int
+	var listeners []net.Listener
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, l)
+		ports = append(ports, l.Addr().(*net.TCPAddr).Port)
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return ports
+}
+
+// pollState GETs a /debug/state URL until the daemon answers.
+func pollState(t *testing.T, url string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			var st map[string]any
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil {
+				return st
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no state from %s: %v", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestParseRingSpec(t *testing.T) {
+	names, addrs, err := parseRingSpec(" pa=127.0.0.1:9001, pb = 127.0.0.1:9002 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "pa" || names[1] != "pb" {
+		t.Fatalf("names = %v", names)
+	}
+	if addrs["pb"] != "127.0.0.1:9002" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}

@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// Mesh chaos: the scenario runner killing and partitioning proxies of a
+// live sharded overlay (vnet.NewMesh), asserting the re-home contract the
+// ISSUE 7 tentpole promises — daemons survive the loss of any proxy,
+// registrations re-learn at the inheriting successor, and an operator can
+// restore full membership transactionally afterwards.
+
+func meshWait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func meshVMFrame(dst, src ethernet.MAC) *ethernet.Frame {
+	return &ethernet.Frame{Dst: dst, Src: src, Type: ethernet.TypeApp, Payload: make([]byte, 256)}
+}
+
+// A Crash event on the proxy owning a VM's slice: every daemon must drop
+// the victim from its ring, the clockwise successor must inherit the
+// registration (re-learn), and delivery must continue — all recorded on
+// the flight recorder for seed replay.
+func TestChaosMeshProxyCrashRehomesAndRelearns(t *testing.T) {
+	seed := chaosSeed(t)
+	fr := obs.NewFlightRecorder(512)
+	defer dumpTrace(t, fr, seed)
+
+	proxies := []string{"pa", "pb", "pc"}
+	hosts := []string{"h1", "h2", "h3"}
+	o, err := vnet.NewMesh(proxies, hosts, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	for _, p := range o.Proxies {
+		p.Daemon.SetFlight(fr)
+	}
+	for _, n := range o.Nodes {
+		n.Daemon.SetFlight(fr)
+	}
+
+	var delivered atomic.Uint64
+	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	o.Node("h1").Daemon.AttachVM(vm1, func(*ethernet.Frame) {})
+	o.Node("h2").Daemon.AttachVM(vm2, func(*ethernet.Frame) { delivered.Add(1) })
+
+	victim := o.Ring.Owner(vm2)
+	meshWait(t, "owner holds vm2's registration", func() bool {
+		return o.ProxyNode(victim).Daemon.Registrations()[vm2] == "h2"
+	})
+
+	fab := NewOverlayFabric(o)
+	fab.RegisterService(victim, Service{Down: func() error {
+		o.ProxyNode(victim).Daemon.Close()
+		return nil
+	}})
+	r := &Runner{
+		Scenario: Scenario{
+			Name:   "mesh-proxy-crash",
+			Seed:   seed,
+			Events: []Event{{At: 0, Fault: Fault{Kind: Crash}, Target: victim}},
+		},
+		Fabric: fab,
+		Log:    &Log{},
+		Flight: fr,
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	if err := r.Play(WallClock{}, stop); err != nil {
+		t.Fatalf("play: %v", err)
+	}
+
+	for _, n := range o.Nodes {
+		d := n.Daemon
+		meshWait(t, fmt.Sprintf("%s drops the dead proxy from its ring", d.Name()), func() bool {
+			ring := d.Ring()
+			return ring != nil && !ring.Contains(victim)
+		})
+		if home := d.DefaultRoute(); home == victim {
+			t.Fatalf("%s still defaults to the dead proxy", d.Name())
+		}
+	}
+	successor := o.Node("h1").Daemon.Ring().Owner(vm2)
+	if successor == victim {
+		t.Fatalf("slice did not move off dead owner %s", victim)
+	}
+	meshWait(t, "successor inherits vm2's registration", func() bool {
+		return o.ProxyNode(successor).Daemon.Registrations()[vm2] == "h2"
+	})
+
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		o.Node("h1").Daemon.InjectFrame(meshVMFrame(vm2, vm1))
+	}
+	meshWait(t, "delivery after proxy crash", func() bool { return delivered.Load() >= frames })
+
+	// The run left a replayable record: the fault injection and at least
+	// one ring shrink must be on the flight recorder.
+	var sawFault, sawShrink bool
+	for _, ev := range fr.Events(0) {
+		switch ev.Name {
+		case "fault-injected":
+			sawFault = true
+		case "ring-shrink":
+			sawShrink = true
+		}
+	}
+	if !sawFault || !sawShrink {
+		t.Fatalf("flight recorder missing chaos timeline: fault=%v shrink=%v", sawFault, sawShrink)
+	}
+}
+
+// A timed partition between a host and its home proxy: the host re-homes
+// onto the shrunk ring while the fault holds; after the heal the operator
+// restores full membership through the transactional proxy-set step and
+// the host's ring, home, and delivery all recover.
+func TestChaosMeshPartitionRehomesThenOperatorRestores(t *testing.T) {
+	seed := chaosSeed(t)
+	fr := obs.NewFlightRecorder(512)
+	defer dumpTrace(t, fr, seed)
+
+	o, err := vnet.NewMesh([]string{"pa", "pb", "pc"}, []string{"h1", "h2"}, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	h1 := o.Node("h1").Daemon
+	h1.SetFlight(fr)
+	home := h1.DefaultRoute()
+
+	fab := NewOverlayFabric(o)
+	r := &Runner{
+		Scenario: Scenario{
+			Name: "mesh-home-partition",
+			Seed: seed,
+			Events: []Event{{
+				At:       0,
+				Fault:    Fault{Kind: Partition},
+				Target:   "h1<->" + home,
+				Duration: 150 * time.Millisecond,
+			}},
+		},
+		Fabric: fab,
+		Log:    &Log{},
+		Flight: fr,
+	}
+	rehomed := make(chan struct{})
+	go func() {
+		defer close(rehomed)
+		if err := r.Play(WallClock{}, nil); err != nil {
+			t.Errorf("play: %v", err)
+		}
+	}()
+	meshWait(t, "h1 re-homes off its partitioned home", func() bool {
+		ring := h1.Ring()
+		return ring != nil && !ring.Contains(home) && h1.DefaultRoute() != home
+	})
+	<-rehomed // partition cleared: the link redials
+
+	meshWait(t, "healed link is back", func() bool {
+		_, ok := h1.Link(home)
+		return ok
+	})
+	// Rings only ever shrink on their own; restoring membership is the
+	// operator's transactional move (the OpSetProxies engine).
+	if _, err := o.SetProxySet(o.Ring.Members()); err != nil {
+		t.Fatalf("restore proxy set: %v", err)
+	}
+	if ring := h1.Ring(); !ring.Contains(home) {
+		t.Fatalf("h1's ring still missing %s after restore", home)
+	}
+	if got, want := h1.DefaultRoute(), o.Ring.HomeProxy("h1"); got != want {
+		t.Fatalf("h1 home %q after restore, want %q", got, want)
+	}
+
+	// End to end: a VM owned by the once-partitioned proxy delivers again.
+	var delivered atomic.Uint64
+	var vm ethernet.MAC
+	for i := 10; ; i++ {
+		vm = ethernet.VMMAC(i)
+		if o.Ring.Owner(vm) == home {
+			break
+		}
+	}
+	src := ethernet.VMMAC(5)
+	h1.AttachVM(src, func(*ethernet.Frame) {})
+	o.Node("h2").Daemon.AttachVM(vm, func(*ethernet.Frame) { delivered.Add(1) })
+	meshWait(t, "registration lands at restored owner", func() bool {
+		return o.ProxyNode(home).Daemon.Registrations()[vm] == "h2"
+	})
+	h1.InjectFrame(meshVMFrame(vm, src))
+	meshWait(t, "delivery via restored home", func() bool { return delivered.Load() >= 1 })
+}

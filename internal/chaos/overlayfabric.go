@@ -45,12 +45,13 @@ func (f *OverlayFabric) RegisterService(name string, svc Service) {
 	f.mu.Unlock()
 }
 
-// node resolves a daemon name, including the proxy.
+// node resolves a daemon name — host or proxy; "proxy" stays an alias
+// for the star hub (Proxies[0] on a mesh).
 func (f *OverlayFabric) node(name string) *vnet.Node {
 	if name == "proxy" {
 		return f.Overlay.Proxy
 	}
-	return f.Overlay.Node(name)
+	return f.Overlay.Member(name)
 }
 
 // pair splits an "a<->b" target.

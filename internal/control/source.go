@@ -9,6 +9,7 @@ import (
 	"freemeasure/internal/topology"
 	"freemeasure/internal/vadapt"
 	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
 	"freemeasure/internal/wren"
 )
 
@@ -88,6 +89,12 @@ type VMInfo struct {
 // where nothing has been measured yet.
 type ViewSource struct {
 	View *vnet.GlobalView
+	// Shards holds the per-proxy shard views of a mesh overlay
+	// (vnet.NewMesh): each host reports its VTTIF matrix and Wren
+	// measurements to its home shard only, so the controller's global
+	// picture is the aggregate across shards. Nil or empty on a star.
+	// View may also appear in Shards; it is only consulted once.
+	Shards []*vnet.GlobalView
 	// Hosts returns the ordered daemon names (index = topology.NodeID).
 	Hosts func() []string
 	// VMs returns the VMs in vadapt.VMID order with their current hosts.
@@ -164,6 +171,39 @@ func (s *ViewSource) defaults() (hub string, bw, lat float64) {
 	return hub, bw, lat
 }
 
+// views enumerates the distinct shard views to aggregate over: View
+// first, then Shards, skipping nils and duplicates.
+func (s *ViewSource) views() []*vnet.GlobalView {
+	out := make([]*vnet.GlobalView, 0, 1+len(s.Shards))
+	seen := make(map[*vnet.GlobalView]bool, 1+len(s.Shards))
+	for _, v := range append([]*vnet.GlobalView{s.View}, s.Shards...) {
+		if v == nil || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// lookupPath finds the pair's measurement across all shard views,
+// preferring the freshest when several shards have one (a host that
+// re-homed leaves a stale copy at its old shard).
+func (s *ViewSource) lookupPath(from, to string) (vnet.PathMeasurement, bool) {
+	var best vnet.PathMeasurement
+	found := false
+	for _, v := range s.views() {
+		p, ok := v.Path(from, to)
+		if !ok {
+			continue
+		}
+		if !found || p.UpdatedAt.After(best.UpdatedAt) {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
 // measuredPath returns a usable Wren measurement for the pair, trying the
 // requested direction first and then the reverse, and says which one it
 // used. Overlay paths are near-symmetric, so the reverse measurement beats
@@ -172,13 +212,29 @@ func (s *ViewSource) defaults() (hub string, bw, lat float64) {
 // reverse direction makes swapping a VM pair look like a large objective
 // gain when it changes nothing.
 func (s *ViewSource) measuredPath(from, to string) (vnet.PathMeasurement, string, bool) {
-	if p, ok := s.View.Path(from, to); ok && p.BWFound && p.Mbps > 0 {
+	if p, ok := s.lookupPath(from, to); ok && p.BWFound && p.Mbps > 0 {
 		return p, "direct", true
 	}
-	if p, ok := s.View.Path(to, from); ok && p.BWFound && p.Mbps > 0 {
+	if p, ok := s.lookupPath(to, from); ok && p.BWFound && p.Mbps > 0 {
 		return p, "reverse", true
 	}
 	return vnet.PathMeasurement{}, "", false
+}
+
+// demandRates merges the VTTIF rate matrices across shard views. Each
+// host pushes its local matrix to one home shard, so a pair normally
+// appears in exactly one shard; when a re-home leaves copies in two, the
+// max wins — summing would double-count the same observed flow.
+func (s *ViewSource) demandRates() map[vttif.Pair]float64 {
+	out := make(map[vttif.Pair]float64)
+	for _, v := range s.views() {
+		for pair, rate := range v.Agg.Rates() {
+			if rate > out[pair] {
+				out[pair] = rate
+			}
+		}
+	}
+	return out
 }
 
 // PathEstimate returns the believed (bandwidth, latency) between two
@@ -278,7 +334,7 @@ func (s *ViewSource) Snapshot() (*Snapshot, error) {
 		macToVM[v.MAC] = vadapt.VMID(i)
 	}
 	var demands []vadapt.Demand
-	for pair, rate := range s.View.Agg.Rates() {
+	for pair, rate := range s.demandRates() {
 		src, ok1 := macToVM[pair.Src]
 		dst, ok2 := macToVM[pair.Dst]
 		if !ok1 || !ok2 || src == dst {

@@ -1,0 +1,50 @@
+package simnet
+
+import "testing"
+
+// A packet between hosts in different pods must cross exactly the two
+// access links and the one core link joining their pod routers.
+func TestProxyMeshCrossPodPath(t *testing.T) {
+	s := NewSim()
+	m := NewProxyMesh(s, 3, 2, LANProxyMesh())
+	if len(m.Proxies) != 3 || len(m.Routers) != 3 {
+		t.Fatalf("pods = %d proxies / %d routers, want 3/3", len(m.Proxies), len(m.Routers))
+	}
+	for p, hosts := range m.Hosts {
+		if len(hosts) != 2 {
+			t.Fatalf("pod %d has %d hosts, want 2", p, len(hosts))
+		}
+	}
+	src, dst := m.Hosts[0][0], m.Hosts[2][1]
+	var arrived Time
+	m.Net.Host(dst).Register(7, func(pkt *Packet, at Time) { arrived = at })
+	m.Net.Send(&Packet{Flow: 7, Src: src, Dst: dst, Size: 1500})
+	s.Run()
+	if arrived == 0 {
+		t.Fatal("cross-pod packet never arrived")
+	}
+	// 1500 B: 12 us on each gigabit access link, 120 us on the 100 Mbit/s
+	// core, plus 0.05+0.2+0.05 ms propagation = 444 us end to end.
+	cfg := LANProxyMesh()
+	want := Duration(2*Milliseconds(0.05)+Milliseconds(0.2)) +
+		serialization(1500, cfg.AccessMbps)*2 + serialization(1500, cfg.CoreMbps)
+	if got := arrived.Sub(0); got != want {
+		t.Fatalf("cross-pod one-way time = %v, want %v", got, want)
+	}
+	// Core links exist in both directions for every pod pair.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			if m.Core[[2]int{i, j}] == nil {
+				t.Fatalf("missing core link %d -> %d", i, j)
+			}
+		}
+	}
+}
+
+// serialization is the transmit time of size bytes at rateMbps.
+func serialization(size int, rateMbps float64) Duration {
+	return Duration(float64(size*8) / (rateMbps * 1e6) * 1e9)
+}

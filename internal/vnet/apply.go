@@ -28,6 +28,11 @@ const (
 	// OpMigrate moves the VM with MAC from daemon A to daemon B via the
 	// plan's Migrator.
 	OpMigrate
+	// OpSetProxies transitions the overlay to a new proxy-ring membership
+	// (chosen from the proxies built at assembly time): a fresh ring on
+	// every member, hosts re-homed to their new assignments. Undo restores
+	// the previous membership.
+	OpSetProxies
 )
 
 // String names the operation.
@@ -43,6 +48,8 @@ func (op StepOp) String() string {
 		return "remove-rule"
 	case OpMigrate:
 		return "migrate"
+	case OpSetProxies:
+		return "set-proxies"
 	default:
 		return fmt.Sprintf("op(%d)", int(op))
 	}
@@ -55,6 +62,7 @@ type Step struct {
 	Host    string       // rule site
 	NextHop string       // rule next hop
 	MAC     ethernet.MAC // rule destination or migrating VM
+	Proxies []string     // OpSetProxies: the new ring membership
 }
 
 // String renders the step for logs.
@@ -68,6 +76,8 @@ func (s Step) String() string {
 		return fmt.Sprintf("%s at %s: %s", s.Op, s.Host, s.MAC)
 	case OpMigrate:
 		return fmt.Sprintf("%s %s: %s -> %s", s.Op, s.MAC, s.A, s.B)
+	case OpSetProxies:
+		return fmt.Sprintf("%s %v", s.Op, s.Proxies)
 	default:
 		return s.Op.String()
 	}
@@ -206,8 +216,8 @@ func (o *Overlay) applyStep(s Step, mig Migrator) (changed bool, undo func(), er
 		return true, func() { o.DisconnectPair(s.A, s.B) }, nil
 
 	case OpRemoveLink:
-		if s.A == o.Proxy.Daemon.Name() || s.B == o.Proxy.Daemon.Name() {
-			return false, nil, fmt.Errorf("refusing to remove a proxy (star) link")
+		if o.ProxyNode(s.A) != nil || o.ProxyNode(s.B) != nil {
+			return false, nil, fmt.Errorf("refusing to remove a proxy link")
 		}
 		had, err := o.DisconnectPair(s.A, s.B)
 		if err != nil {
@@ -254,7 +264,39 @@ func (o *Overlay) applyStep(s Step, mig Migrator) (changed bool, undo func(), er
 		}
 		return true, func() { mig.Migrate(s.MAC, s.B, s.A) }, nil
 
+	case OpSetProxies:
+		if o.Ring != nil && sameMembers(o.Ring.Members(), s.Proxies) {
+			return false, nil, nil
+		}
+		prev, err := o.SetProxySet(s.Proxies)
+		if err != nil {
+			return false, nil, err
+		}
+		if prev == nil {
+			// No previous ring to restore (star-era overlay): not undoable,
+			// but also unreachable from NewMesh, which always installs one.
+			return true, nil, nil
+		}
+		return true, func() { o.SetProxySet(prev) }, nil
+
 	default:
 		return false, nil, fmt.Errorf("unknown op %v", s.Op)
 	}
+}
+
+// sameMembers reports set equality of two member lists (order-free).
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, m := range a {
+		set[m] = true
+	}
+	for _, m := range b {
+		if !set[m] {
+			return false
+		}
+	}
+	return true
 }

@@ -167,7 +167,7 @@ func TestApplyRecordsPerStepOutcomes(t *testing.T) {
 		if sr.Desc == "" {
 			t.Fatalf("step %d has no description", i)
 		}
-		if sr.Step != plan.Steps[i] {
+		if sr.Step.String() != plan.Steps[i].String() {
 			t.Fatalf("step %d result detached from its step", i)
 		}
 	}
@@ -249,4 +249,93 @@ func TestReporterPushesToView(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatal("reporter never delivered a VTTIF matrix to the proxy view")
+}
+
+// Satellite (ISSUE 7): a plan that spans two proxy shards — a ring
+// transaction plus rules on hosts homed to different shards — fails
+// mid-plan; rollback must restore the ring membership on every member,
+// every host's home assignment, and both shards' rule state.
+func TestApplyRollbackSpansProxyShards(t *testing.T) {
+	hosts := []string{"h1", "h2", "h3", "h4", "h5", "h6"}
+	o, err := NewMesh([]string{"pa", "pb", "pc"}, hosts, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+
+	// Pick two hosts whose home proxies differ, so the plan genuinely
+	// touches two shards.
+	var hA, hB string
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if o.Ring.HomeProxy(a) != o.Ring.HomeProxy(b) {
+				hA, hB = a, b
+			}
+		}
+	}
+	if hA == "" {
+		t.Fatal("all hosts homed to one shard; pick different host names")
+	}
+	origRing := o.Ring
+	origHomeA := o.Node(hA).Daemon.DefaultRoute()
+	origHomeB := o.Node(hB).Daemon.DefaultRoute()
+
+	mac1, mac2 := ethernet.VMMAC(101), ethernet.VMMAC(102)
+	plan := Plan{Steps: []Step{
+		{Op: OpSetProxies, Proxies: []string{"pa", "pb"}},
+		{Op: OpAddRule, Host: hA, NextHop: hB, MAC: mac1},
+		{Op: OpAddRule, Host: hB, NextHop: hA, MAC: mac2},
+		{Op: OpAddRule, Host: "no-such-host", NextHop: hA, MAC: mac1},
+	}}
+	res, err := o.Apply(plan, nil)
+	if err == nil {
+		t.Fatal("plan with unknown host applied cleanly")
+	}
+	if res.Applied != 3 || res.RolledBack != 3 {
+		t.Fatalf("result = %+v, want 3 applied and 3 rolled back", res)
+	}
+	for i, want := range []StepOutcome{StepRolledBack, StepRolledBack, StepRolledBack, StepFailed} {
+		if got := res.Steps[i].Outcome; got != want {
+			t.Fatalf("step %d outcome = %s, want %s", i, got, want)
+		}
+	}
+
+	// Ring membership restored everywhere, on proxies and hosts alike.
+	if o.Ring.Version() != origRing.Version() {
+		t.Fatalf("overlay ring = %v, want original %v", o.Ring.Members(), origRing.Members())
+	}
+	for _, p := range o.Proxies {
+		if r := p.Daemon.Ring(); r == nil || r.Version() != origRing.Version() {
+			t.Fatalf("proxy %s ring not restored", p.Daemon.Name())
+		}
+	}
+	for _, n := range o.Nodes {
+		if r := n.Daemon.Ring(); r == nil || r.Version() != origRing.Version() {
+			t.Fatalf("host %s ring not restored", n.Daemon.Name())
+		}
+	}
+	// Home assignments restored on both shards' hosts.
+	if got := o.Node(hA).Daemon.DefaultRoute(); got != origHomeA {
+		t.Fatalf("%s default route = %q, want %q", hA, got, origHomeA)
+	}
+	if got := o.Node(hB).Daemon.DefaultRoute(); got != origHomeB {
+		t.Fatalf("%s default route = %q, want %q", hB, got, origHomeB)
+	}
+	// Both shards' rule state rolled back.
+	if _, ok := o.Node(hA).Daemon.Rules()[mac1]; ok {
+		t.Fatalf("%s still holds the rolled-back rule", hA)
+	}
+	if _, ok := o.Node(hB).Daemon.Rules()[mac2]; ok {
+		t.Fatalf("%s still holds the rolled-back rule", hB)
+	}
+
+	// The same membership transition applied twice is idempotent: the
+	// second apply skips.
+	ok := Plan{Steps: []Step{{Op: OpSetProxies, Proxies: []string{"pa", "pb"}}}}
+	if res, err := o.Apply(ok, nil); err != nil || res.Applied != 1 {
+		t.Fatalf("shrink apply = %+v, %v", res, err)
+	}
+	if res, err := o.Apply(ok, nil); err != nil || res.Skipped != 1 {
+		t.Fatalf("idempotent re-apply = %+v, %v", res, err)
+	}
 }

@@ -88,6 +88,34 @@ func BenchmarkDaemonTransitRelay(b *testing.B) {
 	}
 }
 
+// BenchmarkDaemonTransitRelayRing measures the transit path when the
+// egress is resolved by the consistent-hash ring rather than a rule or
+// registration — the sharded mesh's steady-state relay toward the proxy
+// owning the destination's slice. The 0-allocs bar applies here too: the
+// ring walk must stay closure-free.
+func BenchmarkDaemonTransitRelayRing(b *testing.B) {
+	d := NewDaemon("self")
+	defer d.Close()
+	members := []string{"p0", "p1", "p2", "p3"}
+	for _, m := range members {
+		benchLink(b, d, m)
+	}
+	d.SetProxyRing(MustNewProxyRing(members, DefaultRingVnodes))
+	in := benchLink(b, d, "prev")
+	dst, src := ethernet.VMMAC(2), ethernet.VMMAC(1)
+	payload := benchFramePayload(b, dst, src, 1400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload[0] = DefaultTTL
+		d.handleMessage(in, msgFrame, payload)
+	}
+	b.StopTimer()
+	if got := d.Stats().FramesForwarded; got != uint64(b.N) {
+		b.Fatalf("forwarded %d of %d", got, b.N)
+	}
+}
+
 // BenchmarkDaemonHandleFrameParallel measures transit relay throughput
 // under goroutine parallelism (one ingress link per worker, shared
 // forwarding table and egress link) — the contention figure for the

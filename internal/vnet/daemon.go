@@ -1,6 +1,7 @@
 package vnet
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
 	"freemeasure/internal/vttif"
 )
@@ -60,11 +62,6 @@ type Daemon struct {
 	// path read it with a single atomic load.
 	fwd atomic.Pointer[fwdTable]
 
-	// Batched bridge learning (see Daemon.learn).
-	learnMu   sync.Mutex
-	learnPend map[ethernet.MAC]string
-	learnBusy bool
-
 	// Wren feed: bounded ring + batch sink, both swapped atomically.
 	ring      atomic.Pointer[feedRing]
 	wrenBatch atomic.Pointer[func([]pcap.Record)]
@@ -79,10 +76,12 @@ type Daemon struct {
 	udpSock *net.UDPConn
 	udp     atomic.Pointer[udpDemux]
 
-	traffic   *vttif.Local
-	onControl ControlHandler
-	onLinkUp  func(peer string)
-	log       *slog.Logger
+	traffic    *vttif.Local
+	onControl  ControlHandler
+	onLinkUp   func(peer string)
+	onLinkDown func(peer string)
+	flight     *obs.FlightRecorder
+	log        *slog.Logger
 
 	cnt daemonCounters
 	met Metrics
@@ -96,7 +95,7 @@ func NewDaemon(name string) *Daemon {
 		name:    name,
 		traffic: vttif.NewLocal(),
 	}
-	d.fwd.Store(&fwdTable{})
+	d.fwd.Store(&fwdTable{self: name, learned: &macTable{}, regs: &macTable{}})
 	d.udp.Store(&udpDemux{})
 	return d
 }
@@ -184,6 +183,24 @@ func (d *Daemon) SetControlHandler(fn ControlHandler) {
 func (d *Daemon) SetLinkUpHandler(fn func(peer string)) {
 	d.mu.Lock()
 	d.onLinkUp = fn
+	d.mu.Unlock()
+}
+
+// SetLinkDownHandler installs a callback fired when a live link is torn
+// down (peer crash, partition, or explicit Disconnect). It runs outside
+// the daemon's control-plane lock, so the handler may call back into the
+// daemon — EnableRingRehome builds on that to shrink the proxy ring.
+func (d *Daemon) SetLinkDownHandler(fn func(peer string)) {
+	d.mu.Lock()
+	d.onLinkDown = fn
+	d.mu.Unlock()
+}
+
+// SetFlight attaches a flight recorder; the daemon records ring swaps and
+// re-home decisions on it. Nil (the default) records nothing.
+func (d *Daemon) SetFlight(fr *obs.FlightRecorder) {
+	d.mu.Lock()
+	d.flight = fr
 	d.mu.Unlock()
 }
 
@@ -347,6 +364,9 @@ func (d *Daemon) registerLink(link *Link) error {
 	if up != nil {
 		up(link.peer)
 	}
+	// A freshly (re)connected peer may own slices of the ring; push it any
+	// registrations it is missing (idempotent on the receiver).
+	d.announceOwnedTo(link.peer)
 	return nil
 }
 
@@ -360,9 +380,20 @@ func (d *Daemon) dropLink(link *Link) {
 	}
 	d.met.LinksClosed.Inc()
 	log := d.log
+	down := d.onLinkDown
+	closed := d.closed
 	d.mu.Unlock()
-	if log != nil && dropped {
+	if !dropped {
+		return
+	}
+	if log != nil {
 		log.Info("link down", "peer", link.peer)
+	}
+	// Fired outside d.mu so the handler can mutate the daemon (re-home,
+	// ring shrink); suppressed during Close — a shutting-down daemon must
+	// not re-home off its own teardown.
+	if down != nil && !closed {
+		down(link.peer)
 	}
 }
 
@@ -415,6 +446,12 @@ func (d *Daemon) handleMessage(link *Link, typ byte, payload []byte) (retained b
 		})
 		return false
 	case msgControl:
+		if bytes.HasPrefix(payload, ringRegPrefix) {
+			// Ring registrations are part of the overlay substrate, handled
+			// natively ahead of the user control handler.
+			d.handleRingReg(link.peer, payload)
+			return false
+		}
 		d.mu.RLock()
 		fn := d.onControl
 		d.mu.RUnlock()
@@ -428,14 +465,18 @@ func (d *Daemon) handleMessage(link *Link, typ byte, payload []byte) (retained b
 }
 
 // AttachVM registers a local VM's virtual interface: frames addressed to
-// mac are delivered through port.
+// mac are delivered through port. With a proxy ring installed the VM's
+// location is also registered with the owning shard.
 func (d *Daemon) AttachVM(mac ethernet.MAC, port VMPort) {
 	d.mutateFwd(func(t *fwdTable) { t.vms[mac] = port })
+	d.announceVM(mac, ringRegAdd)
 }
 
-// DetachVM removes a VM (e.g. after migration away).
+// DetachVM removes a VM (e.g. after migration away) and withdraws its
+// ring registration.
 func (d *Daemon) DetachVM(mac ethernet.MAC) {
 	d.mutateFwd(func(t *fwdTable) { delete(t.vms, mac) })
+	d.announceVM(mac, ringRegRemove)
 }
 
 // AddRule installs an explicit forwarding rule: frames to dst leave via the
@@ -464,11 +505,20 @@ func (d *Daemon) Rules() map[ethernet.MAC]string {
 // approximates where each VM lives.
 func (d *Daemon) Learned() map[ethernet.MAC]string {
 	t := d.fwd.Load()
-	out := make(map[ethernet.MAC]string, len(t.learned))
-	for k, v := range t.learned {
-		out[k] = v
+	if t.learned == nil {
+		return map[ethernet.MAC]string{}
 	}
-	return out
+	return t.learned.snapshot()
+}
+
+// Registrations returns a copy of the ring registrations this daemon
+// holds as an owning proxy: MAC -> the peer daemon hosting it.
+func (d *Daemon) Registrations() map[ethernet.MAC]string {
+	t := d.fwd.Load()
+	if t.regs == nil {
+		return map[ethernet.MAC]string{}
+	}
+	return t.regs.snapshot()
 }
 
 // SetDefaultRoute points unknown destinations at the link to peer — every

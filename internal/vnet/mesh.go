@@ -1,0 +1,389 @@
+package vnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// This file shards the hub. The star overlay (overlay.go) roots every
+// default route at one Proxy; the mesh overlay splits the MAC space
+// across N proxies with the consistent-hash ring (ring.go), links the
+// proxies pairwise, and gives every daemon the same ring so frames go
+// straight to the shard that owns their destination. The ring is the
+// route summary — no node ever learns per-MAC state for MACs it does not
+// own or host; owners learn precise locations only through the
+// registration protocol below.
+
+// Ring-registration protocol: when a daemon attaches a VM whose MAC
+// hashes into another proxy's slice, it pushes a ring-register control
+// message to that owner, which records MAC -> daemon in its striped
+// registration table. The message is ordinary msgControl JSON,
+// recognized by prefix ahead of the user control handler.
+const (
+	ringRegKind   = "ring-register"
+	ringRegAdd    = "add"
+	ringRegRemove = "remove"
+)
+
+// ringRegPrefix cheaply identifies ring registrations among control
+// payloads; ringRegMsg is always marshalled with Kind first.
+var ringRegPrefix = []byte(`{"kind":"ring-register"`)
+
+type ringRegMsg struct {
+	Kind   string   `json:"kind"`
+	Action string   `json:"action"`
+	MACs   []string `json:"macs"` // hex, as in controlMsg
+}
+
+// SetProxyRing installs (or clears, with nil) the proxy ring in the
+// daemon's forwarding snapshot and re-announces local VMs to their
+// owners. Installing a ring with the same membership is a no-op, so
+// transactional re-applies are idempotent.
+func (d *Daemon) SetProxyRing(r *ProxyRing) {
+	d.mu.Lock()
+	prev := d.fwd.Load().ring
+	if prev == r || (prev != nil && r != nil && prev.version == r.version) {
+		d.mu.Unlock()
+		return
+	}
+	d.swapFwdLocked(func(t *fwdTable) { t.ring = r })
+	fl, log := d.flight, d.log
+	d.mu.Unlock()
+	d.ringChanged(prev, r, fl, log, "ring-swap")
+	d.announceAll()
+}
+
+// Ring returns the currently installed proxy ring (nil on a pure star).
+func (d *Daemon) Ring() *ProxyRing { return d.fwd.Load().ring }
+
+// DefaultRoute returns the current default-route peer ("" when unset).
+func (d *Daemon) DefaultRoute() string { return d.fwd.Load().deflt }
+
+// dropRingMember removes peer from the installed ring — the re-home
+// primitive. The read-modify-write runs under d.mu so two concurrent
+// link-down events both land. Returns the shrunk ring, or nil when
+// nothing changed.
+func (d *Daemon) dropRingMember(peer string) *ProxyRing {
+	d.mu.Lock()
+	prev := d.fwd.Load().ring
+	if prev == nil {
+		d.mu.Unlock()
+		return nil
+	}
+	next := prev.Without(peer)
+	if next == nil {
+		d.mu.Unlock()
+		return nil
+	}
+	d.swapFwdLocked(func(t *fwdTable) { t.ring = next })
+	fl, log := d.flight, d.log
+	d.mu.Unlock()
+	d.ringChanged(prev, next, fl, log, "ring-shrink")
+	d.announceAll()
+	return next
+}
+
+// ringChanged emits the metrics, flight event, and log line for a ring
+// transition.
+func (d *Daemon) ringChanged(prev, cur *ProxyRing, fl *obs.FlightRecorder, log *slog.Logger, event string) {
+	if prev != nil {
+		d.met.RingRebalances.Inc()
+	}
+	d.met.setRingGauges(prev, cur)
+	var members []string
+	var version uint64
+	if cur != nil {
+		members = cur.Members()
+		version = cur.version
+	}
+	fl.Record(obs.Event{
+		Component: "vnet", Host: d.name, Name: event,
+		Attrs: map[string]any{
+			"members": append([]string(nil), members...),
+			"version": fmt.Sprintf("%016x", version),
+		},
+	})
+	if log != nil {
+		log.Info(event, "members", len(members), "version", fmt.Sprintf("%016x", version))
+	}
+}
+
+// announceAll (re)registers every local VM with its owning proxy,
+// batching one message per owner. Best-effort: owners without a live
+// link yet get the registrations when the link comes up
+// (announceOwnedTo).
+func (d *Daemon) announceAll() {
+	t := d.fwd.Load()
+	if t.ring == nil || len(t.vms) == 0 {
+		return
+	}
+	byOwner := make(map[string][]string)
+	for mac := range t.vms {
+		owner := t.ring.Owner(mac)
+		if owner == d.name {
+			continue
+		}
+		byOwner[owner] = append(byOwner[owner], macToHex(mac))
+	}
+	for owner, macs := range byOwner {
+		d.sendRingReg(owner, ringRegAdd, macs)
+	}
+}
+
+// announceVM registers or withdraws one VM with its owner.
+func (d *Daemon) announceVM(mac ethernet.MAC, action string) {
+	t := d.fwd.Load()
+	if t.ring == nil {
+		return
+	}
+	owner := t.ring.Owner(mac)
+	if owner == d.name {
+		return
+	}
+	d.sendRingReg(owner, action, []string{macToHex(mac)})
+}
+
+// announceOwnedTo pushes the registrations a specific peer owns — the
+// link-up catch-up for registrations announceAll/announceVM could not
+// deliver, and the re-learn half of re-home (the successor that
+// inherited a dead proxy's slice gets the locations as soon as the ring
+// shrinks, because announceAll targets it).
+func (d *Daemon) announceOwnedTo(peer string) {
+	t := d.fwd.Load()
+	if t.ring == nil || len(t.vms) == 0 || !t.ring.Contains(peer) {
+		return
+	}
+	var macs []string
+	for mac := range t.vms {
+		if t.ring.Owner(mac) == peer {
+			macs = append(macs, macToHex(mac))
+		}
+	}
+	if len(macs) > 0 {
+		d.sendRingReg(peer, ringRegAdd, macs)
+	}
+}
+
+// sendRingReg marshals and pushes one registration message; errors are
+// dropped by design (no link yet — the link-up hook re-announces).
+func (d *Daemon) sendRingReg(owner, action string, macs []string) {
+	sort.Strings(macs) // deterministic wire form, for replayable chaos runs
+	raw, err := json.Marshal(ringRegMsg{Kind: ringRegKind, Action: action, MACs: macs})
+	if err != nil {
+		return
+	}
+	_ = d.SendControl(owner, raw)
+}
+
+// handleRingReg applies a registration push to the striped table. The
+// table is shared across forwarding snapshots, so no snapshot swap
+// happens — a registration burst at an owner never stalls its data
+// plane.
+func (d *Daemon) handleRingReg(fromPeer string, payload []byte) {
+	var msg ringRegMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return
+	}
+	t := d.fwd.Load()
+	if t.regs == nil {
+		return
+	}
+	n := 0
+	for _, h := range msg.MACs {
+		mac, err := hexToMAC(h)
+		if err != nil {
+			continue
+		}
+		switch msg.Action {
+		case ringRegAdd:
+			t.regs.set(mac, fromPeer)
+			n++
+		case ringRegRemove:
+			t.regs.removeIf(mac, fromPeer)
+			n++
+		}
+	}
+	if n > 0 {
+		d.met.RingRegistrations.Add(uint64(n))
+	}
+}
+
+// EnableRingRehome installs the proxy-loss policy as the daemon's
+// link-down handler: when a ring member's link dies, drop it from the
+// local ring (consistent hashing re-homes only the dead member's slices,
+// and announceAll re-registers local VMs with the inheriting
+// successors), and when the dead member was this daemon's home proxy,
+// re-home the default route to the shrunk ring's assignment. onRehome,
+// when non-nil, observes home-proxy changes (tests and vnetd logging).
+func (d *Daemon) EnableRingRehome(onRehome func(dead, newHome string)) {
+	d.SetLinkDownHandler(func(peer string) {
+		next := d.dropRingMember(peer)
+		if next == nil {
+			return
+		}
+		if d.DefaultRoute() == peer {
+			home := next.HomeProxy(d.name)
+			d.SetDefaultRoute(home)
+			d.mu.RLock()
+			fl := d.flight
+			d.mu.RUnlock()
+			fl.Record(obs.Event{
+				Component: "vnet", Host: d.name, Name: "re-home",
+				Attrs: map[string]any{"dead": peer, "home": home},
+			})
+			if onRehome != nil {
+				onRehome(peer, home)
+			}
+		}
+	})
+}
+
+// NewMesh builds and starts a sharded overlay: len(proxyNames) proxies,
+// each with its own shard GlobalView, linked pairwise into a full mesh;
+// one daemon per host name, linked to every proxy, sharing one
+// consistent-hash ring; every daemon's default route is its home proxy
+// (HomeProxy on the same ring), and re-home-on-proxy-loss is armed
+// everywhere. A one-proxy mesh degenerates to the star.
+func NewMesh(proxyNames, hostNames []string, vttifCfg vttif.Config, wrenCfg wren.Config) (*Overlay, error) {
+	ring, err := NewProxyRing(proxyNames, 0)
+	if err != nil {
+		return nil, err
+	}
+	o := &Overlay{stopCh: make(chan struct{}), Ring: ring}
+	mk := func(name string) (*Node, error) {
+		d := NewDaemon(name)
+		addr, err := d.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		m := wren.NewMonitor(name, wrenCfg)
+		d.SetWrenBatchFeed(m.FeedAll)
+		return &Node{Daemon: d, Wren: m, addr: addr}, nil
+	}
+	for _, name := range proxyNames {
+		p, err := mk(name)
+		if err != nil {
+			o.Close()
+			return nil, err
+		}
+		v := NewGlobalView(vttifCfg)
+		p.Daemon.SetControlHandler(v.HandleControl)
+		o.Proxies = append(o.Proxies, p)
+		o.Views = append(o.Views, v)
+	}
+	o.Proxy, o.View = o.Proxies[0], o.Views[0]
+	// Proxy full mesh: every proxy can reach every shard directly.
+	for i, a := range o.Proxies {
+		for _, b := range o.Proxies[i+1:] {
+			if _, err := a.Daemon.Connect(b.addr); err != nil {
+				o.Close()
+				return nil, err
+			}
+		}
+	}
+	for _, p := range o.Proxies {
+		p.Daemon.SetProxyRing(ring)
+		p.Daemon.EnableRingRehome(nil)
+	}
+	for _, name := range hostNames {
+		n, err := mk(name)
+		if err != nil {
+			o.Close()
+			return nil, err
+		}
+		o.Nodes = append(o.Nodes, n)
+		for _, p := range o.Proxies {
+			if _, err := n.Daemon.Connect(p.addr); err != nil {
+				o.Close()
+				return nil, err
+			}
+		}
+		n.Daemon.SetProxyRing(ring)
+		n.Daemon.SetDefaultRoute(ring.HomeProxy(name))
+		n.Daemon.EnableRingRehome(nil)
+	}
+	return o, nil
+}
+
+// ProxyNode returns the named proxy (nil if unknown).
+func (o *Overlay) ProxyNode(name string) *Node {
+	for _, p := range o.Proxies {
+		if p.Daemon.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Member returns the named node, proxy or host (nil if unknown).
+func (o *Overlay) Member(name string) *Node {
+	if n := o.Node(name); n != nil {
+		return n
+	}
+	return o.ProxyNode(name)
+}
+
+// SetProxySet transitions the overlay to a new proxy membership chosen
+// from the proxies built at NewMesh time: a fresh ring over names is
+// installed on every member and every host's default route follows its
+// new home assignment. It is the engine behind the OpSetProxies plan
+// step and returns the previous member list for the step's undo.
+func (o *Overlay) SetProxySet(names []string) ([]string, error) {
+	for _, name := range names {
+		if o.ProxyNode(name) == nil {
+			return nil, fmt.Errorf("vnet: unknown proxy %q", name)
+		}
+	}
+	ring, err := NewProxyRing(names, 0)
+	if err != nil {
+		return nil, err
+	}
+	var prev []string
+	if o.Ring != nil {
+		prev = append(prev, o.Ring.Members()...)
+	}
+	o.Ring = ring
+	for _, p := range o.Proxies {
+		p.Daemon.SetProxyRing(ring)
+	}
+	for _, n := range o.Nodes {
+		n.Daemon.SetProxyRing(ring)
+		n.Daemon.SetDefaultRoute(ring.HomeProxy(n.Daemon.Name()))
+	}
+	return prev, nil
+}
+
+// ShardViews pairs each proxy name with its shard view, for control-plane
+// aggregation (control.ViewSource.Shards).
+func (o *Overlay) ShardViews() map[string]*GlobalView {
+	out := make(map[string]*GlobalView, len(o.Views))
+	for i, p := range o.Proxies {
+		if i < len(o.Views) {
+			out[p.Daemon.Name()] = o.Views[i]
+		}
+	}
+	return out
+}
+
+// proxySelfMeasure folds one proxy's own Wren observations into its shard
+// view (it has no link to push reports through).
+func proxySelfMeasure(p *Node, v *GlobalView) {
+	p.Wren.Poll()
+	name := p.Daemon.Name()
+	for _, remote := range p.Wren.Remotes() {
+		est, bwOK := p.Wren.AvailableBandwidth(remote)
+		lat, latOK := p.Wren.Latency(remote)
+		v.SetPath(name, remote, PathMeasurement{
+			Mbps: est.Mbps, Kind: est.Kind.String(), Quality: est.Quality,
+			BWFound: bwOK, LatencyMs: lat, LatFound: latOK, UpdatedAt: time.Now(),
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package vnet_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+func newTestMesh(t *testing.T, proxies, hosts []string) *vnet.Overlay {
+	t.Helper()
+	o, err := vnet.NewMesh(proxies, hosts, vttif.Config{}, wren.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+	return o
+}
+
+// A frame to an unknown-to-the-sender destination must transit exactly
+// the proxy that owns the destination's hash slice — the sharded
+// replacement for "everything through the one hub".
+func TestMeshRoutesViaOwningShard(t *testing.T) {
+	o := newTestMesh(t, []string{"pa", "pb", "pc"}, []string{"h1", "h2"})
+	h1, h2 := o.Node("h1").Daemon, o.Node("h2").Daemon
+
+	var delivered atomic.Uint64
+	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	h1.AttachVM(vm1, func(*ethernet.Frame) {})
+	h2.AttachVM(vm2, func(*ethernet.Frame) { delivered.Add(1) })
+
+	owner := o.Ring.Owner(vm2)
+	ownerD := o.ProxyNode(owner).Daemon
+	waitCond(t, "owner learns vm2's registration", func() bool {
+		return ownerD.Registrations()[vm2] == "h2"
+	})
+	// Route summarization: only the owner holds per-MAC state for vm2.
+	for _, p := range o.Proxies {
+		if p.Daemon.Name() == owner {
+			continue
+		}
+		if _, ok := p.Daemon.Registrations()[vm2]; ok {
+			t.Fatalf("non-owner %s holds a registration for vm2", p.Daemon.Name())
+		}
+	}
+
+	const frames = 30
+	for i := 0; i < frames; i++ {
+		h1.InjectFrame(appFrame(vm2, vm1, 256))
+	}
+	waitCond(t, "delivery via owning shard", func() bool { return delivered.Load() >= frames })
+	if fwd := ownerD.Stats().FramesForwarded; fwd < frames {
+		t.Fatalf("owner %s forwarded %d, want >= %d", owner, fwd, frames)
+	}
+	for _, p := range o.Proxies {
+		if p.Daemon.Name() == owner {
+			continue
+		}
+		if fwd := p.Daemon.Stats().FramesForwarded; fwd != 0 {
+			t.Fatalf("non-owner %s relayed %d frames; inter-shard traffic must transit the owner only", p.Daemon.Name(), fwd)
+		}
+	}
+}
+
+// Satellite regression (ISSUE 7): a dead *owning* proxy. The old
+// dead-peer fallthrough fell back to the single default route by name;
+// ring-aware fallback must instead walk to the owner's clockwise
+// successor, and once re-home shrinks the ring the successor owns the
+// slice outright and receives the re-announced registrations.
+func TestMeshDeadOwningProxyFallsBackRingAware(t *testing.T) {
+	o := newTestMesh(t, []string{"pa", "pb", "pc"}, []string{"h1", "h2"})
+	h1, h2 := o.Node("h1").Daemon, o.Node("h2").Daemon
+
+	var delivered atomic.Uint64
+	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	h1.AttachVM(vm1, func(*ethernet.Frame) {})
+	h2.AttachVM(vm2, func(*ethernet.Frame) { delivered.Add(1) })
+
+	owner := o.Ring.Owner(vm2)
+	waitCond(t, "owner learns vm2's registration", func() bool {
+		return o.ProxyNode(owner).Daemon.Registrations()[vm2] == "h2"
+	})
+
+	o.ProxyNode(owner).Daemon.Close()
+	waitCond(t, "hosts drop the dead owner from their ring", func() bool {
+		r1, r2 := h1.Ring(), h2.Ring()
+		return r1 != nil && !r1.Contains(owner) && r2 != nil && !r2.Contains(owner)
+	})
+	newOwner := h1.Ring().Owner(vm2)
+	if newOwner == owner {
+		t.Fatalf("slice did not re-home off dead owner %s", owner)
+	}
+	waitCond(t, "successor owner learns the re-announced registration", func() bool {
+		return o.ProxyNode(newOwner).Daemon.Registrations()[vm2] == "h2"
+	})
+
+	before := delivered.Load()
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		h1.InjectFrame(appFrame(vm2, vm1, 256))
+	}
+	waitCond(t, "delivery after owner death", func() bool { return delivered.Load() >= before+frames })
+}
+
+// Re-home: when a host's home proxy (its default route) dies, the default
+// route must follow the shrunk ring's assignment, and surviving proxies
+// must drop the dead member too.
+func TestMeshRehomesDefaultRouteOnHomeProxyLoss(t *testing.T) {
+	o := newTestMesh(t, []string{"pa", "pb", "pc"}, []string{"h1"})
+	h1 := o.Node("h1").Daemon
+	home := h1.DefaultRoute()
+	if home == "" || home != o.Ring.HomeProxy("h1") {
+		t.Fatalf("initial default route %q, want ring home %q", home, o.Ring.HomeProxy("h1"))
+	}
+
+	o.ProxyNode(home).Daemon.Close()
+	waitCond(t, "default route re-homes", func() bool { return h1.DefaultRoute() != home })
+	shrunk := h1.Ring()
+	if want := shrunk.HomeProxy("h1"); h1.DefaultRoute() != want {
+		t.Fatalf("re-homed to %q, want shrunk ring's %q", h1.DefaultRoute(), want)
+	}
+	for _, p := range o.Proxies {
+		if p.Daemon.Name() == home {
+			continue
+		}
+		d := p.Daemon
+		waitCond(t, "surviving proxy shrinks its ring", func() bool {
+			r := d.Ring()
+			return r != nil && !r.Contains(home)
+		})
+	}
+}
+
+// A Reporter with an empty Peer follows the daemon's live default
+// route: before a crash its reports land in the home proxy's shard
+// view, and after re-home they land at the new home — not in a dead
+// letter queue at the old one.
+func TestMeshReporterFollowsRehome(t *testing.T) {
+	o := newTestMesh(t, []string{"pa", "pb", "pc"}, []string{"h1"})
+	h1 := o.Node("h1").Daemon
+	home := h1.DefaultRoute()
+	viewOf := func(proxy string) *vnet.GlobalView {
+		for i, p := range o.Proxies {
+			if p.Daemon.Name() == proxy {
+				return o.Views[i]
+			}
+		}
+		t.Fatalf("no view for %q", proxy)
+		return nil
+	}
+
+	vmA, vmB := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	h1.AttachVM(vmA, func(*ethernet.Frame) {})
+	rep := vnet.NewReporter(vnet.Reporting{Daemon: h1}, 50*time.Millisecond)
+	h1.InjectFrame(appFrame(vmB, vmA, 512))
+	rep.ReportOnce()
+	waitCond(t, "report reaches the home proxy's view", func() bool {
+		return len(viewOf(home).Agg.Rates()) > 0
+	})
+
+	o.ProxyNode(home).Daemon.Close()
+	waitCond(t, "default route re-homes", func() bool { return h1.DefaultRoute() != home })
+	newHome := h1.DefaultRoute()
+	waitCond(t, "report follows the re-home", func() bool {
+		h1.InjectFrame(appFrame(vmB, vmA, 512))
+		rep.ReportOnce()
+		return len(viewOf(newHome).Agg.Rates()) > 0
+	})
+}
+
+// DetachVM must withdraw the registration at the owner, and a stale
+// remove must not clobber a newer attach elsewhere (guarded removal).
+func TestMeshDetachWithdrawsRegistration(t *testing.T) {
+	o := newTestMesh(t, []string{"pa", "pb"}, []string{"h1", "h2"})
+	h1 := o.Node("h1").Daemon
+	vm := ethernet.VMMAC(9)
+	h1.AttachVM(vm, func(*ethernet.Frame) {})
+	owner := o.Ring.Owner(vm)
+	ownerD := o.ProxyNode(owner).Daemon
+	waitCond(t, "registration lands", func() bool { return ownerD.Registrations()[vm] == "h1" })
+
+	// VM migrates h1 -> h2: the new attach must survive h1's withdraw
+	// regardless of arrival order at the owner.
+	o.Node("h2").Daemon.AttachVM(vm, func(*ethernet.Frame) {})
+	waitCond(t, "migrated registration lands", func() bool { return ownerD.Registrations()[vm] == "h2" })
+	h1.DetachVM(vm)
+	waitCond(t, "stale withdraw ignored", func() bool { return ownerD.Registrations()[vm] == "h2" })
+
+	o.Node("h2").Daemon.DetachVM(vm)
+	waitCond(t, "registration withdrawn", func() bool {
+		_, ok := ownerD.Registrations()[vm]
+		return !ok
+	})
+}
+
+// A one-proxy mesh degenerates to the star: the single member owns the
+// whole circle and every host homes to it.
+func TestMeshSingleProxyDegeneratesToStar(t *testing.T) {
+	o := newTestMesh(t, []string{"hub"}, []string{"h1", "h2"})
+	if got := o.Ring.Share("hub"); got < 0.999 {
+		t.Fatalf("single member owns %.4f of the circle", got)
+	}
+	for _, n := range o.Nodes {
+		if n.Daemon.DefaultRoute() != "hub" {
+			t.Fatalf("%s homes to %q", n.Daemon.Name(), n.Daemon.DefaultRoute())
+		}
+	}
+	var delivered atomic.Uint64
+	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	o.Node("h1").Daemon.AttachVM(vm1, func(*ethernet.Frame) {})
+	o.Node("h2").Daemon.AttachVM(vm2, func(*ethernet.Frame) { delivered.Add(1) })
+	waitCond(t, "hub learns vm2", func() bool {
+		return o.Proxy.Daemon.Registrations()[vm2] == "h2"
+	})
+	o.Node("h1").Daemon.InjectFrame(appFrame(vm2, vm1, 64))
+	waitCond(t, "delivery through the hub", func() bool { return delivered.Load() >= 1 })
+}

@@ -27,6 +27,9 @@ type Metrics struct {
 	UDPMalformed    *obs.Counter // vnet_udp_malformed_total
 	SnapshotSwaps   *obs.Counter // vnet_fwd_snapshot_swaps_total
 	WrenFeedDropped *obs.Counter // wren_feed_ring_dropped_total
+
+	RingRebalances    *obs.Counter // vnet_proxy_ring_rebalances_total
+	RingRegistrations *obs.Counter // vnet_proxy_ring_registrations_total
 }
 
 // NewMetrics registers the daemon metrics on reg (a nil reg yields the
@@ -65,7 +68,40 @@ func NewMetrics(reg *obs.Registry) Metrics {
 			"Forwarding-snapshot installs (control-plane mutations and batched learning applies)."),
 		WrenFeedDropped: reg.Counter("wren_feed_ring_dropped_total",
 			"Capture records evicted from the Wren feed ring because the analyzer fell behind."),
+		RingRebalances: reg.Counter("vnet_proxy_ring_rebalances_total",
+			"Proxy-ring membership changes applied to the forwarding snapshot (re-homes and proxy-set transactions)."),
+		RingRegistrations: reg.Counter("vnet_proxy_ring_registrations_total",
+			"Ring registration entries applied at this daemon as a slice owner (adds and removes)."),
 	}
+}
+
+// setRingGauges publishes the per-shard ownership shares after a ring
+// transition: each current member's fraction of the hash circle, and a
+// zero for members that just left (so a dead proxy's share visibly drops
+// on dashboards instead of going stale). Also maintains the member-count
+// gauge.
+func (m Metrics) setRingGauges(prev, cur *ProxyRing) {
+	if m.reg == nil {
+		return
+	}
+	const shareName = "vnet_proxy_ring_ownership_share"
+	const shareHelp = "Fraction of the MAC hash circle owned by each proxy-ring member."
+	members := 0
+	if cur != nil {
+		members = cur.Len()
+		for _, p := range cur.Members() {
+			m.reg.Gauge(shareName, shareHelp, "member", p).Set(cur.Share(p))
+		}
+	}
+	if prev != nil {
+		for _, p := range prev.Members() {
+			if cur == nil || !cur.Contains(p) {
+				m.reg.Gauge(shareName, shareHelp, "member", p).Set(0)
+			}
+		}
+	}
+	m.reg.Gauge("vnet_proxy_ring_members",
+		"Current proxy-ring member count (0 when no ring is installed).").Set(float64(members))
 }
 
 // linkCounters mints the per-peer frames/bytes series for a new link.

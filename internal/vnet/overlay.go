@@ -154,11 +154,17 @@ type Node struct {
 // Addr returns the daemon's listen address.
 func (n *Node) Addr() string { return n.addr }
 
-// Overlay is a running star overlay on localhost.
+// Overlay is a running overlay on localhost: the classic star (NewStar,
+// one proxy) or the sharded mesh (NewMesh, N proxies on a consistent-hash
+// ring). Proxy/View always alias Proxies[0]/Views[0] so star-era callers
+// keep working.
 type Overlay struct {
 	Proxy     *Node
-	Nodes     []*Node // host daemons (excludes the proxy)
+	Proxies   []*Node // all proxy shards; [0] == Proxy
+	Nodes     []*Node // host daemons (excludes the proxies)
 	View      *GlobalView
+	Views     []*GlobalView // per-shard views; [0] == View
+	Ring      *ProxyRing    // nil on a pure star
 	stopCh    chan struct{}
 	stopOnce  sync.Once
 	reporters sync.WaitGroup
@@ -185,6 +191,8 @@ func NewStar(names []string, vttifCfg vttif.Config, wrenCfg wren.Config) (*Overl
 	}
 	proxy.Daemon.SetControlHandler(o.View.HandleControl)
 	o.Proxy = proxy
+	o.Proxies = []*Node{proxy}
+	o.Views = []*GlobalView{o.View}
 	for _, name := range names {
 		n, err := mk(name)
 		if err != nil {
@@ -254,10 +262,11 @@ func (o *Overlay) ConnectPairUDP(a, b string) error {
 	return err
 }
 
-// StartReporting launches each node's periodic control pushes to the
-// Proxy: the VTTIF local matrix and the local Wren measurements, every
-// interval. It also polls each Wren monitor, including the Proxy's own
-// (which sees the proxy->host legs of every star path).
+// StartReporting launches each node's periodic control pushes to its
+// home proxy (the star's single Proxy, or the ring assignment in a
+// mesh): the VTTIF local matrix and the local Wren measurements, every
+// interval. It also polls each proxy's own Wren monitor into its shard
+// view (a proxy sees the proxy->host legs of every path through it).
 func (o *Overlay) StartReporting(interval time.Duration) {
 	for _, n := range o.Nodes {
 		n := n
@@ -277,32 +286,33 @@ func (o *Overlay) StartReporting(interval time.Duration) {
 			}
 		}()
 	}
-	o.reporters.Add(1)
-	go func() {
-		defer o.reporters.Done()
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-o.stopCh:
-				return
-			case <-ticker.C:
-				o.Proxy.Wren.Poll()
-				for _, remote := range o.Proxy.Wren.Remotes() {
-					est, bwOK := o.Proxy.Wren.AvailableBandwidth(remote)
-					lat, latOK := o.Proxy.Wren.Latency(remote)
-					o.View.SetPath("proxy", remote, PathMeasurement{
-						Mbps: est.Mbps, Kind: est.Kind.String(), Quality: est.Quality,
-						BWFound: bwOK, LatencyMs: lat, LatFound: latOK, UpdatedAt: time.Now(),
-					})
+	for i, p := range o.Proxies {
+		p, v := p, o.Views[i]
+		o.reporters.Add(1)
+		go func() {
+			defer o.reporters.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-o.stopCh:
+					return
+				case <-ticker.C:
+					proxySelfMeasure(p, v)
 				}
 			}
-		}
-	}()
+		}()
+	}
 }
 
 func (o *Overlay) pushReports(n *Node, intervalSec float64) {
-	pushReports(&Reporting{Daemon: n.Daemon, Wren: n.Wren, Peer: "proxy"}, intervalSec)
+	// The home proxy follows the default route, so reports land on the
+	// shard that survives a re-home.
+	peer := n.Daemon.DefaultRoute()
+	if peer == "" {
+		peer = "proxy"
+	}
+	pushReports(&Reporting{Daemon: n.Daemon, Wren: n.Wren, Peer: peer}, intervalSec)
 }
 
 // Close stops reporting and shuts every daemon down.
@@ -312,7 +322,7 @@ func (o *Overlay) Close() {
 	for _, n := range o.Nodes {
 		n.Daemon.Close()
 	}
-	if o.Proxy != nil {
-		o.Proxy.Daemon.Close()
+	for _, p := range o.Proxies {
+		p.Daemon.Close()
 	}
 }

@@ -23,11 +23,21 @@ type Reporter struct {
 
 // Reporting bundles what a report cycle needs: the daemon whose traffic
 // matrix to snapshot, the Wren monitor to poll, and the control peer to
-// push to.
+// push to. An empty Peer follows the daemon's current default route at
+// every push — on a proxy ring that is the home proxy, so reports chase
+// a re-home instead of dead-lettering at a crashed hub.
 type Reporting struct {
 	Daemon *Daemon
 	Wren   *wren.Monitor
 	Peer   string
+}
+
+// peer resolves the push target for one cycle.
+func (r *Reporting) peer() string {
+	if r.Peer != "" {
+		return r.Peer
+	}
+	return r.Daemon.DefaultRoute()
 }
 
 // NewReporter builds a stopped reporter; call Start to begin pushing.
@@ -72,6 +82,10 @@ func (r *Reporter) Stop() {
 // pushReports sends the daemon's VTTIF local matrix and its Wren
 // measurements to the control peer as two controlMsg pushes.
 func pushReports(rep *Reporting, intervalSec float64) {
+	peer := rep.peer()
+	if peer == "" {
+		return
+	}
 	// VTTIF local matrix.
 	local := rep.Daemon.Traffic().Snapshot()
 	if len(local) > 0 {
@@ -80,7 +94,7 @@ func pushReports(rep *Reporting, intervalSec float64) {
 			msg.Pairs = append(msg.Pairs, pairBytes{Src: macToHex(p.Src), Dst: macToHex(p.Dst), Bytes: b})
 		}
 		if raw, err := json.Marshal(msg); err == nil {
-			rep.Daemon.SendControl(rep.Peer, raw)
+			rep.Daemon.SendControl(peer, raw)
 		}
 	}
 	// Wren measurements toward every measured remote.
@@ -101,6 +115,6 @@ func pushReports(rep *Reporting, intervalSec float64) {
 		})
 	}
 	if raw, err := json.Marshal(msg); err == nil {
-		rep.Daemon.SendControl(rep.Peer, raw)
+		rep.Daemon.SendControl(peer, raw)
 	}
 }

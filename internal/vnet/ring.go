@@ -1,0 +1,249 @@
+package vnet
+
+import (
+	"fmt"
+	"sort"
+
+	"freemeasure/internal/ethernet"
+)
+
+// This file implements the sharded control plane's ownership structure: a
+// consistent-hash ring over the MAC space, shared by every daemon in a
+// multi-proxy overlay. The ring IS the inter-proxy route summary — each
+// proxy implicitly advertises "I own these hash slices" through the
+// deterministic ring membership, so any daemon can route a frame toward
+// the proxy responsible for its destination without anyone distributing
+// per-MAC state. Only the owning proxy holds precise per-MAC locations
+// (the registrations pushed by the daemons hosting those MACs), which
+// keeps every node's exact state at O(owned MACs), not O(all MACs).
+
+// DefaultRingVnodes is the virtual-node count per proxy used when
+// NewProxyRing is given a non-positive one. With ~64 points per member
+// the largest slice a proxy owns stays well under 2x its fair share,
+// which is what the scale scenario's per-proxy transit bound leans on.
+const DefaultRingVnodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle and
+// the index of the member that owns the arc ending there.
+type ringPoint struct {
+	hash   uint64
+	member int32
+}
+
+// ProxyRing is an immutable consistent-hash ring over the proxy set.
+// Daemons publish it inside their forwarding snapshots (Daemon.
+// SetProxyRing), so the per-frame owner lookup is lock-free and
+// allocation-free. Every participant derives the same ring from the same
+// member list — agreement needs no protocol beyond agreeing on the list.
+type ProxyRing struct {
+	members []string // sorted, unique
+	points  []ringPoint
+	vnodes  int
+	version uint64 // hash of the membership, for change detection
+}
+
+// mix64 is the 64-bit avalanche finalizer (MurmurHash3's fmix64). Plain
+// FNV-1a barely diffuses trailing-byte differences — sequential VM MACs
+// would land in one narrow band of the circle and a single proxy would
+// own them all — so every circle position passes through this.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// fnv64 is finalized FNV-1a over b; it is the ring's only hash primitive,
+// chosen because it is allocation-free and stable across processes and
+// runs.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// macPoint hashes a MAC onto the circle.
+func macPoint(mac ethernet.MAC) uint64 { return fnv64(mac[:]) }
+
+// namePoint hashes an arbitrary name (a daemon, for home assignment) onto
+// the circle.
+func namePoint(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// NewProxyRing builds a ring over the given proxy names with `vnodes`
+// virtual nodes per member (DefaultRingVnodes when <= 0). Names must be
+// non-empty and unique; order does not matter — any permutation yields an
+// identical ring.
+func NewProxyRing(proxies []string, vnodes int) (*ProxyRing, error) {
+	if len(proxies) == 0 {
+		return nil, fmt.Errorf("vnet: proxy ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultRingVnodes
+	}
+	members := append([]string(nil), proxies...)
+	sort.Strings(members)
+	for i, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("vnet: proxy ring member name is empty")
+		}
+		if i > 0 && members[i-1] == m {
+			return nil, fmt.Errorf("vnet: duplicate proxy ring member %q", m)
+		}
+	}
+	r := &ProxyRing{
+		members: members,
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+		vnodes:  vnodes,
+	}
+	var buf [64]byte
+	for mi, m := range members {
+		for v := 0; v < vnodes; v++ {
+			b := append(buf[:0], m...)
+			b = append(b, '#', byte(v), byte(v>>8))
+			r.points = append(r.points, ringPoint{hash: fnv64(b), member: int32(mi)})
+		}
+		r.version = r.version*1099511628211 ^ namePoint(m)
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// MustNewProxyRing is NewProxyRing for static member lists; it panics on
+// the errors only a programming mistake can produce.
+func MustNewProxyRing(proxies []string, vnodes int) *ProxyRing {
+	r, err := NewProxyRing(proxies, vnodes)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Members returns the sorted member names (the caller must not modify the
+// slice).
+func (r *ProxyRing) Members() []string { return r.members }
+
+// Len returns the member count.
+func (r *ProxyRing) Len() int { return len(r.members) }
+
+// Version identifies the membership; two rings over the same member set
+// have the same version.
+func (r *ProxyRing) Version() uint64 { return r.version }
+
+// Contains reports whether name is a ring member.
+func (r *ProxyRing) Contains(name string) bool {
+	i := sort.SearchStrings(r.members, name)
+	return i < len(r.members) && r.members[i] == name
+}
+
+// succ returns the index of the first ring point at or after h, wrapping.
+func (r *ProxyRing) succ(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// ownerAt resolves the circle position h to its owning member.
+func (r *ProxyRing) ownerAt(h uint64) string {
+	return r.members[r.points[r.succ(h)].member]
+}
+
+// Owner returns the proxy that owns mac's hash slice.
+func (r *ProxyRing) Owner(mac ethernet.MAC) string { return r.ownerAt(macPoint(mac)) }
+
+// HomeProxy assigns a daemon its home proxy — the shard it reports its
+// VTTIF/Wren state to and uses as the default route. The assignment uses
+// the same circle as MAC ownership, so it inherits the balance and the
+// minimal-movement property on membership change.
+func (r *ProxyRing) HomeProxy(daemon string) string { return r.ownerAt(namePoint(daemon)) }
+
+// Without returns a ring over the members minus name (nil when name was
+// the last member or not a member and the ring is unchanged — callers
+// treat nil as "nothing to re-home to"). Consistent hashing guarantees
+// only the slices the removed member owned change hands.
+func (r *ProxyRing) Without(name string) *ProxyRing {
+	if !r.Contains(name) || len(r.members) == 1 {
+		return nil
+	}
+	rest := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != name {
+			rest = append(rest, m)
+		}
+	}
+	return MustNewProxyRing(rest, r.vnodes)
+}
+
+// Share returns the fraction of the hash circle the member owns — the
+// expected share of ring-routed (inter-shard) traffic that transits it.
+func (r *ProxyRing) Share(member string) float64 {
+	mi := int32(sort.SearchStrings(r.members, member))
+	if int(mi) >= len(r.members) || r.members[mi] != member {
+		return 0
+	}
+	var owned float64 // float accumulator: a sole member's arcs sum to 2^64, which wraps a uint64 to 0
+	for i, p := range r.points {
+		if p.member != mi {
+			continue
+		}
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		// Arc (prev, p.hash], wrapping at the top of the circle.
+		owned += float64(p.hash - prev) // uint64 subtraction handles the wrap arc
+	}
+	return owned / float64(^uint64(0))
+}
+
+// RingArc is one contiguous slice of the hash circle in a route summary:
+// the arc (Start, End] belongs to Owner. This is what a proxy "advertises"
+// — a handful of arcs instead of one entry per MAC.
+type RingArc struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	Owner string `json:"owner"`
+}
+
+// Summary renders the ring as merged contiguous arcs, ordered around the
+// circle — the hierarchical route summarization view shown on
+// /debug/state and asserted on in tests. len(Summary()) <= members*vnodes
+// and is typically far smaller after merging adjacent same-owner arcs.
+func (r *ProxyRing) Summary() []RingArc {
+	if len(r.points) == 0 {
+		return nil
+	}
+	var arcs []RingArc
+	start := r.points[len(r.points)-1].hash // arc preceding points[0]
+	cur := RingArc{Start: start, Owner: r.members[r.points[0].member]}
+	for i, p := range r.points {
+		owner := r.members[p.member]
+		if owner != cur.Owner {
+			arcs = append(arcs, cur)
+			cur = RingArc{Start: r.points[i-1].hash, Owner: owner}
+		}
+		cur.End = p.hash
+	}
+	arcs = append(arcs, cur)
+	// The first and last arcs may share an owner across the wrap point.
+	if len(arcs) > 1 && arcs[0].Owner == arcs[len(arcs)-1].Owner {
+		arcs[0].Start = arcs[len(arcs)-1].Start
+		arcs = arcs[:len(arcs)-1]
+	}
+	return arcs
+}

@@ -1,0 +1,229 @@
+package vnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"freemeasure/internal/ethernet"
+)
+
+func ringNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("proxy%02d", i)
+	}
+	return out
+}
+
+func TestProxyRingDeterministicAcrossPermutations(t *testing.T) {
+	names := ringNames(5)
+	r1 := MustNewProxyRing(names, 0)
+	shuffled := append([]string(nil), names...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	r2 := MustNewProxyRing(shuffled, 0)
+	if r1.Version() != r2.Version() {
+		t.Fatalf("version differs across permutations: %x vs %x", r1.Version(), r2.Version())
+	}
+	for i := 0; i < 1000; i++ {
+		mac := ethernet.VMMAC(i)
+		if r1.Owner(mac) != r2.Owner(mac) {
+			t.Fatalf("owner differs for %v: %s vs %s", mac, r1.Owner(mac), r2.Owner(mac))
+		}
+	}
+	for i := 0; i < 100; i++ {
+		d := fmt.Sprintf("host%03d", i)
+		if r1.HomeProxy(d) != r2.HomeProxy(d) {
+			t.Fatalf("home differs for %s", d)
+		}
+	}
+}
+
+func TestProxyRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewProxyRing(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewProxyRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := NewProxyRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// The 2/N bound the scale scenario asserts: with the default vnode count
+// no member owns more than twice its fair share of the circle, measured
+// both analytically (Share) and empirically over a large MAC population.
+func TestProxyRingBalance(t *testing.T) {
+	for _, n := range []int{2, 4, 10} {
+		r := MustNewProxyRing(ringNames(n), 0)
+		var total float64
+		for _, m := range r.Members() {
+			s := r.Share(m)
+			total += s
+			if s > 2.0/float64(n) {
+				t.Errorf("n=%d: member %s owns %.4f > 2/N=%.4f of the circle", n, m, s, 2.0/float64(n))
+			}
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("n=%d: shares sum to %.6f, want 1", n, total)
+		}
+		counts := map[string]int{}
+		const macs = 20000
+		for i := 0; i < macs; i++ {
+			counts[r.Owner(ethernet.VMMAC(i))]++
+		}
+		for m, c := range counts {
+			if frac := float64(c) / macs; frac > 2.0/float64(n) {
+				t.Errorf("n=%d: member %s owns %.4f of %d MACs > 2/N", n, m, frac, macs)
+			}
+		}
+	}
+}
+
+// Consistent hashing's minimal-movement property: removing one member
+// moves only the MACs it owned; everything else keeps its owner.
+func TestProxyRingWithoutMovesOnlyDeadSlices(t *testing.T) {
+	r := MustNewProxyRing(ringNames(5), 0)
+	dead := "proxy02"
+	shrunk := r.Without(dead)
+	if shrunk == nil || shrunk.Len() != 4 || shrunk.Contains(dead) {
+		t.Fatalf("Without(%s) = %+v", dead, shrunk)
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		mac := ethernet.VMMAC(i)
+		before, after := r.Owner(mac), shrunk.Owner(mac)
+		if before == dead {
+			if after == dead {
+				t.Fatalf("dead member still owns %v", mac)
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("mac %v moved %s -> %s though its owner survived", mac, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+	if r.Without("nobody") != nil {
+		t.Fatal("Without on a non-member should be nil")
+	}
+	last := MustNewProxyRing([]string{"only"}, 0)
+	if last.Without("only") != nil {
+		t.Fatal("Without on the last member should be nil")
+	}
+}
+
+// Summary is the route advertisement: the merged arcs must tile the whole
+// circle, agree with Owner() everywhere, and stay far below one entry per
+// MAC — that is the "advertise hash slices, not per-MAC entries" claim.
+func TestProxyRingSummaryTilesCircle(t *testing.T) {
+	r := MustNewProxyRing(ringNames(4), 0)
+	arcs := r.Summary()
+	if len(arcs) == 0 {
+		t.Fatal("empty summary")
+	}
+	if max := 4 * DefaultRingVnodes; len(arcs) > max {
+		t.Fatalf("summary has %d arcs, more than members*vnodes=%d", len(arcs), max)
+	}
+	for i, a := range arcs {
+		next := arcs[(i+1)%len(arcs)]
+		if a.End != next.Start {
+			t.Fatalf("arc %d ends at %x but next starts at %x", i, a.End, next.Start)
+		}
+		if a.Owner == next.Owner {
+			t.Fatalf("adjacent arcs %d/%d share owner %s (not merged)", i, i+1, a.Owner)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		mac := ethernet.VMMAC(i)
+		h := macPoint(mac)
+		var got string
+		for _, a := range arcs {
+			if a.Start < a.End {
+				if h > a.Start && h <= a.End {
+					got = a.Owner
+					break
+				}
+			} else if h > a.Start || h <= a.End { // wrap arc
+				got = a.Owner
+				break
+			}
+		}
+		if want := r.Owner(mac); got != want {
+			t.Fatalf("summary says %q owns %v, ring says %q", got, mac, want)
+		}
+	}
+}
+
+func TestRingRouteWalksPastDeadOwnerAndStopsAtSelf(t *testing.T) {
+	r := MustNewProxyRing([]string{"pa", "pb", "pc"}, 0)
+	mac := ethernet.VMMAC(1)
+	owner := r.Owner(mac)
+	var succ string
+	for i := 0; i < len(r.points); i++ {
+		m := r.members[r.points[(r.succ(macPoint(mac))+i)%len(r.points)].member]
+		if m != owner {
+			succ = m
+			break
+		}
+	}
+	if succ == "" {
+		t.Fatal("no successor distinct from owner")
+	}
+	la, lb := &Link{peer: owner}, &Link{peer: succ}
+	tb := &fwdTable{self: "host1", ring: r, links: map[string]*Link{owner: la, succ: lb}}
+	if got := tb.ringRoute(mac, ""); got != la {
+		t.Fatalf("healthy ring: routed to %v, want owner link", got)
+	}
+	// Owner's link died: the walk must land on the owner's clockwise
+	// successor — exactly where the slice re-homes.
+	tb.links = map[string]*Link{succ: lb}
+	if got := tb.ringRoute(mac, ""); got != lb {
+		t.Fatalf("dead owner: routed to %v, want successor link", got)
+	}
+	// Split horizon: the frame must not bounce back out its ingress peer.
+	if got := tb.ringRoute(mac, succ); got != nil {
+		t.Fatalf("split horizon violated: routed back to ingress %v", got)
+	}
+	// An owner with no registration stops the walk (no orbiting).
+	own := &fwdTable{self: owner, ring: r, links: map[string]*Link{succ: lb}}
+	if got := own.ringRoute(mac, ""); got != nil {
+		t.Fatalf("owner should stop the walk, routed to %v", got)
+	}
+}
+
+func TestMacTableStripedOps(t *testing.T) {
+	mt := &macTable{}
+	a, b := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	if _, ok := mt.get(a); ok {
+		t.Fatal("empty table hit")
+	}
+	mt.set(a, "p1")
+	mt.set(b, "p2")
+	if p, ok := mt.get(a); !ok || p != "p1" {
+		t.Fatalf("get(a) = %q,%v", p, ok)
+	}
+	mt.set(a, "p3")
+	if p, _ := mt.get(a); p != "p3" {
+		t.Fatalf("overwrite lost: %q", p)
+	}
+	mt.removeIf(a, "stale") // guarded: must not remove a newer entry
+	if _, ok := mt.get(a); !ok {
+		t.Fatal("removeIf with stale peer removed a live entry")
+	}
+	mt.removeIf(a, "p3")
+	if _, ok := mt.get(a); ok {
+		t.Fatal("removeIf failed")
+	}
+	snap := mt.snapshot()
+	if len(snap) != 1 || snap[b] != "p2" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
