@@ -1,0 +1,124 @@
+// meshtrace merges and renders distributed traces from the mesh's
+// observability endpoints (as served by vnetd -metrics-addr). It pulls
+// /debug/events from every named member, stitches the spans of one trace
+// into a cross-node tree, and prints it with per-span durations and
+// per-hop latency attribution.
+//
+//	meshtrace -members ctl=http://127.0.0.1:9090,pa=http://127.0.0.1:9091 list
+//	meshtrace -members ... show <trace-id>
+//	meshtrace -members ... latest
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"freemeasure/internal/obs/collect"
+)
+
+// printUsage writes the synopsis; exiting is the caller's job so that the
+// flag package's -h handling (which exits 0) can reuse it.
+func printUsage() {
+	fmt.Fprintln(os.Stderr, "usage: meshtrace -members NAME=URL[,NAME=URL...] {list | show TRACE_ID | latest}")
+	flag.PrintDefaults()
+}
+
+func usage() {
+	printUsage()
+	os.Exit(2)
+}
+
+func main() {
+	members := flag.String("members", "", "comma-separated name=url observability endpoints of the mesh members to merge (required)")
+	asJSON := flag.Bool("json", false, "print the merged trace as JSON instead of the span tree")
+	flag.Usage = printUsage
+	flag.Parse()
+	args := flag.Args()
+	if *members == "" || len(args) == 0 {
+		usage()
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "meshtrace:", err)
+		os.Exit(1)
+	}
+
+	specs, err := parseMembers(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshtrace: -members:", err)
+		usage()
+	}
+	c := collect.New()
+	for _, m := range specs {
+		c.AddSource(collect.HTTPSource(m[0], m[1]))
+	}
+
+	show := func(id string) {
+		mt := c.Trace(id)
+		if mt.Spans == 0 {
+			if len(mt.Errors) > 0 {
+				die(fmt.Errorf("no events for trace %s (unreachable: %s)", id, strings.Join(mt.Errors, "; ")))
+			}
+			die(fmt.Errorf("no events for trace %s", id))
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(mt)
+			return
+		}
+		mt.Render(os.Stdout)
+	}
+
+	switch args[0] {
+	case "list":
+		for _, id := range c.TraceIDs() {
+			fmt.Println(id)
+		}
+	case "show":
+		if len(args) < 2 {
+			usage()
+		}
+		show(args[1])
+	case "latest":
+		ids := c.TraceIDs()
+		if len(ids) == 0 {
+			die(fmt.Errorf("no traces retained by any member"))
+		}
+		show(ids[len(ids)-1])
+	default:
+		usage()
+	}
+}
+
+// parseMembers parses "name=url" entries, comma-separated, preserving
+// order; a url without a scheme gets http://.
+func parseMembers(spec string) ([][2]string, error) {
+	var out [][2]string
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(entry, "=")
+		name, url = strings.TrimSpace(name), strings.TrimSpace(url)
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad member %q (want name=url)", entry)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate member %q", name)
+		}
+		seen[name] = true
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		out = append(out, [2]string{name, url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty member list")
+	}
+	return out, nil
+}

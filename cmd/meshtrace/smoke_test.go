@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"freemeasure/internal/obs"
+	"freemeasure/internal/obs/collect"
+)
+
+// Flag-surface smoke tests matching the house pattern (see cmd/vnetd):
+// usage errors exit 2 before any network activity, -h exits 0.
+
+var meshtraceBinPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "meshtrace-smoke")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	meshtraceBinPath = filepath.Join(dir, "meshtrace")
+	if out, err := exec.Command("go", "build", "-o", meshtraceBinPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build meshtrace: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runMeshtrace(t *testing.T, args ...string) (exitCode int, output string) {
+	t.Helper()
+	out, err := exec.Command(meshtraceBinPath, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run meshtrace %v: %v", args, err)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+func TestMeshtraceHelpExitsZero(t *testing.T) {
+	code, out := runMeshtrace(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exited %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "-members") {
+		t.Fatalf("-h output does not document -members:\n%s", out)
+	}
+}
+
+func TestMeshtraceNoArgsExitsTwo(t *testing.T) {
+	code, out := runMeshtrace(t)
+	if code != 2 || !strings.Contains(out, "usage:") {
+		t.Fatalf("no args exited %d, want 2 with usage\n%s", code, out)
+	}
+}
+
+func TestMeshtraceBadMembersExitsTwo(t *testing.T) {
+	cases := []struct{ name, spec, want string }{
+		{"missing url", "ctl", "bad member"},
+		{"empty url", "ctl=", "bad member"},
+		{"duplicate", "a=u1,a=u2", "duplicate member"},
+		{"only separators", " , ", "empty member list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runMeshtrace(t, "-members", tc.spec, "list")
+			if code != 2 {
+				t.Fatalf("exited %d, want 2\n%s", code, out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+func TestMeshtraceUnknownCommandExitsTwo(t *testing.T) {
+	code, out := runMeshtrace(t, "-members", "a=http://127.0.0.1:1", "frobnicate")
+	if code != 2 || !strings.Contains(out, "usage:") {
+		t.Fatalf("unknown command exited %d, want 2 with usage\n%s", code, out)
+	}
+}
+
+// eventsServer serves a recorder at /debug/events, standing in for one
+// mesh member's observability endpoint.
+func eventsServer(t *testing.T, fl *obs.FlightRecorder) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/events", fl)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestMeshtraceListShowLatest(t *testing.T) {
+	ctl := obs.NewFlightRecorder(64)
+	node := obs.NewFlightRecorder(64)
+	ctx := obs.NewTrace()
+	root := ctl.StartSpanCtx(ctx, "control", "", "cycle")
+	node.RecordCtx(root.Context(), obs.Event{
+		Component: "vnet", Host: "node-b", Phase: "sense", Name: "probe-arrival",
+	})
+	root.End()
+
+	srvA := eventsServer(t, ctl)
+	srvB := eventsServer(t, node)
+	members := "ctl=" + srvA.URL + ",node-b=" + srvB.URL
+
+	code, out := runMeshtrace(t, "-members", members, "list")
+	if code != 0 || strings.TrimSpace(out) != ctx.TraceID {
+		t.Fatalf("list exited %d with %q, want %q", code, out, ctx.TraceID)
+	}
+
+	code, out = runMeshtrace(t, "-members", members, "show", ctx.TraceID)
+	if code != 0 {
+		t.Fatalf("show exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"trace " + ctx.TraceID, "2 members", "cycle", "probe-arrival", "[node-b]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("show output missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out = runMeshtrace(t, "-members", members, "latest")
+	if code != 0 || !strings.Contains(out, "cycle") {
+		t.Fatalf("latest exited %d:\n%s", code, out)
+	}
+
+	code, out = runMeshtrace(t, "-members", members, "-json", "show", ctx.TraceID)
+	if code != 0 {
+		t.Fatalf("-json show exited %d:\n%s", code, out)
+	}
+	var mt collect.MeshTrace
+	if err := json.Unmarshal([]byte(out), &mt); err != nil {
+		t.Fatalf("-json output is not a MeshTrace: %v\n%s", err, out)
+	}
+	if mt.Spans != 2 || len(mt.Members) != 2 {
+		t.Fatalf("-json trace = %+v, want 2 spans on 2 members", mt)
+	}
+}
+
+func TestMeshtraceUnknownTraceExitsOne(t *testing.T) {
+	srv := eventsServer(t, obs.NewFlightRecorder(8))
+	code, out := runMeshtrace(t, "-members", "a="+srv.URL, "show", "no-such-trace")
+	if code != 1 || !strings.Contains(out, "no events") {
+		t.Fatalf("unknown trace exited %d, want 1\n%s", code, out)
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	got, err := parseMembers(" a=127.0.0.1:9001, b = http://127.0.0.1:9002 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != [2]string{"a", "http://127.0.0.1:9001"} ||
+		got[1] != [2]string{"b", "http://127.0.0.1:9002"} {
+		t.Fatalf("parseMembers = %v", got)
+	}
+}

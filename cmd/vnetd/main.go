@@ -21,6 +21,7 @@ import (
 	"freemeasure/internal/control"
 	"freemeasure/internal/ethernet"
 	"freemeasure/internal/obs"
+	"freemeasure/internal/obs/collect"
 	"freemeasure/internal/pcap"
 	"freemeasure/internal/vadapt"
 	"freemeasure/internal/vnet"
@@ -41,7 +42,8 @@ func main() {
 		forward  = flag.String("forward", "", "also ship filtered traces to a wrenrepod at this address")
 		rate     = flag.Float64("rate", 0, "token-bucket rate limit (Mbit/s) for dialed links; 0 = unlimited")
 		poll     = flag.Duration("poll", 500*time.Millisecond, "Wren analysis poll interval")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/events and /debug/state on this address (see docs/OPERATIONS.md)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/events, /debug/state and /debug/trace on this address (see docs/OPERATIONS.md)")
+		meshPeer = flag.String("mesh-peers", "", "comma-separated name=http://addr observability endpoints of other mesh members; merges their events into /debug/trace and their metrics into /metrics/mesh (requires -metrics-addr)")
 		report   = flag.Duration("report", 0, "push VTTIF/Wren control reports to the -default-route peer at this interval (0 = off)")
 		hub      = flag.Bool("hub", false, "collect peers' control reports into a global view (the Proxy role)")
 		ctrl     = flag.Bool("controller", false, "run the adaptation control loop over the hub's global view (implies -hub; plans are logged, not applied)")
@@ -60,6 +62,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vnetd: -est-fusion requires -controller")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *meshPeer != "" && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "vnetd: -mesh-peers requires -metrics-addr")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var meshNames []string
+	var meshAddrs map[string]string
+	if *meshPeer != "" {
+		var err error
+		meshNames, meshAddrs, err = parseRingSpec(*meshPeer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnetd: -mesh-peers: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
 	var ringNames []string
 	var ringAddrs map[string]string
@@ -96,12 +114,15 @@ func main() {
 		monitor.SetMetrics(wren.NewMonitorMetrics(reg))
 		d.Traffic().SetMetrics(vttif.NewLocalMetrics(reg))
 	}
+	var fw *wren.Forwarder
 	if *forward != "" {
-		fw, err := wren.DialRepository(*forward, *name, 0)
+		var err error
+		fw, err = wren.DialRepository(*forward, *name, 0)
 		if err != nil {
 			fatal("dial trace repository", "addr", *forward, "err", err)
 		}
 		fw.SetLogger(obs.NewLogger(os.Stderr, "wren", *name))
+		fw.SetFlight(flight)
 		defer fw.Close()
 		go func() {
 			for range time.Tick(*poll) {
@@ -166,28 +187,50 @@ func main() {
 		if err != nil {
 			fatal("proxy-ring", "err", err)
 		}
+		_, selfIsMember := ringAddrs[*name]
 		for _, member := range ringNames {
 			if member == *name {
 				continue
 			}
-			// Ring members boot concurrently and dial each other, so the
-			// first ones up must wait out their peers' startup.
-			var peer string
-			for attempt := 0; ; attempt++ {
-				peer, err = d.Connect(ringAddrs[member])
-				if err == nil || attempt >= 20 {
-					break
+			// Between two ring members exactly one side dials — the smaller
+			// name — and the other waits for the incoming link. If both
+			// dialed, the two crossed connections would race the
+			// duplicate-link replacement in each daemon, and the sides can
+			// converge on opposite connections: each then closes the one its
+			// peer kept, the link drops on both ends, and the rings shrink
+			// to singletons. Hosts (not in the member list) always dial —
+			// proxies don't know about them.
+			if selfIsMember && *name > member {
+				deadline := time.Now().Add(8 * time.Second)
+				for {
+					if _, ok := d.Link(member); ok {
+						break
+					}
+					if time.Now().After(deadline) {
+						fatal("ring member never dialed in", "member", member, "addr", ringAddrs[member])
+					}
+					time.Sleep(50 * time.Millisecond)
 				}
-				time.Sleep(250 * time.Millisecond)
-			}
-			if err != nil {
-				fatal("connect ring member", "member", member, "addr", ringAddrs[member], "err", err)
-			}
-			if peer != member {
-				fatal("ring member identity mismatch", "member", member, "announced", peer)
+			} else {
+				// Ring members boot concurrently, so the first ones up must
+				// wait out their peers' startup.
+				var peer string
+				for attempt := 0; ; attempt++ {
+					peer, err = d.Connect(ringAddrs[member])
+					if err == nil || attempt >= 20 {
+						break
+					}
+					time.Sleep(250 * time.Millisecond)
+				}
+				if err != nil {
+					fatal("connect ring member", "member", member, "addr", ringAddrs[member], "err", err)
+				}
+				if peer != member {
+					fatal("ring member identity mismatch", "member", member, "announced", peer)
+				}
 			}
 			if *rate > 0 {
-				if l, ok := d.Link(peer); ok {
+				if l, ok := d.Link(member); ok {
 					l.SetRateMbps(*rate)
 				}
 			}
@@ -262,7 +305,7 @@ func main() {
 			logger.Info("active estimate fusion enabled", "stale_after", *estFuse)
 		}
 		ctrlLog := obs.NewLogger(os.Stderr, "control", *name)
-		ctl, err = control.New(control.Config{
+		cfg := control.Config{
 			Source:   src,
 			Applier:  control.LogApplier{Logger: ctrlLog},
 			Gate:     vadapt.Gate{MinImprovement: *ctrlMin, MinAbsolute: *ctrlAbs},
@@ -270,7 +313,12 @@ func main() {
 			Metrics:  control.NewMetrics(reg),
 			Logger:   ctrlLog,
 			Flight:   flight,
-		})
+		}
+		if fw != nil {
+			// Report batches shipped during a cycle carry that cycle's trace.
+			cfg.TraceSink = fw.SetTrace
+		}
+		ctl, err = control.New(cfg)
 		if err != nil {
 			fatal("controller", "err", err)
 		}
@@ -295,10 +343,28 @@ func main() {
 	}
 
 	if *metrics != "" {
+		// The trace collector and metrics federator always include this
+		// node; -mesh-peers adds the other members' observability endpoints,
+		// so any member can render the whole mesh's view of a cycle.
+		collector := collect.New(collect.RecorderSource(*name, flight))
+		federator := collect.NewFederator(collect.RegistryMember(*name, reg))
+		for _, peer := range meshNames {
+			if peer == *name {
+				continue
+			}
+			base := meshAddrs[peer]
+			if !strings.Contains(base, "://") {
+				base = "http://" + base
+			}
+			collector.AddSource(collect.HTTPSource(peer, base))
+			federator.AddMember(collect.HTTPMember(peer, base))
+		}
 		// Served last so /debug/state can see the hub view and controller.
 		maddr, err := obs.Serve(*metrics, reg, nil,
 			obs.WithFlight(flight),
-			obs.WithState(stateFunc(*name, d, view, ctl)))
+			obs.WithState(stateFunc(*name, d, view, ctl)),
+			obs.WithHandler("/debug/trace/", collector),
+			obs.WithHandler("/metrics/mesh", federator))
 		if err != nil {
 			fatal("metrics-addr", "err", err)
 		}

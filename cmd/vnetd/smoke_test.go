@@ -88,9 +88,10 @@ func TestVnetdBadProxyRingExitsTwo(t *testing.T) {
 	}
 }
 
-// Two ring members booted concurrently: each dials the other (with the
-// startup retry), installs the same ring, and publishes it on
-// /debug/state with a consistent home assignment.
+// Two ring members booted concurrently: the smaller name dials (with the
+// startup retry), the larger waits for the incoming link, both install
+// the same ring and publish it on /debug/state with a consistent home
+// assignment.
 func TestVnetdProxyRingPairComesUp(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns processes and polls HTTP")
@@ -137,6 +138,109 @@ func TestVnetdProxyRingPairComesUp(t *testing.T) {
 			t.Fatalf("%s home = %q, not a ring member", name, home)
 		}
 	}
+}
+
+// Two ring members wired as mesh peers: every member must serve
+// well-formed JSON on the whole observability surface — /debug/events,
+// /debug/state, and the merged /debug/trace listing (which pulls events
+// from the other member too).
+func TestVnetdMeshObservabilitySurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and polls HTTP")
+	}
+	ports := freePorts(t, 4)
+	ringSpec := fmt.Sprintf("pa=127.0.0.1:%d,pb=127.0.0.1:%d", ports[0], ports[1])
+	meshSpec := fmt.Sprintf("pa=127.0.0.1:%d,pb=127.0.0.1:%d", ports[2], ports[3])
+	var procs []*exec.Cmd
+	for i, name := range []string{"pa", "pb"} {
+		cmd := exec.Command(vnetdBinPath,
+			"-name", name,
+			"-listen", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-proxy-ring", ringSpec,
+			"-metrics-addr", fmt.Sprintf("127.0.0.1:%d", ports[2+i]),
+			"-mesh-peers", meshSpec)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	}()
+
+	// Both operator surfaces must answer before any federation assert:
+	// a member's /metrics/mesh scrapes its peer live, so the peer being
+	// mid-boot would read as mesh_member_up 0.
+	for i, name := range []string{"pa", "pb"} {
+		url := fmt.Sprintf("http://127.0.0.1:%d/debug/state", ports[2+i])
+		if st := pollState(t, url); st["daemon"] != name {
+			t.Fatalf("%s /debug/state daemon = %v", name, st["daemon"])
+		}
+	}
+
+	for i, name := range []string{"pa", "pb"} {
+		base := fmt.Sprintf("http://127.0.0.1:%d", ports[2+i])
+		// /debug/events is a JSON events page.
+		var page struct {
+			Total  uint64           `json:"total"`
+			Events []map[string]any `json:"events"`
+		}
+		getJSON(t, base+"/debug/events", &page)
+		// /debug/trace/ lists trace IDs (the ring install records traced
+		// events, but an empty list is also well-formed).
+		var ids []string
+		getJSON(t, base+"/debug/trace/", &ids)
+		// /metrics/mesh federates both members.
+		resp, err := http.Get(base + "/metrics/mesh")
+		if err != nil {
+			t.Fatalf("%s /metrics/mesh: %v", name, err)
+		}
+		body := readAll(t, resp)
+		for _, member := range []string{"pa", "pb"} {
+			if !strings.Contains(body, fmt.Sprintf("mesh_member_up{member=%q} 1", member)) {
+				t.Fatalf("%s /metrics/mesh does not report %s up:\n%.2000s", name, member, body)
+			}
+		}
+		if !strings.Contains(body, `member="mesh"`) {
+			t.Fatalf("%s /metrics/mesh has no aggregated series:\n%.2000s", name, body)
+		}
+	}
+}
+
+// getJSON fails the test unless url answers 200 with a body decoding
+// into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: not well-formed JSON: %v", url, err)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
 }
 
 // freePorts reserves n distinct listening ports and releases them.

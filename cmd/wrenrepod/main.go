@@ -40,13 +40,18 @@ func main() {
 	repo := wren.NewRepository(wren.Config{
 		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 1_000_000},
 	})
+	// The repository is a trace member like any daemon: report-ingest
+	// spans land here under the forwarder's trace context, so a merged
+	// mesh trace can follow a report batch across the wire.
+	flight := obs.NewFlightRecorder(0)
+	repo.SetFlight(flight)
 	if *metrics != "" {
 		reg := obs.NewRegistry()
 		repo.SetMetrics(wren.NewRepositoryMetrics(reg))
 		reg.GaugeFunc("wren_repo_origins",
 			"Origin hosts that have shipped traces.",
 			func() float64 { return float64(len(repo.Origins())) })
-		maddr, err := obs.Serve(*metrics, reg, nil)
+		maddr, err := obs.Serve(*metrics, reg, nil, obs.WithFlight(flight))
 		if err != nil {
 			fatal("metrics-addr", "err", err)
 		}

@@ -1,13 +1,18 @@
 package chaos
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"freemeasure/internal/ethernet"
 	"freemeasure/internal/obs"
+	"freemeasure/internal/obs/collect"
 	"freemeasure/internal/vnet"
 	"freemeasure/internal/vttif"
 	"freemeasure/internal/wren"
@@ -34,6 +39,68 @@ func meshVMFrame(dst, src ethernet.MAC) *ethernet.Frame {
 	return &ethernet.Frame{Dst: dst, Src: src, Type: ethernet.TypeApp, Payload: make([]byte, 256)}
 }
 
+// meshFlight attaches a fresh flight recorder to every mesh member, the
+// way a real deployment runs one per daemon, and returns the
+// member→recorder map for cross-node trace merging.
+func meshFlight(o *vnet.Overlay) map[string]*obs.FlightRecorder {
+	recs := make(map[string]*obs.FlightRecorder)
+	attach := func(d *vnet.Daemon) {
+		fl := obs.NewFlightRecorder(512)
+		d.SetFlight(fl)
+		recs[d.Name()] = fl
+	}
+	for _, p := range o.Proxies {
+		attach(p.Daemon)
+	}
+	for _, n := range o.Nodes {
+		attach(n.Daemon)
+	}
+	return recs
+}
+
+// dumpMeshTrace merges every member's flight recorder into cross-node
+// traces and writes them under CHAOS_TRACE_DIR (no-op when unset): a
+// MeshTrace JSON array plus the rendered span trees, named for the test
+// and seed. CI uploads the directory when a seed fails, so the fault
+// storm can be replayed hop by hop across members, not just per ring.
+func dumpMeshTrace(t *testing.T, seed int64, recs map[string]*obs.FlightRecorder) {
+	dir := os.Getenv("CHAOS_TRACE_DIR")
+	if dir == "" {
+		return
+	}
+	col := collect.New()
+	for name, fl := range recs {
+		col.AddSource(collect.RecorderSource(name, fl))
+	}
+	ids := col.TraceIDs()
+	if len(ids) == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos mesh trace dir: %v", err)
+		return
+	}
+	var traces []*collect.MeshTrace
+	var rendered bytes.Buffer
+	for _, id := range ids {
+		mt := col.Trace(id)
+		traces = append(traces, mt)
+		mt.Render(&rendered)
+	}
+	data, err := json.MarshalIndent(traces, "", "  ")
+	if err != nil {
+		t.Logf("chaos mesh trace marshal: %v", err)
+		return
+	}
+	base := filepath.Base(fmt.Sprintf("%s-seed%d-mesh", t.Name(), seed))
+	if err := os.WriteFile(filepath.Join(dir, base+".json"), data, 0o644); err != nil {
+		t.Logf("chaos mesh trace write: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".txt"), rendered.Bytes(), 0o644); err != nil {
+		t.Logf("chaos mesh trace write: %v", err)
+	}
+}
+
 // A Crash event on the proxy owning a VM's slice: every daemon must drop
 // the victim from its ring, the clockwise successor must inherit the
 // registration (re-learn), and delivery must continue — all recorded on
@@ -50,12 +117,9 @@ func TestChaosMeshProxyCrashRehomesAndRelearns(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
-	for _, p := range o.Proxies {
-		p.Daemon.SetFlight(fr)
-	}
-	for _, n := range o.Nodes {
-		n.Daemon.SetFlight(fr)
-	}
+	recs := meshFlight(o)
+	recs["chaos"] = fr // the runner's fault timeline is one more member
+	defer dumpMeshTrace(t, seed, recs)
 
 	var delivered atomic.Uint64
 	vm1, vm2 := ethernet.VMMAC(1), ethernet.VMMAC(2)
@@ -112,19 +176,22 @@ func TestChaosMeshProxyCrashRehomesAndRelearns(t *testing.T) {
 	}
 	meshWait(t, "delivery after proxy crash", func() bool { return delivered.Load() >= frames })
 
-	// The run left a replayable record: the fault injection and at least
-	// one ring shrink must be on the flight recorder.
+	// The run left a replayable record: the fault injection on the
+	// runner's recorder, and at least one member recorded its ring
+	// shrinking — the merged mesh trace CI archives contains both.
 	var sawFault, sawShrink bool
-	for _, ev := range fr.Events(0) {
-		switch ev.Name {
-		case "fault-injected":
-			sawFault = true
-		case "ring-shrink":
-			sawShrink = true
+	for _, fl := range recs {
+		for _, ev := range fl.Events(0) {
+			switch ev.Name {
+			case "fault-injected":
+				sawFault = true
+			case "ring-shrink":
+				sawShrink = true
+			}
 		}
 	}
 	if !sawFault || !sawShrink {
-		t.Fatalf("flight recorder missing chaos timeline: fault=%v shrink=%v", sawFault, sawShrink)
+		t.Fatalf("flight recorders missing chaos timeline: fault=%v shrink=%v", sawFault, sawShrink)
 	}
 }
 
@@ -142,8 +209,10 @@ func TestChaosMeshPartitionRehomesThenOperatorRestores(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer o.Close()
+	recs := meshFlight(o)
+	recs["chaos"] = fr
+	defer dumpMeshTrace(t, seed, recs)
 	h1 := o.Node("h1").Daemon
-	h1.SetFlight(fr)
 	home := h1.DefaultRoute()
 
 	fab := NewOverlayFabric(o)

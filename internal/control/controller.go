@@ -79,6 +79,11 @@ type Config struct {
 	// correlated by a fresh trace ID, so /debug/events can replay why any
 	// particular adaptation happened. Nil disables recording for free.
 	Flight *obs.FlightRecorder
+	// TraceSink, when set, receives each cycle's root trace context as the
+	// cycle starts. It is the seam for long-lived reporters that are not
+	// invoked by the cycle itself — e.g. a wren.Forwarder whose batches
+	// should carry the trace of the cycle consuming them (SetTrace).
+	TraceSink func(obs.TraceContext)
 }
 
 func (c Config) withDefaults() Config {
@@ -245,14 +250,38 @@ func (c *Controller) LastCycle() (res CycleResult, ok bool) {
 	return *c.last, true
 }
 
-func (c *Controller) runCycle() CycleResult {
+func (c *Controller) runCycle() (res CycleResult) {
 	m := c.cfg.Metrics
 	fr := c.cfg.Flight
 	m.Cycles.Inc()
-	res := CycleResult{Cycle: c.cycles.Add(1), Trace: obs.NextTraceID()}
+	res = CycleResult{Cycle: c.cycles.Add(1), Trace: obs.NextTraceID()}
+
+	// The cycle's root span anchors the distributed trace: sense, decide
+	// and apply nest under it, and every cross-node operation the cycle
+	// triggers (plan steps, ring registrations, probe trains, report
+	// batches) carries a context descending from it. Without a recorder,
+	// cycleCtx still carries the trace ID so remote nodes record under it.
+	root := fr.StartSpanCtx(obs.TraceContext{TraceID: res.Trace}, "control", "", "cycle")
+	root.SetAttr(obs.KeyCycle, res.Cycle)
+	cycleCtx := root.Context()
+	if !cycleCtx.Valid() {
+		cycleCtx = obs.TraceContext{TraceID: res.Trace}
+	}
+	if c.cfg.TraceSink != nil {
+		c.cfg.TraceSink(cycleCtx)
+	}
+	cycleStart := time.Now()
+	defer func() {
+		root.SetAttr("applied", res.Applied)
+		if res.Reason != "" {
+			root.SetAttr("reason", res.Reason)
+		}
+		root.End()
+		m.CycleSeconds.ObserveExemplar(time.Since(cycleStart).Seconds(), res.Trace)
+	}()
 
 	// Sense.
-	span := c.startSpan(res, "sense")
+	span := c.startSpan(cycleCtx, res, "sense")
 	t0 := time.Now()
 	snap, err := c.cfg.Source.Snapshot()
 	m.SenseSeconds.Observe(time.Since(t0).Seconds())
@@ -276,7 +305,7 @@ func (c *Controller) runCycle() CycleResult {
 	span.End()
 
 	// Decide.
-	span = c.startSpan(res, "decide")
+	span = c.startSpan(cycleCtx, res, "decide")
 	t0 = time.Now()
 	p := snap.Problem
 	if len(p.Demands) == 0 {
@@ -316,8 +345,8 @@ func (c *Controller) runCycle() CycleResult {
 		return res
 	}
 	res.GateAllowed = c.cfg.Gate.Allows(res.Current, res.Target)
-	fr.Record(obs.Event{
-		Trace: res.Trace, Component: "control", Phase: "decide", Name: "gate",
+	fr.RecordCtx(cycleCtx, obs.Event{
+		Component: "control", Phase: "decide", Name: "gate",
 		Attrs: map[string]any{
 			obs.KeyCycle:    res.Cycle,
 			"allowed":       res.GateAllowed,
@@ -337,9 +366,15 @@ func (c *Controller) runCycle() CycleResult {
 	span.End()
 
 	// Act.
-	span = c.startSpan(res, "apply")
+	span = c.startSpan(cycleCtx, res, "apply")
 	t0 = time.Now()
 	plan := c.translate(snap, diff, target)
+	// Steps delivered to remote daemons record their spans under the apply
+	// span (or directly under the cycle when no recorder is attached).
+	plan.Trace = span.Context()
+	if !plan.Trace.Valid() {
+		plan.Trace = cycleCtx
+	}
 	res.Plan = plan
 	result, err := c.cfg.Applier.Apply(plan)
 	m.ApplySeconds.Observe(time.Since(t0).Seconds())
@@ -369,10 +404,10 @@ func (c *Controller) runCycle() CycleResult {
 	return res
 }
 
-// startSpan opens one control-phase span on the flight recorder (a nil
-// recorder yields a nil, no-op span).
-func (c *Controller) startSpan(res CycleResult, phase string) *obs.Span {
-	span := c.cfg.Flight.StartSpan(res.Trace, "control", phase, phase)
+// startSpan opens one control-phase span nested under the cycle's root
+// span (a nil recorder yields a nil, no-op span).
+func (c *Controller) startSpan(ctx obs.TraceContext, res CycleResult, phase string) *obs.Span {
+	span := c.cfg.Flight.StartSpanCtx(ctx, "control", phase, phase)
 	span.SetAttr(obs.KeyCycle, res.Cycle)
 	return span
 }

@@ -16,6 +16,7 @@ type Metrics struct {
 	SenseSeconds    *obs.Histogram // control_phase_seconds{phase="sense"}
 	DecideSeconds   *obs.Histogram // control_phase_seconds{phase="decide"}
 	ApplySeconds    *obs.Histogram // control_phase_seconds{phase="apply"}
+	CycleSeconds    *obs.Histogram // control_cycle_seconds
 }
 
 // NewMetrics registers the control-loop metrics on reg.
@@ -41,5 +42,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		SenseSeconds:  phase("sense"),
 		DecideSeconds: phase("decide"),
 		ApplySeconds:  phase("apply"),
+		CycleSeconds: reg.Histogram("control_cycle_seconds",
+			"End-to-end latency of one whole control cycle (sense through apply); buckets carry exemplar trace IDs linking to the cycle's flight-recorder events.",
+			obs.DefLatencyBuckets),
 	}
 }

@@ -1,0 +1,6 @@
+// Package docscheck keeps the operator documentation honest. Its tests
+// instantiate every metrics constructor in the tree and fail when a
+// registered metric name is absent from docs/OPERATIONS.md — adding an
+// instrument without documenting it breaks the build, the same way an
+// undocumented flag would break a man-page lint.
+package docscheck

@@ -1,0 +1,80 @@
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"freemeasure/internal/chaos"
+	"freemeasure/internal/control"
+	"freemeasure/internal/obs"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vnet"
+	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren"
+)
+
+// registries instantiates every metrics constructor in the tree, each on
+// its own registry (some constructors share instrument names, e.g. the
+// repository embeds the monitor's). New subsystems add themselves here.
+func registries() map[string]*obs.Registry {
+	regs := make(map[string]*obs.Registry)
+	add := func(name string, build func(reg *obs.Registry)) {
+		reg := obs.NewRegistry()
+		build(reg)
+		regs[name] = reg
+	}
+	add("control", func(reg *obs.Registry) { control.NewMetrics(reg) })
+	add("vnet", func(reg *obs.Registry) { vnet.NewMetrics(reg) })
+	add("vadapt", func(reg *obs.Registry) { vadapt.NewMetrics(reg) })
+	add("chaos", func(reg *obs.Registry) { chaos.NewMetrics(reg) })
+	add("vttif-local", func(reg *obs.Registry) { vttif.NewLocalMetrics(reg) })
+	add("vttif-agg", func(reg *obs.Registry) {
+		m := vttif.NewAggregatorMetrics(reg)
+		// The pairs-active gauge registers at attach time, not construction.
+		vttif.NewAggregator(vttif.Config{}).SetMetrics(m, reg)
+	})
+	add("wren-monitor", func(reg *obs.Registry) { wren.NewMonitorMetrics(reg) })
+	add("wren-repository", func(reg *obs.Registry) { wren.NewRepositoryMetrics(reg) })
+	add("wren-forwarder", func(reg *obs.Registry) { wren.NewForwarderMetrics(reg) })
+	// The metrics mux registers process-level gauges as a side effect.
+	add("mux", func(reg *obs.Registry) { obs.NewMux(reg, nil) })
+	return regs
+}
+
+// synthesized lists metric names emitted outside any Registry — series
+// the federator fabricates when merging member scrapes.
+var synthesized = []string{"mesh_member_up"}
+
+// TestEveryRegisteredMetricIsDocumented fails when a metric any subsystem
+// registers does not appear in docs/OPERATIONS.md.
+func TestEveryRegisteredMetricIsDocumented(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("operator docs unreadable: %v", err)
+	}
+	doc := string(raw)
+	seen := make(map[string]bool)
+	check := func(origin, name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if !strings.Contains(doc, name) {
+			t.Errorf("%s metric %q is not documented in docs/OPERATIONS.md", origin, name)
+		}
+	}
+	for origin, reg := range registries() {
+		names := reg.Names()
+		if len(names) == 0 {
+			t.Errorf("%s registered no metrics — constructor wiring broken?", origin)
+		}
+		for _, name := range names {
+			check(origin, name)
+		}
+	}
+	for _, name := range synthesized {
+		check("federator", name)
+	}
+}

@@ -1,0 +1,332 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"freemeasure/internal/obs"
+)
+
+// Source is one ring member's event feed. Events returns the member's
+// retained events, filtered to one trace when traceID is non-empty.
+type Source struct {
+	Name   string
+	Events func(traceID string) ([]obs.Event, error)
+}
+
+// RecorderSource adapts an in-process flight recorder (possibly nil, which
+// yields no events) — the path used when collector and member share a
+// process, as in the overlay tests and the single-binary mesh.
+func RecorderSource(name string, fl *obs.FlightRecorder) Source {
+	return Source{Name: name, Events: func(traceID string) ([]obs.Event, error) {
+		events := fl.Events(0)
+		if traceID == "" {
+			return events, nil
+		}
+		out := events[:0:0]
+		for _, e := range events {
+			if e.Trace == traceID {
+				out = append(out, e)
+			}
+		}
+		return out, nil
+	}}
+}
+
+// HTTPSource adapts a remote member's /debug/events endpoint. base is the
+// member's observability address ("http://host:port"); the standard
+// handler's n/trace query parameters do the filtering remotely.
+func HTTPSource(name, base string) Source {
+	base = strings.TrimSuffix(base, "/")
+	return Source{Name: name, Events: func(traceID string) ([]obs.Event, error) {
+		u := base + "/debug/events?n=0"
+		if traceID != "" {
+			u += "&trace=" + url.QueryEscape(traceID)
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return nil, fmt.Errorf("collect: %s: %s: %s", name, resp.Status, strings.TrimSpace(string(body)))
+		}
+		var page struct {
+			Events []obs.Event `json:"events"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			return nil, fmt.Errorf("collect: %s: %w", name, err)
+		}
+		return page.Events, nil
+	}}
+}
+
+// MeshSpan is one member's event placed in the merged cross-node span
+// tree. StartOffsetMs is relative to the trace's earliest event;
+// HopLatencyMs, on spans whose parent was recorded by a different member,
+// is the start-to-start delta across that hop — the propagation cost the
+// per-node rings cannot see individually.
+type MeshSpan struct {
+	Member        string      `json:"member"`
+	Event         obs.Event   `json:"event"`
+	StartOffsetMs float64     `json:"start_offset_ms"`
+	HopLatencyMs  float64     `json:"hop_latency_ms,omitempty"`
+	Children      []*MeshSpan `json:"children,omitempty"`
+}
+
+// MeshTrace is the merged view of one trace ID across the mesh.
+type MeshTrace struct {
+	TraceID string    `json:"trace_id"`
+	Start   time.Time `json:"start"`
+	// DurationMs spans the earliest event start to the latest event end.
+	DurationMs float64  `json:"duration_ms"`
+	Members    []string `json:"members"`
+	Spans      int      `json:"spans"`
+	// Roots are the top of the span forest: spans with no parent (the
+	// cycle root) plus spans whose parent fell out of some member's ring.
+	Roots []*MeshSpan `json:"roots"`
+	// Errors lists members that could not be queried; the trace is still
+	// merged from the members that answered.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Collector merges traces from a set of sources.
+type Collector struct {
+	mu      sync.RWMutex
+	sources []Source
+}
+
+// New builds a collector over the given sources.
+func New(sources ...Source) *Collector {
+	return &Collector{sources: sources}
+}
+
+// AddSource registers one more ring member.
+func (c *Collector) AddSource(s Source) {
+	c.mu.Lock()
+	c.sources = append(c.sources, s)
+	c.mu.Unlock()
+}
+
+// memberEvents queries every source concurrently for one trace (or
+// everything, when traceID is empty).
+func (c *Collector) memberEvents(traceID string) (map[string][]obs.Event, []string) {
+	c.mu.RLock()
+	sources := append([]Source(nil), c.sources...)
+	c.mu.RUnlock()
+	type reply struct {
+		name   string
+		events []obs.Event
+		err    error
+	}
+	replies := make(chan reply, len(sources))
+	for _, s := range sources {
+		go func(s Source) {
+			events, err := s.Events(traceID)
+			replies <- reply{name: s.Name, events: events, err: err}
+		}(s)
+	}
+	byMember := make(map[string][]obs.Event, len(sources))
+	var errs []string
+	for range sources {
+		r := <-replies
+		if r.err != nil {
+			errs = append(errs, r.name+": "+r.err.Error())
+			continue
+		}
+		byMember[r.name] = r.events
+	}
+	sort.Strings(errs)
+	return byMember, errs
+}
+
+// Trace merges one trace ID across all sources into a span tree. A trace
+// no member has events for yields a MeshTrace with Spans == 0.
+func (c *Collector) Trace(traceID string) *MeshTrace {
+	byMember, errs := c.memberEvents(traceID)
+	mt := &MeshTrace{TraceID: traceID, Errors: errs}
+
+	// Flatten, remembering each event's member, and find the time origin.
+	var all []*MeshSpan
+	var start, end time.Time
+	for member, events := range byMember {
+		for _, e := range events {
+			if e.Trace != traceID {
+				continue
+			}
+			sp := &MeshSpan{Member: member, Event: e}
+			all = append(all, sp)
+			if start.IsZero() || e.Time.Before(start) {
+				start = e.Time
+			}
+			if t := e.Time.Add(time.Duration(e.DurationMs * float64(time.Millisecond))); end.IsZero() || t.After(end) {
+				end = t
+			}
+		}
+	}
+	mt.Spans = len(all)
+	if len(all) == 0 {
+		return mt
+	}
+	mt.Start = start
+	mt.DurationMs = float64(end.Sub(start)) / float64(time.Millisecond)
+
+	members := make(map[string]bool)
+	for _, sp := range all {
+		members[sp.Member] = true
+		sp.StartOffsetMs = float64(sp.Event.Time.Sub(start)) / float64(time.Millisecond)
+	}
+	for m := range members {
+		mt.Members = append(mt.Members, m)
+	}
+	sort.Strings(mt.Members)
+
+	// Link children to parents by span ID; spans with an unknown (or no)
+	// parent become roots. Per-hop latency is attributed where a span's
+	// parent lives on another member.
+	byID := make(map[string]*MeshSpan, len(all))
+	for _, sp := range all {
+		if id := sp.Event.Span; id != "" {
+			byID[id] = sp
+		}
+	}
+	for _, sp := range all {
+		parent := byID[sp.Event.Parent]
+		if parent == nil || parent == sp {
+			mt.Roots = append(mt.Roots, sp)
+			continue
+		}
+		parent.Children = append(parent.Children, sp)
+		if parent.Member != sp.Member {
+			sp.HopLatencyMs = sp.StartOffsetMs - parent.StartOffsetMs
+		}
+	}
+	sortSpans(mt.Roots)
+	for _, sp := range all {
+		sortSpans(sp.Children)
+	}
+	return mt
+}
+
+func sortSpans(spans []*MeshSpan) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartOffsetMs != spans[j].StartOffsetMs {
+			return spans[i].StartOffsetMs < spans[j].StartOffsetMs
+		}
+		return spans[i].Event.Seq < spans[j].Event.Seq
+	})
+}
+
+// TraceIDs lists every trace ID any member retains, ordered by each
+// trace's earliest retained event.
+func (c *Collector) TraceIDs() []string {
+	byMember, _ := c.memberEvents("")
+	earliest := make(map[string]time.Time)
+	for _, events := range byMember {
+		for _, e := range events {
+			if e.Trace == "" {
+				continue
+			}
+			if t, ok := earliest[e.Trace]; !ok || e.Time.Before(t) {
+				earliest[e.Trace] = e.Time
+			}
+		}
+	}
+	ids := make([]string, 0, len(earliest))
+	for id := range earliest {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if !earliest[ids[i]].Equal(earliest[ids[j]]) {
+			return earliest[ids[i]].Before(earliest[ids[j]])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Render writes the trace as an indented span tree with durations — the
+// human form meshtrace prints:
+//
+//	trace a1b2c3-000001: 9 spans, 3 members, 41.2ms
+//	  [ctl] control cycle 41.0ms
+//	    [ctl] control/sense sense 12.1ms
+//	      [proxy-a] vnet/sense probe-train +0.4ms hop 8.2ms
+func (mt *MeshTrace) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace %s: %d spans, %d members, %.1fms\n",
+		mt.TraceID, mt.Spans, len(mt.Members), mt.DurationMs)
+	for _, err := range mt.Errors {
+		fmt.Fprintf(w, "  (unreachable: %s)\n", err)
+	}
+	for _, sp := range mt.Roots {
+		sp.render(w, 1)
+	}
+}
+
+func (sp *MeshSpan) render(w io.Writer, depth int) {
+	e := sp.Event
+	name := e.Component
+	if e.Phase != "" && e.Phase != name {
+		name += "/" + e.Phase
+	}
+	fmt.Fprintf(w, "%s[%s] %s %s", strings.Repeat("  ", depth), sp.Member, name, e.Name)
+	if sp.StartOffsetMs > 0 {
+		fmt.Fprintf(w, " +%.1fms", sp.StartOffsetMs)
+	}
+	if e.DurationMs > 0 {
+		fmt.Fprintf(w, " %.1fms", e.DurationMs)
+	}
+	if sp.HopLatencyMs != 0 {
+		fmt.Fprintf(w, " hop %.1fms", sp.HopLatencyMs)
+	}
+	if err, ok := e.Attrs["error"]; ok {
+		fmt.Fprintf(w, " error=%v", err)
+	}
+	fmt.Fprintln(w)
+	for _, child := range sp.Children {
+		child.render(w, depth+1)
+	}
+}
+
+// ServeHTTP serves merged traces, so a *Collector mounts directly at
+// /debug/trace/ (note the trailing slash):
+//
+//	GET /debug/trace/           the retained trace IDs, as a JSON array
+//	GET /debug/trace/<id>       the merged MeshTrace, as JSON
+//	GET /debug/trace/<id>?format=text   the indented tree rendering
+func (c *Collector) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	if i := strings.Index(path, "/debug/trace"); i >= 0 {
+		path = path[i+len("/debug/trace"):]
+	}
+	id := strings.Trim(path, "/")
+	if id == "" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.TraceIDs())
+		return
+	}
+	mt := c.Trace(id)
+	if mt.Spans == 0 && len(mt.Errors) == 0 {
+		http.Error(w, "no events for trace "+id, http.StatusNotFound)
+		return
+	}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		mt.Render(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(mt)
+}

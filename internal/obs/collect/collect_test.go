@@ -1,0 +1,214 @@
+package collect
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"freemeasure/internal/obs"
+)
+
+// buildCycle records a synthetic two-node cycle: a root span with a sense
+// child on the controller ring, and a probe arrival on the remote node's
+// ring, parented into the sense span.
+func buildCycle(t *testing.T) (ctl, node *obs.FlightRecorder, traceID string) {
+	t.Helper()
+	ctl = obs.NewFlightRecorder(64)
+	node = obs.NewFlightRecorder(64)
+	ctx := obs.NewTrace()
+	traceID = ctx.TraceID
+
+	root := ctl.StartSpanCtx(ctx, "control", "", "cycle")
+	sense := ctl.StartSpanCtx(root.Context(), "control", "sense", "sense")
+	node.RecordCtx(sense.Context(), obs.Event{
+		Component: "vnet", Host: "node-b", Phase: "sense", Name: "probe-arrival",
+	})
+	sense.End()
+	root.End()
+	return ctl, node, traceID
+}
+
+func TestCollectorMergesAcrossSources(t *testing.T) {
+	ctl, node, traceID := buildCycle(t)
+	c := New(RecorderSource("ctl", ctl), RecorderSource("node-b", node))
+
+	mt := c.Trace(traceID)
+	if mt.Spans != 3 {
+		t.Fatalf("merged %d spans, want 3", mt.Spans)
+	}
+	if want := []string{"ctl", "node-b"}; len(mt.Members) != 2 || mt.Members[0] != want[0] || mt.Members[1] != want[1] {
+		t.Fatalf("members = %v, want %v", mt.Members, want)
+	}
+	if len(mt.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1 (the cycle span)", len(mt.Roots))
+	}
+	root := mt.Roots[0]
+	if root.Event.Name != "cycle" || root.Member != "ctl" {
+		t.Fatalf("root = %s on %s, want cycle on ctl", root.Event.Name, root.Member)
+	}
+	if len(root.Children) != 1 || root.Children[0].Event.Name != "sense" {
+		t.Fatalf("root children = %+v, want one sense span", root.Children)
+	}
+	sense := root.Children[0]
+	if len(sense.Children) != 1 {
+		t.Fatalf("sense children = %+v, want the remote probe-arrival", sense.Children)
+	}
+	arrival := sense.Children[0]
+	if arrival.Member != "node-b" {
+		t.Fatalf("probe-arrival attributed to %q, want node-b", arrival.Member)
+	}
+}
+
+func TestCollectorTraceIDs(t *testing.T) {
+	ctl, node, traceID := buildCycle(t)
+	c := New(RecorderSource("ctl", ctl), RecorderSource("node-b", node))
+	ids := c.TraceIDs()
+	if len(ids) != 1 || ids[0] != traceID {
+		t.Fatalf("TraceIDs = %v, want [%s]", ids, traceID)
+	}
+}
+
+func TestCollectorOrphanBecomesRoot(t *testing.T) {
+	fl := obs.NewFlightRecorder(64)
+	// A span whose parent fell out of the ring (or lived on an unreachable
+	// member) must still show up, as a root.
+	fl.RecordCtx(obs.TraceContext{TraceID: "gone-000001", SpanID: "feedfeedfeedfeed"}, obs.Event{
+		Component: "vnet", Name: "lonely",
+	})
+	mt := New(RecorderSource("a", fl)).Trace("gone-000001")
+	if mt.Spans != 1 || len(mt.Roots) != 1 || mt.Roots[0].Event.Name != "lonely" {
+		t.Fatalf("orphan not promoted to root: %+v", mt)
+	}
+}
+
+func TestHTTPSourceAgainstEventsHandler(t *testing.T) {
+	ctl, node, traceID := buildCycle(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/events" {
+			http.NotFound(w, r)
+			return
+		}
+		node.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := New(RecorderSource("ctl", ctl), HTTPSource("node-b", srv.URL))
+	mt := c.Trace(traceID)
+	if mt.Spans != 3 {
+		t.Fatalf("merged %d spans over HTTP, want 3 (errors: %v)", mt.Spans, mt.Errors)
+	}
+	if len(mt.Errors) != 0 {
+		t.Fatalf("unexpected member errors: %v", mt.Errors)
+	}
+}
+
+func TestCollectorUnreachableMemberDegrades(t *testing.T) {
+	ctl, _, traceID := buildCycle(t)
+	c := New(
+		RecorderSource("ctl", ctl),
+		HTTPSource("dead", "http://127.0.0.1:1"),
+	)
+	mt := c.Trace(traceID)
+	if mt.Spans == 0 {
+		t.Fatal("reachable member's spans lost when another member is down")
+	}
+	if len(mt.Errors) != 1 || !strings.HasPrefix(mt.Errors[0], "dead:") {
+		t.Fatalf("errors = %v, want one entry for the dead member", mt.Errors)
+	}
+}
+
+func TestCollectorHTTPHandler(t *testing.T) {
+	ctl, node, traceID := buildCycle(t)
+	c := New(RecorderSource("ctl", ctl), RecorderSource("node-b", node))
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	// Bare path lists trace IDs.
+	resp, err := http.Get(srv.URL + "/debug/trace/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	if err := json.NewDecoder(resp.Body).Decode(&ids); err != nil {
+		t.Fatalf("trace list is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if len(ids) != 1 || ids[0] != traceID {
+		t.Fatalf("trace list = %v, want [%s]", ids, traceID)
+	}
+
+	// A trace ID returns the merged mesh trace.
+	resp, err = http.Get(srv.URL + "/debug/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mt MeshTrace
+	if err := json.NewDecoder(resp.Body).Decode(&mt); err != nil {
+		t.Fatalf("mesh trace is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if mt.TraceID != traceID || mt.Spans != 3 {
+		t.Fatalf("served trace = %+v, want 3 spans of %s", mt, traceID)
+	}
+
+	// Unknown traces 404.
+	resp, err = http.Get(srv.URL + "/debug/trace/no-such-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace returned %d, want 404", resp.StatusCode)
+	}
+
+	// format=text renders the tree.
+	resp, err = http.Get(srv.URL + "/debug/trace/" + traceID + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	text := sb.String()
+	for _, want := range []string{"trace " + traceID, "cycle", "sense", "probe-arrival", "[node-b]"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRenderShowsHopLatency(t *testing.T) {
+	ctl := obs.NewFlightRecorder(8)
+	node := obs.NewFlightRecorder(8)
+	ctx := obs.NewTrace()
+	root := ctl.StartSpanCtx(ctx, "control", "", "cycle")
+	// The remote event starts measurably after the root span.
+	node.RecordCtx(root.Context(), obs.Event{
+		Component: "vnet", Name: "remote", Time: time.Now().Add(5 * time.Millisecond),
+	})
+	time.Sleep(time.Millisecond)
+	root.End()
+
+	mt := New(RecorderSource("ctl", ctl), RecorderSource("b", node)).Trace(ctx.TraceID)
+	if len(mt.Roots) != 1 || len(mt.Roots[0].Children) != 1 {
+		t.Fatalf("unexpected shape: %+v", mt)
+	}
+	if hop := mt.Roots[0].Children[0].HopLatencyMs; hop < 4 {
+		t.Fatalf("hop latency = %vms, want >= 4ms", hop)
+	}
+	var sb strings.Builder
+	mt.Render(&sb)
+	if !strings.Contains(sb.String(), "hop ") {
+		t.Fatalf("rendering does not attribute the hop:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,24 @@
+// Package collect merges per-node observability into a mesh-wide view.
+//
+// Every process in the sharded overlay keeps its own obs.FlightRecorder
+// (a bounded event ring served on /debug/events) and its own obs.Registry
+// (served on /metrics). Once one control cycle spans many processes —
+// proxies applying plan steps, daemons receiving probe trains, a
+// repository ingesting report batches — no single ring tells the whole
+// story. This package provides the two mergers:
+//
+//   - Collector pulls events from every ring member (in-process recorders
+//     or remote /debug/events endpoints), stitches the spans of one trace
+//     ID into a cross-node timeline with per-hop latency attribution, and
+//     serves it on /debug/trace/<id>.
+//
+//   - Federator scrapes every member's /metrics, re-exposes each series
+//     with a member label, and adds aggregated series (member="mesh"):
+//     counters and gauges summed, histogram buckets merged per le bound,
+//     exemplar trace IDs carried through — so one scrape answers both
+//     "how is the mesh doing" and "which node is the outlier", and a slow
+//     bucket still links to the trace that explains it.
+//
+// The package deliberately depends only on internal/obs: daemons,
+// controllers and the CLI mount its handlers via obs.WithHandler.
+package collect

@@ -1,0 +1,377 @@
+package collect
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"freemeasure/internal/obs"
+)
+
+// Member is one /metrics scrape target for federation.
+type Member struct {
+	Name  string
+	Fetch func() (string, error)
+}
+
+// RegistryMember adapts an in-process registry.
+func RegistryMember(name string, reg *obs.Registry) Member {
+	return Member{Name: name, Fetch: func() (string, error) {
+		return reg.String(), nil
+	}}
+}
+
+// HTTPMember adapts a remote member's /metrics endpoint; base is the
+// member's observability address ("http://host:port").
+func HTTPMember(name, base string) Member {
+	base = strings.TrimSuffix(base, "/")
+	return Member{Name: name, Fetch: func() (string, error) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("collect: %s: %s", name, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}}
+}
+
+// sample is one parsed exposition line: a metric name, its label set, a
+// value, and an optional raw exemplar suffix (` # {...} v ts`).
+type sample struct {
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar string
+}
+
+// parsed is one member's /metrics page, decomposed.
+type parsed struct {
+	helps   map[string]string
+	types   map[string]string
+	order   []string // family names, exposition order
+	samples []sample
+}
+
+// parseMetrics decodes the Prometheus text exposition format the obs
+// registry renders (HELP/TYPE comments, `name{labels} value` samples,
+// OpenMetrics exemplar suffixes on bucket lines). Lines it cannot parse
+// are skipped: federation degrades rather than fails.
+func parseMetrics(text string) parsed {
+	p := parsed{helps: make(map[string]string), types: make(map[string]string)}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			if name, help, ok := strings.Cut(rest, " "); ok {
+				p.helps[name] = help
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if name, kind, ok := strings.Cut(rest, " "); ok {
+				if _, seen := p.types[name]; !seen {
+					p.order = append(p.order, name)
+				}
+				p.types[name] = kind
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if s, ok := parseSample(line); ok {
+			p.samples = append(p.samples, s)
+		}
+	}
+	return p
+}
+
+func parseSample(line string) (sample, bool) {
+	var s sample
+	// The exemplar suffix begins at " # " — label values never contain
+	// that sequence (escapeLabel escapes quotes, and names contain no #).
+	if i := strings.Index(line, " # "); i >= 0 {
+		s.exemplar = line[i:]
+		line = line[:i]
+	}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, false
+		}
+		s.name = line[:i]
+		labels, ok := parseLabels(line[i+1 : j])
+		if !ok {
+			return s, false
+		}
+		s.labels = labels
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return s, false
+		}
+		s.name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, false
+	}
+	s.value = v
+	return s, true
+}
+
+// parseLabels decodes `k="v",k2="v2"` with the registry's escaping.
+func parseLabels(body string) (map[string]string, bool) {
+	labels := make(map[string]string)
+	for body != "" {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			return nil, false
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return nil, false
+			}
+			switch rest[i] {
+			case '\\':
+				if i+1 >= len(rest) {
+					return nil, false
+				}
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			case '"':
+			default:
+				val.WriteByte(rest[i])
+				i++
+				continue
+			}
+			break
+		}
+		labels[key] = val.String()
+		body = rest[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return labels, true
+}
+
+// renderLabels is the registry's deterministic {k="v",...} form.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.ReplaceAll(labels[k], `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		fmt.Fprintf(&b, `%s="%s"`, k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MeshMemberLabel is the label federation adds to every series; the
+// aggregated series use MeshAggregate as its value.
+const (
+	MeshMemberLabel = "member"
+	MeshAggregate   = "mesh"
+)
+
+// Federator scrapes every member's metrics and renders the mesh view.
+type Federator struct {
+	mu      sync.RWMutex
+	members []Member
+}
+
+// NewFederator builds a federator over the given members.
+func NewFederator(members ...Member) *Federator {
+	return &Federator{members: members}
+}
+
+// AddMember registers one more scrape target.
+func (f *Federator) AddMember(m Member) {
+	f.mu.Lock()
+	f.members = append(f.members, m)
+	f.mu.Unlock()
+}
+
+// aggKey identifies one aggregated series: sample name plus the label set
+// without the member label.
+type aggKey struct {
+	name   string
+	labels string
+}
+
+// Render scrapes all members (concurrently) and writes the federated
+// exposition: every member series re-labeled with member="<name>", plus
+// one aggregated series per (name, labels) with member="mesh" — counters,
+// gauges and histogram bucket/sum/count lines summed across members, the
+// most recent exemplar carried onto the aggregated bucket. A member that
+// fails to scrape contributes nothing but is visible as
+// mesh_member_up{member="<name>"} 0.
+func (f *Federator) Render(w io.Writer) {
+	f.mu.RLock()
+	members := append([]Member(nil), f.members...)
+	f.mu.RUnlock()
+
+	type page struct {
+		member string
+		parsed parsed
+		err    error
+	}
+	pages := make([]page, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			text, err := m.Fetch()
+			pages[i] = page{member: m.Name, err: err}
+			if err == nil {
+				pages[i].parsed = parseMetrics(text)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	// Merge family metadata in first-seen order across members.
+	helps := make(map[string]string)
+	types := make(map[string]string)
+	var famOrder []string
+	for _, pg := range pages {
+		if pg.err != nil {
+			continue
+		}
+		for _, name := range pg.parsed.order {
+			if _, seen := types[name]; !seen {
+				famOrder = append(famOrder, name)
+				types[name] = pg.parsed.types[name]
+				helps[name] = pg.parsed.helps[name]
+			}
+		}
+	}
+
+	// Group samples by family (histogram samples belong to their base
+	// name), keeping member order and each member's exposition order.
+	type memberSample struct {
+		member string
+		sample
+	}
+	byFamily := make(map[string][]memberSample)
+	for _, pg := range pages {
+		if pg.err != nil {
+			continue
+		}
+		for _, s := range pg.parsed.samples {
+			byFamily[familyOf(s.name, types)] = append(byFamily[familyOf(s.name, types)],
+				memberSample{member: pg.member, sample: s})
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP mesh_member_up Whether the last federation scrape of this member succeeded.\n")
+	fmt.Fprintf(w, "# TYPE mesh_member_up gauge\n")
+	for _, pg := range pages {
+		up := 1
+		if pg.err != nil {
+			up = 0
+		}
+		fmt.Fprintf(w, "mesh_member_up{%s=%q} %d\n", MeshMemberLabel, pg.member, up)
+	}
+
+	for _, fam := range famOrder {
+		samples := byFamily[fam]
+		if len(samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", fam, helps[fam])
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, types[fam])
+
+		// Aggregate while emitting the per-member series.
+		agg := make(map[aggKey]float64)
+		aggEx := make(map[aggKey]string)
+		var aggOrder []aggKey
+		for _, ms := range samples {
+			labels := make(map[string]string, len(ms.labels)+1)
+			for k, v := range ms.labels {
+				labels[k] = v
+			}
+			labels[MeshMemberLabel] = ms.member
+			fmt.Fprintf(w, "%s%s %s%s\n", ms.name, renderLabels(labels), formatValue(ms.value), ms.exemplar)
+
+			key := aggKey{name: ms.name, labels: renderLabels(ms.sample.labels)}
+			if _, seen := agg[key]; !seen {
+				aggOrder = append(aggOrder, key)
+			}
+			agg[key] += ms.value
+			if ms.exemplar != "" {
+				aggEx[key] = ms.exemplar
+			}
+		}
+		for _, key := range aggOrder {
+			labels := map[string]string{MeshMemberLabel: MeshAggregate}
+			if key.labels != "" {
+				parsedLabels, ok := parseLabels(key.labels[1 : len(key.labels)-1])
+				if ok {
+					for k, v := range parsedLabels {
+						labels[k] = v
+					}
+				}
+			}
+			fmt.Fprintf(w, "%s%s %s%s\n", key.name, renderLabels(labels), formatValue(agg[key]), aggEx[key])
+		}
+	}
+}
+
+// familyOf maps a sample name to its family: histogram bucket/sum/count
+// samples report under the base histogram name.
+func familyOf(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ServeHTTP serves the federated exposition, so a *Federator mounts
+// directly at /metrics/mesh.
+func (f *Federator) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	f.Render(w)
+}

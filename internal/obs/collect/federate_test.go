@@ -1,0 +1,155 @@
+package collect
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"freemeasure/internal/obs"
+)
+
+func memberRegistry(traffic uint64, cycleSec float64, trace string) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("frames_total", "Frames relayed.").Add(traffic)
+	reg.Gauge("links", "Open links.").Set(2)
+	h := reg.Histogram("cycle_seconds", "Cycle latency.", []float64{0.01, 0.1, 1})
+	if cycleSec > 0 {
+		h.ObserveExemplar(cycleSec, trace)
+	}
+	reg.Counter("per_link_frames_total", "Per-link frames.", "peer", "proxy-a").Add(7)
+	return reg
+}
+
+func TestFederatorAggregates(t *testing.T) {
+	f := NewFederator(
+		RegistryMember("a", memberRegistry(10, 0.05, "")),
+		RegistryMember("b", memberRegistry(32, 0.02, "tr-000007")),
+	)
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		`mesh_member_up{member="a"} 1`,
+		`mesh_member_up{member="b"} 1`,
+		`frames_total{member="a"} 10`,
+		`frames_total{member="b"} 32`,
+		`frames_total{member="mesh"} 42`,
+		`links{member="mesh"} 4`,
+		`per_link_frames_total{member="mesh",peer="proxy-a"} 14`,
+		`cycle_seconds_count{member="mesh"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated output missing %q", want)
+		}
+	}
+	// Both members observed below the 0.1 bound; the merged bucket sums
+	// them and keeps b's exemplar.
+	bucket := regexp.MustCompile(`cycle_seconds_bucket\{le="0\.1",member="mesh"\} 2 # \{trace_id="tr-000007"\}`)
+	if !bucket.MatchString(out) {
+		t.Errorf("merged histogram bucket with exemplar not found in:\n%s", out)
+	}
+	if t.Failed() {
+		t.Logf("full output:\n%s", out)
+	}
+}
+
+func TestFederatorHelpTypeOncePerFamily(t *testing.T) {
+	f := NewFederator(
+		RegistryMember("a", memberRegistry(1, 0, "")),
+		RegistryMember("b", memberRegistry(1, 0, "")),
+	)
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE frames_total counter"); n != 1 {
+		t.Errorf("TYPE line for frames_total appears %d times, want 1", n)
+	}
+	if n := strings.Count(out, "# TYPE cycle_seconds histogram"); n != 1 {
+		t.Errorf("TYPE line for cycle_seconds appears %d times, want 1", n)
+	}
+}
+
+func TestFederatorDeadMemberReported(t *testing.T) {
+	f := NewFederator(
+		RegistryMember("a", memberRegistry(5, 0, "")),
+		HTTPMember("dead", "http://127.0.0.1:1"),
+	)
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `mesh_member_up{member="dead"} 0`) {
+		t.Errorf("dead member not reported down:\n%s", out)
+	}
+	if !strings.Contains(out, `frames_total{member="mesh"} 5`) {
+		t.Errorf("live member's series lost when another member is down:\n%s", out)
+	}
+}
+
+func TestFederatorOverHTTP(t *testing.T) {
+	reg := memberRegistry(3, 0, "")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(reg.String()))
+	}))
+	defer srv.Close()
+
+	f := NewFederator(HTTPMember("remote", srv.URL))
+	fsrv := httptest.NewServer(f)
+	defer fsrv.Close()
+	resp, err := http.Get(fsrv.URL + "/metrics/mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, `frames_total{member="remote"} 3`) {
+		t.Errorf("HTTP federation missing remote series:\n%s", out)
+	}
+	if !strings.Contains(out, `frames_total{member="mesh"} 3`) {
+		t.Errorf("HTTP federation missing aggregate:\n%s", out)
+	}
+}
+
+func TestParseSampleRoundTrip(t *testing.T) {
+	cases := []struct {
+		line  string
+		name  string
+		value float64
+	}{
+		{`plain_total 42`, "plain_total", 42},
+		{`labeled{a="x",b="y z"} 1.5`, "labeled", 1.5},
+		{`esc{k="a\"b\\c"} 2`, "esc", 2},
+		{`buck_bucket{le="+Inf"} 9 # {trace_id="t-1"} 0.2 1700000000.000`, "buck_bucket", 9},
+	}
+	for _, c := range cases {
+		s, ok := parseSample(c.line)
+		if !ok {
+			t.Errorf("parseSample(%q) failed", c.line)
+			continue
+		}
+		if s.name != c.name || s.value != c.value {
+			t.Errorf("parseSample(%q) = %q %v, want %q %v", c.line, s.name, s.value, c.name, c.value)
+		}
+	}
+	if s, _ := parseSample(`esc{k="a\"b\\c"} 2`); s.labels["k"] != `a"b\c` {
+		t.Errorf("escaped label = %q, want %q", s.labels["k"], `a"b\c`)
+	}
+	if s, _ := parseSample(`buck_bucket{le="+Inf"} 9 # {trace_id="t-1"} 0.2 1700000000.000`); !strings.Contains(s.exemplar, `trace_id="t-1"`) {
+		t.Errorf("exemplar suffix lost: %q", s.exemplar)
+	}
+}

@@ -31,7 +31,12 @@ type Event struct {
 	Seq  uint64    `json:"seq"`
 	Time time.Time `json:"time"`
 	// Trace correlates the events of one control cycle.
-	Trace     string `json:"trace,omitempty"`
+	Trace string `json:"trace,omitempty"`
+	// Span identifies this event within its trace; Parent is the span it
+	// was recorded under (possibly on another node — see TraceContext).
+	// Both are empty for events recorded outside a distributed trace.
+	Span      string `json:"span,omitempty"`
+	Parent    string `json:"parent,omitempty"`
 	Component string `json:"component,omitempty"`
 	Host      string `json:"host,omitempty"`
 	// Phase is the control-loop stage: "sense", "decide" or "apply".
@@ -135,6 +140,60 @@ func (r *FlightRecorder) StartSpan(trace, component, phase, name string) *Span {
 		rec:   r,
 		ev:    Event{Trace: trace, Component: component, Phase: phase, Name: name},
 		start: time.Now(),
+	}
+}
+
+// StartSpanCtx begins a timed event inside a distributed trace: the span
+// records under ctx's trace ID with a parent link to ctx's span, and gets
+// a fresh span ID of its own so further work (possibly on other nodes)
+// can nest under it via Context. An invalid ctx degrades to a local span
+// exactly like StartSpan's.
+func (r *FlightRecorder) StartSpanCtx(ctx TraceContext, component, phase, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{
+		rec: r,
+		ev: Event{
+			Trace: ctx.TraceID, Parent: ctx.SpanID, Span: NextSpanID(),
+			Component: component, Phase: phase, Name: name,
+		},
+		start: time.Now(),
+	}
+}
+
+// RecordCtx appends one instant (un-timed) event inside a distributed
+// trace: it is stamped with ctx's trace ID, a parent link to ctx's span,
+// and a fresh span ID so the collector can place it in the span tree.
+func (r *FlightRecorder) RecordCtx(ctx TraceContext, e Event) {
+	if r == nil {
+		return
+	}
+	if ctx.Valid() {
+		e.Trace = ctx.TraceID
+		e.Parent = ctx.SpanID
+		if e.Span == "" {
+			e.Span = NextSpanID()
+		}
+	}
+	r.Record(e)
+}
+
+// Context returns the trace context pointing at this span, for handing to
+// the next hop (remote daemons, report batches, probe trains) so their
+// spans nest under it. A nil span yields the zero ("no trace") context.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.ev.Trace, SpanID: s.ev.Span}
+}
+
+// SetHost stamps the span's eventual event with the recording node's
+// name (the Event.Host field).
+func (s *Span) SetHost(host string) {
+	if s != nil {
+		s.ev.Host = host
 	}
 }
 

@@ -1,0 +1,130 @@
+package obs_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"freemeasure/internal/obs"
+	"freemeasure/internal/obs/collect"
+)
+
+// TestFlightRecorderConcurrentIngestion hammers one recorder the way a
+// busy mesh member is hammered: many writers recording spans under shared
+// cross-node trace contexts (probe arrivals, ring registrations, report
+// ingests all land on the same ring) while readers drain /debug/events
+// and a collector merges traces mid-flight. Run with -race, this is the
+// recorder's data-race regression test; the assertions only sanity-check
+// that the ring stayed bounded and consistent.
+func TestFlightRecorderConcurrentIngestion(t *testing.T) {
+	const (
+		capacity  = 256 // small ring: writers wrap it many times over
+		writers   = 8
+		readers   = 4
+		perWriter = 400
+	)
+	fl := obs.NewFlightRecorder(capacity)
+	traces := make([]obs.TraceContext, 4)
+	for i := range traces {
+		traces[i] = obs.NewTrace()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			col := collect.New(collect.RecorderSource("m", fl))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fl.Events(0)
+				rec := httptest.NewRecorder()
+				fl.ServeHTTP(rec, httptest.NewRequest("GET",
+					"/debug/events?trace="+traces[0].TraceID, nil))
+				if rec.Code != 200 {
+					t.Errorf("/debug/events: %d", rec.Code)
+					return
+				}
+				col.Trace(traces[0].TraceID)
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			host := fmt.Sprintf("node-%d", w)
+			for i := 0; i < perWriter; i++ {
+				ctx := traces[(w+i)%len(traces)]
+				switch i % 3 {
+				case 0:
+					sp := fl.StartSpanCtx(ctx, "vnet", "sense", "probe-train")
+					sp.SetHost(host)
+					sp.SetAttr("seq", i)
+					sp.End()
+				case 1:
+					fl.RecordCtx(ctx, obs.Event{
+						Component: "vnet", Phase: "sense", Name: "probe-arrival",
+						Host: host, Attrs: map[string]any{"from": "peer"},
+					})
+				case 2:
+					fl.Record(obs.Event{Component: "vnet", Name: "untraced", Host: host})
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := fl.Total(); got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+	evs := fl.Events(0)
+	if len(evs) == 0 || len(evs) > capacity {
+		t.Fatalf("ring holds %d events, want 1..%d", len(evs), capacity)
+	}
+	// Whatever survived eviction is internally consistent: traced events
+	// carry span IDs and belong to one of our traces.
+	known := make(map[string]bool, len(traces))
+	for _, tr := range traces {
+		known[tr.TraceID] = true
+	}
+	for _, e := range evs {
+		if e.Name == "untraced" {
+			if e.Trace != "" {
+				t.Fatalf("untraced event gained trace %q", e.Trace)
+			}
+			continue
+		}
+		if !known[e.Trace] {
+			t.Fatalf("event %q under unknown trace %q", e.Name, e.Trace)
+		}
+		if e.Span == "" {
+			t.Fatalf("traced event %q has no span ID: %+v", e.Name, e)
+		}
+	}
+	// A post-quiescence merge sees every surviving traced event.
+	col := collect.New(collect.RecorderSource("m", fl))
+	var merged int
+	for _, tr := range traces {
+		merged += col.Trace(tr.TraceID).Spans
+	}
+	var traced int
+	for _, e := range evs {
+		if e.Trace != "" {
+			traced++
+		}
+	}
+	if merged != traced {
+		t.Fatalf("collector merged %d spans, ring holds %d traced events", merged, traced)
+	}
+}

@@ -26,6 +26,12 @@ type MuxOption func(*muxOptions)
 type muxOptions struct {
 	flight *FlightRecorder
 	state  func() any
+	extra  []extraHandler
+}
+
+type extraHandler struct {
+	pattern string
+	h       http.Handler
 }
 
 // WithFlight mounts fr as /debug/events (the decision flight recorder)
@@ -40,6 +46,18 @@ func WithFlight(fr *FlightRecorder) MuxOption {
 // snapshot (global view, learned peers, installed config, last plan).
 func WithState(state func() any) MuxOption {
 	return func(o *muxOptions) { o.state = state }
+}
+
+// WithHandler mounts h at pattern on the operator mux — the extension
+// point for surfaces obs cannot build itself without an import cycle
+// (the mesh trace collector's /debug/trace/, the metrics federator's
+// /metrics/mesh). A nil handler mounts nothing.
+func WithHandler(pattern string, h http.Handler) MuxOption {
+	return func(o *muxOptions) {
+		if h != nil {
+			o.extra = append(o.extra, extraHandler{pattern: pattern, h: h})
+		}
+	}
 }
 
 // NewMux builds the operator surface around a registry:
@@ -87,6 +105,9 @@ func NewMux(reg *Registry, healthy func() error, opts ...MuxOption) *http.ServeM
 		reg.GaugeFunc("flight_recorder_events_total",
 			"Events recorded by the decision flight recorder (including overwritten ones).",
 			func() float64 { return float64(o.flight.Total()) })
+	}
+	for _, e := range o.extra {
+		mux.Handle(e.pattern, e.h)
 	}
 	if o.state != nil {
 		state := o.state

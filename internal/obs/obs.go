@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing counter. The zero value is ready to
@@ -75,20 +76,35 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Exemplar links one observed value to the trace that produced it — the
+// bridge from a histogram bucket ("p99 is slow") to the flight-recorder
+// trace that explains why. Rendered OpenMetrics-style after the bucket
+// line: `# {trace_id="..."} value timestamp`.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
+
 // Histogram counts observations into fixed buckets (cumulative on render,
 // per-bucket internally). A nil *Histogram is a valid no-op. Buckets are
 // fixed at construction; observation is lock-free.
 type Histogram struct {
-	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
-	counts  []atomic.Uint64
-	total   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds    []float64 // ascending upper bounds; an implicit +Inf follows
+	counts    []atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // latest exemplar per bucket
+	total     atomic.Uint64
+	sumBits   atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one sample.
@@ -96,7 +112,25 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.observe(sort.SearchFloat64s(h.bounds, v), v) // first bound >= v
+}
+
+// ObserveExemplar records one sample and attaches traceID as the bucket's
+// exemplar (replacing any previous one), so the rendered bucket links to
+// the flight-recorder trace behind its latest observation. An empty
+// traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+	h.observe(i, v)
+}
+
+func (h *Histogram) observe(i int, v float64) {
 	h.counts[i].Add(1)
 	h.total.Add(1)
 	for {
@@ -354,15 +388,39 @@ func (r *Registry) Render(b *strings.Builder) {
 				for i, bound := range s.h.bounds {
 					cum += s.h.counts[i].Load()
 					le := mergeLabels(s.labels, `le="`+formatFloat(bound)+`"`)
-					fmt.Fprintf(b, "%s_bucket%s %d\n", fam.name, le, cum)
+					fmt.Fprintf(b, "%s_bucket%s %d%s\n", fam.name, le, cum, renderExemplar(s.h.exemplars[i].Load()))
 				}
 				le := mergeLabels(s.labels, `le="+Inf"`)
-				fmt.Fprintf(b, "%s_bucket%s %d\n", fam.name, le, s.h.Count())
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n", fam.name, le, s.h.Count(),
+					renderExemplar(s.h.exemplars[len(s.h.bounds)].Load()))
 				fmt.Fprintf(b, "%s_sum%s %s\n", fam.name, s.labels, formatFloat(s.h.Sum()))
 				fmt.Fprintf(b, "%s_count%s %d\n", fam.name, s.labels, s.h.Count())
 			}
 		}
 	}
+}
+
+// renderExemplar formats an OpenMetrics-style exemplar suffix for a
+// bucket line ("" when the bucket has none).
+func renderExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+		escapeLabel(e.TraceID), formatFloat(e.Value),
+		strconv.FormatFloat(float64(e.Time.UnixNano())/1e9, 'f', 3, 64))
+}
+
+// Names returns the registered metric family names, in registration
+// order — the docs-audit surface: every name here must appear in the
+// operator metric reference.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
 }
 
 // String renders the registry to a string (mainly for tests and logs).

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// This file defines the trace context that rides across node boundaries.
+// A FlightRecorder is strictly per-process; once the hub is sharded, one
+// control cycle touches N processes and leaves N disjoint event rings.
+// TraceContext is the correlation token that stitches them back together:
+// the originating cycle mints one, every cross-node operation (plan
+// steps, ring registrations, probe trains, trace batches) carries its
+// encoded form, and every receiving node records its spans under the
+// same trace ID with a parent link into the sender's span — so a
+// collector can merge the rings into one cross-node timeline.
+
+// TraceContext identifies a position in a distributed trace: the trace
+// (one controller cycle, one re-home storm, one probe campaign) and the
+// span under which new work should be recorded. The zero value is the
+// "no trace" state; propagating it is free and records nothing special.
+type TraceContext struct {
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// NewTrace mints a fresh root context: a new trace ID and no parent
+// span. Spans started from it become the trace's roots.
+func NewTrace() TraceContext {
+	return TraceContext{TraceID: NextTraceID()}
+}
+
+// Valid reports whether the context carries a trace at all.
+func (c TraceContext) Valid() bool { return c.TraceID != "" }
+
+// zeroSpanID is the wire form of "no parent span" — the W3C traceparent
+// convention of an all-zero parent ID.
+const zeroSpanID = "0000000000000000"
+
+// Encode renders the context in W3C-traceparent shape:
+//
+//	00-<trace-id>-<span-id>-01
+//
+// Trace IDs contain a dash (prefix-counter, see NextTraceID); span IDs
+// are dash-free, which is what keeps the form parseable. An invalid
+// context encodes to "".
+func (c TraceContext) Encode() string {
+	if !c.Valid() {
+		return ""
+	}
+	span := c.SpanID
+	if span == "" {
+		span = zeroSpanID
+	}
+	return "00-" + c.TraceID + "-" + span + "-01"
+}
+
+// ParseTraceContext decodes an Encode'd context. Because the trace ID may
+// itself contain dashes, the fields are anchored from the ends: version
+// first, flags last, the dash-free span ID second to last, and everything
+// between version and span is the trace ID.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 || parts[0] != "00" {
+		return TraceContext{}, false
+	}
+	span := parts[len(parts)-2]
+	trace := strings.Join(parts[1:len(parts)-2], "-")
+	if trace == "" || span == "" {
+		return TraceContext{}, false
+	}
+	if span == zeroSpanID {
+		span = ""
+	}
+	return TraceContext{TraceID: trace, SpanID: span}, true
+}
+
+// spanCounter numbers span IDs within this process; combined with the
+// random per-process tracePrefix the IDs stay unique across the nodes an
+// operator merges. Span IDs are 16 hex chars and contain no dash (Encode
+// depends on that).
+var spanCounter atomic.Uint64
+
+// NextSpanID returns a fresh span ID, e.g. "a1b2c3000000002a".
+func NextSpanID() string {
+	return fmt.Sprintf("%s%010x", tracePrefix, spanCounter.Add(1))
+}

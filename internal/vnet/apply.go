@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
 )
 
 // This file is the overlay's transactional reconfiguration surface: a
@@ -86,6 +87,12 @@ func (s Step) String() string {
 // Plan is an ordered list of steps; Apply executes them in order.
 type Plan struct {
 	Steps []Step
+	// Trace is the originating controller cycle's trace context. When
+	// valid, Apply records one span per executed step on the flight
+	// recorder of the daemon the step touches, so a mesh-wide collector
+	// can reassemble which nodes an adaptation reconfigured and how long
+	// each hop took. The zero value records nothing extra.
+	Trace obs.TraceContext
 }
 
 // Empty reports whether the plan changes nothing.
@@ -174,20 +181,24 @@ func (o *Overlay) Apply(plan Plan, mig Migrator) (ApplyResult, error) {
 		}
 	}
 	for i, s := range plan.Steps {
-		changed, undo, err := o.applyStep(s, mig)
+		sp := o.stepSpan(plan.Trace, s)
+		changed, undo, err := o.applyStep(s, mig, plan.Trace)
 		if err != nil {
 			res.Steps[i].Outcome = StepFailed
 			res.Steps[i].Err = err.Error()
+			endStepSpan(sp, StepFailed, err)
 			rollback()
 			return res, fmt.Errorf("vnet: apply %s: %w", s, err)
 		}
 		if !changed {
 			res.Steps[i].Outcome = StepSkipped
 			res.Skipped++
+			endStepSpan(sp, StepSkipped, nil)
 			continue
 		}
 		res.Steps[i].Outcome = StepApplied
 		res.Applied++
+		endStepSpan(sp, StepApplied, nil)
 		if undo != nil {
 			undos = append(undos, undoEntry{step: i, fn: undo})
 		}
@@ -195,9 +206,59 @@ func (o *Overlay) Apply(plan Plan, mig Migrator) (ApplyResult, error) {
 	return res, nil
 }
 
+// stepSpan opens the per-step apply span on the flight recorder of the
+// daemon the step touches, nested under the plan's (cross-node) trace
+// context. Without a trace, or when the step's daemon is unknown or has
+// no recorder, it returns a nil no-op span.
+func (o *Overlay) stepSpan(ctx obs.TraceContext, s Step) *obs.Span {
+	if !ctx.Valid() {
+		return nil
+	}
+	d := o.stepDaemon(s)
+	if d == nil {
+		return nil
+	}
+	sp := d.Flight().StartSpanCtx(ctx, "vnet", "apply", "step "+s.Op.String())
+	sp.SetHost(d.Name())
+	sp.SetAttr("step", s.String())
+	return sp
+}
+
+func endStepSpan(sp *obs.Span, outcome StepOutcome, err error) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("outcome", string(outcome))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+}
+
+// stepDaemon picks the member daemon a step's span should be recorded
+// on: the site whose state the step primarily mutates.
+func (o *Overlay) stepDaemon(s Step) *Daemon {
+	var n *Node
+	switch s.Op {
+	case OpAddLink, OpRemoveLink:
+		n = o.Member(s.A)
+	case OpAddRule, OpRemoveRule:
+		n = o.Member(s.Host)
+	case OpMigrate:
+		n = o.Member(s.B) // the receiving host ends up owning the VM
+	case OpSetProxies:
+		n = o.Proxy // per-member ring-swap events carry the rest
+	}
+	if n == nil {
+		return nil
+	}
+	return n.Daemon
+}
+
 // applyStep executes one step, returning whether it changed anything and
-// the inverse action for rollback.
-func (o *Overlay) applyStep(s Step, mig Migrator) (changed bool, undo func(), err error) {
+// the inverse action for rollback. ctx travels with membership changes so
+// every member's ring-transition events join the plan's trace.
+func (o *Overlay) applyStep(s Step, mig Migrator, ctx obs.TraceContext) (changed bool, undo func(), err error) {
 	switch s.Op {
 	case OpAddLink:
 		na, nb := o.Node(s.A), o.Node(s.B)
@@ -268,7 +329,7 @@ func (o *Overlay) applyStep(s Step, mig Migrator) (changed bool, undo func(), er
 		if o.Ring != nil && sameMembers(o.Ring.Members(), s.Proxies) {
 			return false, nil, nil
 		}
-		prev, err := o.SetProxySet(s.Proxies)
+		prev, err := o.SetProxySetCtx(ctx, s.Proxies)
 		if err != nil {
 			return false, nil, err
 		}
@@ -277,7 +338,7 @@ func (o *Overlay) applyStep(s Step, mig Migrator) (changed bool, undo func(), er
 			// but also unreachable from NewMesh, which always installs one.
 			return true, nil, nil
 		}
-		return true, func() { o.SetProxySet(prev) }, nil
+		return true, func() { o.SetProxySetCtx(ctx, prev) }, nil
 
 	default:
 		return false, nil, fmt.Errorf("unknown op %v", s.Op)

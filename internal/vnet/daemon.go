@@ -204,6 +204,15 @@ func (d *Daemon) SetFlight(fr *obs.FlightRecorder) {
 	d.mu.Unlock()
 }
 
+// Flight returns the attached flight recorder (nil — a valid no-op
+// recorder — when none is attached). Cross-node instrumentation like
+// Overlay.Apply uses it to record spans on the daemon a step touches.
+func (d *Daemon) Flight() *obs.FlightRecorder {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.flight
+}
+
 // SetLogger attaches a structured logger for link lifecycle events
 // (obs.NewLogger builds one with the shared attribute vocabulary). Nil —
 // the default — keeps the daemon silent.
@@ -609,6 +618,11 @@ func (d *Daemon) handleFrame(f *ethernet.Frame, fromPeer string, ttl byte) {
 // delivery materializes a Frame whose payload aliases the buffer).
 func (d *Daemon) relayFrame(payload []byte, hdr ethernet.Header, fromPeer string, ttl byte) (retained bool) {
 	d.learn(hdr.Src, fromPeer)
+	if hdr.Type == ethernet.TypeProbe {
+		// Rare by construction (probe trains, never application traffic);
+		// the head frame of a traced train carries a trace context.
+		d.probeArrived(payload, fromPeer)
+	}
 	if hdr.Dst.IsBroadcast() {
 		return d.floodRaw(payload, hdr, fromPeer, ttl)
 	}

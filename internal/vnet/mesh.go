@@ -38,9 +38,14 @@ const (
 var ringRegPrefix = []byte(`{"kind":"ring-register"`)
 
 type ringRegMsg struct {
-	Kind   string   `json:"kind"`
+	Kind   string   `json:"kind"` // must stay first: ringRegPrefix matches on it
 	Action string   `json:"action"`
 	MACs   []string `json:"macs"` // hex, as in controlMsg
+	// Trace is the encoded obs.TraceContext of the ring transition that
+	// triggered this registration (re-home, plan step), letting the owner
+	// record the re-learn under the originating trace. Empty for steady
+	// state announcements.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SetProxyRing installs (or clears, with nil) the proxy ring in the
@@ -48,6 +53,14 @@ type ringRegMsg struct {
 // owners. Installing a ring with the same membership is a no-op, so
 // transactional re-applies are idempotent.
 func (d *Daemon) SetProxyRing(r *ProxyRing) {
+	d.SetProxyRingCtx(obs.TraceContext{}, r)
+}
+
+// SetProxyRingCtx is SetProxyRing inside a distributed trace: the
+// ring-swap flight event and the registrations pushed to the new owners
+// are recorded under ctx, so a membership change driven by a controller
+// plan stays correlated across every node it touched.
+func (d *Daemon) SetProxyRingCtx(ctx obs.TraceContext, r *ProxyRing) {
 	d.mu.Lock()
 	prev := d.fwd.Load().ring
 	if prev == r || (prev != nil && r != nil && prev.version == r.version) {
@@ -57,8 +70,8 @@ func (d *Daemon) SetProxyRing(r *ProxyRing) {
 	d.swapFwdLocked(func(t *fwdTable) { t.ring = r })
 	fl, log := d.flight, d.log
 	d.mu.Unlock()
-	d.ringChanged(prev, r, fl, log, "ring-swap")
-	d.announceAll()
+	d.ringChanged(ctx, prev, r, fl, log, "ring-swap")
+	d.announceAll(ctx)
 }
 
 // Ring returns the currently installed proxy ring (nil on a pure star).
@@ -71,7 +84,7 @@ func (d *Daemon) DefaultRoute() string { return d.fwd.Load().deflt }
 // primitive. The read-modify-write runs under d.mu so two concurrent
 // link-down events both land. Returns the shrunk ring, or nil when
 // nothing changed.
-func (d *Daemon) dropRingMember(peer string) *ProxyRing {
+func (d *Daemon) dropRingMember(ctx obs.TraceContext, peer string) *ProxyRing {
 	d.mu.Lock()
 	prev := d.fwd.Load().ring
 	if prev == nil {
@@ -86,14 +99,15 @@ func (d *Daemon) dropRingMember(peer string) *ProxyRing {
 	d.swapFwdLocked(func(t *fwdTable) { t.ring = next })
 	fl, log := d.flight, d.log
 	d.mu.Unlock()
-	d.ringChanged(prev, next, fl, log, "ring-shrink")
-	d.announceAll()
+	d.ringChanged(ctx, prev, next, fl, log, "ring-shrink")
+	d.announceAll(ctx)
 	return next
 }
 
 // ringChanged emits the metrics, flight event, and log line for a ring
-// transition.
-func (d *Daemon) ringChanged(prev, cur *ProxyRing, fl *obs.FlightRecorder, log *slog.Logger, event string) {
+// transition. With a valid ctx the event joins the distributed trace of
+// whatever drove the transition (plan step, proxy loss).
+func (d *Daemon) ringChanged(ctx obs.TraceContext, prev, cur *ProxyRing, fl *obs.FlightRecorder, log *slog.Logger, event string) {
 	if prev != nil {
 		d.met.RingRebalances.Inc()
 	}
@@ -104,7 +118,7 @@ func (d *Daemon) ringChanged(prev, cur *ProxyRing, fl *obs.FlightRecorder, log *
 		members = cur.Members()
 		version = cur.version
 	}
-	fl.Record(obs.Event{
+	fl.RecordCtx(ctx, obs.Event{
 		Component: "vnet", Host: d.name, Name: event,
 		Attrs: map[string]any{
 			"members": append([]string(nil), members...),
@@ -120,7 +134,7 @@ func (d *Daemon) ringChanged(prev, cur *ProxyRing, fl *obs.FlightRecorder, log *
 // batching one message per owner. Best-effort: owners without a live
 // link yet get the registrations when the link comes up
 // (announceOwnedTo).
-func (d *Daemon) announceAll() {
+func (d *Daemon) announceAll(ctx obs.TraceContext) {
 	t := d.fwd.Load()
 	if t.ring == nil || len(t.vms) == 0 {
 		return
@@ -134,7 +148,7 @@ func (d *Daemon) announceAll() {
 		byOwner[owner] = append(byOwner[owner], macToHex(mac))
 	}
 	for owner, macs := range byOwner {
-		d.sendRingReg(owner, ringRegAdd, macs)
+		d.sendRingReg(ctx, owner, ringRegAdd, macs)
 	}
 }
 
@@ -148,7 +162,7 @@ func (d *Daemon) announceVM(mac ethernet.MAC, action string) {
 	if owner == d.name {
 		return
 	}
-	d.sendRingReg(owner, action, []string{macToHex(mac)})
+	d.sendRingReg(obs.TraceContext{}, owner, action, []string{macToHex(mac)})
 }
 
 // announceOwnedTo pushes the registrations a specific peer owns — the
@@ -168,15 +182,15 @@ func (d *Daemon) announceOwnedTo(peer string) {
 		}
 	}
 	if len(macs) > 0 {
-		d.sendRingReg(peer, ringRegAdd, macs)
+		d.sendRingReg(obs.TraceContext{}, peer, ringRegAdd, macs)
 	}
 }
 
 // sendRingReg marshals and pushes one registration message; errors are
 // dropped by design (no link yet — the link-up hook re-announces).
-func (d *Daemon) sendRingReg(owner, action string, macs []string) {
+func (d *Daemon) sendRingReg(ctx obs.TraceContext, owner, action string, macs []string) {
 	sort.Strings(macs) // deterministic wire form, for replayable chaos runs
-	raw, err := json.Marshal(ringRegMsg{Kind: ringRegKind, Action: action, MACs: macs})
+	raw, err := json.Marshal(ringRegMsg{Kind: ringRegKind, Action: action, MACs: macs, Trace: ctx.Encode()})
 	if err != nil {
 		return
 	}
@@ -214,6 +228,17 @@ func (d *Daemon) handleRingReg(fromPeer string, payload []byte) {
 	if n > 0 {
 		d.met.RingRegistrations.Add(uint64(n))
 	}
+	if ctx, ok := obs.ParseTraceContext(msg.Trace); ok && n > 0 {
+		// The re-learn half of a traced ring transition: record it at the
+		// owner so the collector sees where the registrations landed.
+		d.mu.RLock()
+		fl := d.flight
+		d.mu.RUnlock()
+		fl.RecordCtx(ctx, obs.Event{
+			Component: "vnet", Host: d.name, Phase: "apply", Name: "ring-register",
+			Attrs: map[string]any{"from": fromPeer, "action": msg.Action, "macs": n},
+		})
+	}
 }
 
 // EnableRingRehome installs the proxy-loss policy as the daemon's
@@ -225,7 +250,12 @@ func (d *Daemon) handleRingReg(fromPeer string, payload []byte) {
 // when non-nil, observes home-proxy changes (tests and vnetd logging).
 func (d *Daemon) EnableRingRehome(onRehome func(dead, newHome string)) {
 	d.SetLinkDownHandler(func(peer string) {
-		next := d.dropRingMember(peer)
+		// One trace per proxy-loss reaction: the ring-shrink here, the
+		// registrations it pushes to inheriting successors (and their
+		// ring-register events), and any re-home all correlate, so the
+		// collector can replay the whole storm from this node outward.
+		ctx := obs.NewTrace()
+		next := d.dropRingMember(ctx, peer)
 		if next == nil {
 			return
 		}
@@ -235,7 +265,7 @@ func (d *Daemon) EnableRingRehome(onRehome func(dead, newHome string)) {
 			d.mu.RLock()
 			fl := d.flight
 			d.mu.RUnlock()
-			fl.Record(obs.Event{
+			fl.RecordCtx(ctx, obs.Event{
 				Component: "vnet", Host: d.name, Name: "re-home",
 				Attrs: map[string]any{"dead": peer, "home": home},
 			})
@@ -337,6 +367,13 @@ func (o *Overlay) Member(name string) *Node {
 // new home assignment. It is the engine behind the OpSetProxies plan
 // step and returns the previous member list for the step's undo.
 func (o *Overlay) SetProxySet(names []string) ([]string, error) {
+	return o.SetProxySetCtx(obs.TraceContext{}, names)
+}
+
+// SetProxySetCtx is SetProxySet inside a distributed trace: every
+// member's ring-swap event and the re-registrations the swap triggers are
+// recorded under ctx (the plan trace, for OpSetProxies steps).
+func (o *Overlay) SetProxySetCtx(ctx obs.TraceContext, names []string) ([]string, error) {
 	for _, name := range names {
 		if o.ProxyNode(name) == nil {
 			return nil, fmt.Errorf("vnet: unknown proxy %q", name)
@@ -352,10 +389,10 @@ func (o *Overlay) SetProxySet(names []string) ([]string, error) {
 	}
 	o.Ring = ring
 	for _, p := range o.Proxies {
-		p.Daemon.SetProxyRing(ring)
+		p.Daemon.SetProxyRingCtx(ctx, ring)
 	}
 	for _, n := range o.Nodes {
-		n.Daemon.SetProxyRing(ring)
+		n.Daemon.SetProxyRingCtx(ctx, ring)
 		n.Daemon.SetDefaultRoute(ring.HomeProxy(n.Daemon.Name()))
 	}
 	return prev, nil

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
 )
 
 // Probe sends one active measurement train to a connected peer: packets
@@ -22,6 +23,17 @@ import (
 // paced out (packets * sizeBytes * 8 / rateMbps seconds), so callers
 // wanting a background probe run it on their own goroutine.
 func (d *Daemon) Probe(peer string, rateMbps float64, packets, sizeBytes int) error {
+	return d.ProbeCtx(obs.TraceContext{}, peer, rateMbps, packets, sizeBytes)
+}
+
+// ProbeCtx is Probe carried inside a distributed trace: the sender
+// records a "probe-train" span on its flight recorder under ctx, and the
+// head frame of the train carries the span's encoded context in its
+// (otherwise zero) payload, so the receiving daemon records the train's
+// arrival under the same trace — a controller cycle's active measurements
+// become visible on both ends of the probed path. A zero ctx behaves
+// exactly like Probe.
+func (d *Daemon) ProbeCtx(ctx obs.TraceContext, peer string, rateMbps float64, packets, sizeBytes int) error {
 	if rateMbps <= 0 || packets <= 0 {
 		return fmt.Errorf("vnet: probe wants positive rate and packet count (got %v Mbit/s, %d packets)", rateMbps, packets)
 	}
@@ -36,6 +48,14 @@ func (d *Daemon) Probe(peer string, rateMbps float64, packets, sizeBytes int) er
 	if payloadLen > ethernet.MaxPayload {
 		payloadLen = ethernet.MaxPayload
 	}
+	var span *obs.Span
+	if ctx.Valid() {
+		span = d.Flight().StartSpanCtx(ctx, "vnet", "sense", "probe-train")
+		span.SetHost(d.name)
+		span.SetAttr("peer", peer)
+		span.SetAttr("packets", packets)
+		span.SetAttr("rate_mbps", rateMbps)
+	}
 	f := &ethernet.Frame{
 		Dst:     ethernet.ProbeMAC(1),
 		Src:     ethernet.ProbeMAC(0),
@@ -46,7 +66,25 @@ func (d *Daemon) Probe(peer string, rateMbps float64, packets, sizeBytes int) er
 	defer msgBufs.Put(bufp)
 	payload, err := encodeFramePayload(bufp, f, 1)
 	if err != nil {
+		endProbeSpan(span, err)
 		return err
+	}
+	// The head frame announces the trace: [len][encoded context] in the
+	// probe payload, zeroed again after the first send so the rest of the
+	// train is indistinguishable from an untraced one.
+	probeBody := payload[frameHeaderLen+ethernet.HeaderLen:]
+	embedded := 0
+	if ctx.Valid() {
+		headCtx := span.Context()
+		if !headCtx.Valid() {
+			headCtx = ctx // no recorder attached; propagate the parent as-is
+		}
+		enc := headCtx.Encode()
+		if len(enc)+1 <= len(probeBody) && len(enc) <= 255 {
+			probeBody[0] = byte(len(enc))
+			copy(probeBody[1:], enc)
+			embedded = 1 + len(enc)
+		}
 	}
 	gap := time.Duration(float64(len(payload)*8) / rateMbps * 1e3) // ns per frame
 	next := time.Now()
@@ -57,9 +95,51 @@ func (d *Daemon) Probe(peer string, rateMbps float64, packets, sizeBytes int) er
 		// sendFramePayload rewrites the sequence field in place, so the
 		// one buffer serves the whole train.
 		if err := link.sendFramePayload(payload); err != nil {
+			endProbeSpan(span, fmt.Errorf("vnet: probe to %q: %w", peer, err))
 			return fmt.Errorf("vnet: probe to %q: %w", peer, err)
+		}
+		if embedded > 0 {
+			for j := 0; j < embedded; j++ {
+				probeBody[j] = 0
+			}
+			embedded = 0
 		}
 		next = next.Add(gap)
 	}
+	endProbeSpan(span, nil)
 	return nil
+}
+
+func endProbeSpan(span *obs.Span, err error) {
+	if span == nil {
+		return
+	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+}
+
+// probeArrived is the receiver half of ProbeCtx: called from the relay
+// path for every TypeProbe frame, it parses the head frame's embedded
+// trace context (if any) and records one "probe-arrival" event under it.
+// Untraced frames (the overwhelmingly common case: every non-head frame
+// of every train) cost a couple of byte tests and return.
+func (d *Daemon) probeArrived(payload []byte, fromPeer string) {
+	body := payload[frameHeaderLen+ethernet.HeaderLen:]
+	if len(body) < 2 || body[0] == 0 {
+		return
+	}
+	n := int(body[0])
+	if 1+n > len(body) {
+		return
+	}
+	ctx, ok := obs.ParseTraceContext(string(body[1 : 1+n]))
+	if !ok {
+		return
+	}
+	d.Flight().RecordCtx(ctx, obs.Event{
+		Component: "vnet", Host: d.name, Phase: "sense", Name: "probe-arrival",
+		Attrs: map[string]any{"from": fromPeer},
+	})
 }

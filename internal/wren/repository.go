@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"freemeasure/internal/obs"
 	"freemeasure/internal/pcap"
 )
 
@@ -20,10 +21,14 @@ import (
 // ships them in batches; the Repository runs one Monitor per origin host
 // and answers the same queries the local mode does.
 
-// traceBatch is the wire unit between Forwarder and Repository.
+// traceBatch is the wire unit between Forwarder and Repository. Trace is
+// the forwarder's encoded distributed-trace context (empty when the
+// forwarder is untraced); gob tolerates the field being absent, so old
+// and new ends interoperate.
 type traceBatch struct {
 	Origin  string
 	Records []pcap.Record
+	Trace   string
 }
 
 // Repository collects remote traces and analyzes them centrally.
@@ -39,6 +44,7 @@ type Repository struct {
 	batches  uint64
 	records  uint64
 	met      RepositoryMetrics
+	flight   *obs.FlightRecorder
 }
 
 // NewRepository creates an empty repository; monitors are created lazily
@@ -114,7 +120,14 @@ func (r *Repository) serve(conn net.Conn) {
 		r.records += uint64(len(batch.Records))
 		r.met.Batches.Inc()
 		r.met.Records.Add(uint64(len(batch.Records)))
+		fl := r.flight
 		r.mu.Unlock()
+		if ctx, ok := obs.ParseTraceContext(batch.Trace); ok {
+			fl.RecordCtx(ctx, obs.Event{
+				Component: "wren", Phase: "sense", Name: "report-ingest",
+				Attrs: map[string]any{"origin": batch.Origin, "records": len(batch.Records)},
+			})
+		}
 	}
 }
 
@@ -128,6 +141,16 @@ func (r *Repository) monitor(origin string) *Monitor {
 		r.monitors[origin] = m
 	}
 	return m
+}
+
+// SetFlight attaches a flight recorder: every traced batch that arrives
+// records a "report-ingest" event under the batch's trace context, so the
+// mesh collector can attribute passive-measurement delivery to the
+// controller cycle that is consuming it.
+func (r *Repository) SetFlight(fl *obs.FlightRecorder) {
+	r.mu.Lock()
+	r.flight = fl
+	r.mu.Unlock()
 }
 
 // Monitor returns the analysis state for one origin host, if any traces
@@ -219,6 +242,8 @@ type Forwarder struct {
 	writeTO   time.Duration
 	met       ForwarderMetrics
 	log       *slog.Logger
+	flight    *obs.FlightRecorder
+	trace     obs.TraceContext
 }
 
 // defaultWriteTimeout bounds one batch write so a repository that accepted
@@ -269,6 +294,25 @@ func DialRepository(addr, origin string, batchSize int) (*Forwarder, error) {
 func (f *Forwarder) SetLogger(l *slog.Logger) {
 	f.mu.Lock()
 	f.log = l
+	f.mu.Unlock()
+}
+
+// SetFlight attaches a flight recorder so traced flushes leave a
+// "report-batch" span on the forwarding node.
+func (f *Forwarder) SetFlight(fl *obs.FlightRecorder) {
+	f.mu.Lock()
+	f.flight = fl
+	f.mu.Unlock()
+}
+
+// SetTrace sets the distributed-trace context stamped on subsequent
+// flushes: each shipped batch carries it (see traceBatch.Trace), so the
+// repository's ingest events correlate with the controller cycle whose
+// reporting interval produced the batch. The zero context (the default)
+// turns tracing off again.
+func (f *Forwarder) SetTrace(ctx obs.TraceContext) {
+	f.mu.Lock()
+	f.trace = ctx
 	f.mu.Unlock()
 }
 
@@ -351,9 +395,31 @@ func (f *Forwarder) flushLocked() {
 	if f.writeTO > 0 {
 		f.conn.SetWriteDeadline(time.Now().Add(f.writeTO))
 	}
-	if err := f.enc.Encode(traceBatch{Origin: f.origin, Records: f.batch}); err != nil {
+	// A traced flush records a "report-batch" span here and ships the
+	// span's context with the batch, so the repository's ingest event
+	// nests under this node's flush in the merged mesh trace.
+	var span *obs.Span
+	wire := ""
+	if f.trace.Valid() {
+		span = f.flight.StartSpanCtx(f.trace, "wren", "sense", "report-batch")
+		span.SetHost(f.origin)
+		span.SetAttr("records", len(f.batch))
+		if ctx := span.Context(); ctx.Valid() {
+			wire = ctx.Encode()
+		} else {
+			wire = f.trace.Encode() // no recorder attached; propagate as-is
+		}
+	}
+	if err := f.enc.Encode(traceBatch{Origin: f.origin, Records: f.batch, Trace: wire}); err != nil {
+		if span != nil {
+			span.SetAttr("error", err.Error())
+			span.End()
+		}
 		f.failLocked(err)
 		return
+	}
+	if span != nil {
+		span.End()
 	}
 	f.lastErr = nil
 	f.sent += uint64(len(f.batch))
