@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench relaybench relaybench-baseline scale chaos estbench fmt vet
+.PHONY: build test race bench relaybench relaybench-baseline vttifbench vttifbench-baseline scale chaos estbench fmt vet
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,24 @@ relaybench:
 relaybench-baseline:
 	$(GO) test -run '^$$' -bench 'TransitRelay' -benchmem -count=3 ./internal/vnet/ | \
 		$(GO) run ./cmd/benchgate -out BENCH_RELAY.json
+
+# VTTIF heavy-traffic regression fence: striped Local ingest (vs the
+# single-mutex baseline), the 1M-flow sketched matrix update, the
+# exact-mode steady state, and the incremental warm/full solver, gated
+# against the committed BENCH_VTTIF.json. ns/op gates at 30% (the matrix
+# benches are memory-bound and noisier than the relay fast path) and
+# allocs at-or-below baseline; the committed baseline carries alloc
+# headroom because sketch admission churn is workload-order dependent.
+# Regenerate with `make vttifbench-baseline` after an intentional change.
+vttifbench:
+	$(GO) test -run '^$$' -bench 'LocalAddFrame|AggregatorUpdate|Incremental' -benchmem -count=3 \
+		./internal/vttif/ ./internal/vadapt/ | \
+		$(GO) run ./cmd/benchgate -baseline BENCH_VTTIF.json -tolerance 0.30
+
+vttifbench-baseline:
+	$(GO) test -run '^$$' -bench 'LocalAddFrame|AggregatorUpdate|Incremental' -benchmem -count=3 \
+		./internal/vttif/ ./internal/vadapt/ | \
+		$(GO) run ./cmd/benchgate -out BENCH_VTTIF.json
 
 # Full-size sharded-mesh scale scenario: 10k daemons / 100k VMs on the
 # in-memory fabric, race detector on. The PR-sized variant (1k hosts)

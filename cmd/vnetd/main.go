@@ -50,7 +50,13 @@ func main() {
 		ctrlInt  = flag.Duration("controller-interval", 2*time.Second, "controller cycle period")
 		ctrlMin  = flag.Float64("controller-min-improvement", 0.1, "hysteresis: fractional objective gain required before acting")
 		ctrlAbs  = flag.Float64("controller-min-absolute", 1.0, "hysteresis: absolute objective gain required before acting")
+		ctrlWarm = flag.Bool("controller-warm", true, "warm-start the solver from the installed configuration on small traffic deltas (false = full re-solve every cycle)")
+		ctrlFull = flag.Float64("controller-full-fraction", 0, "traffic-delta fraction above which the solver re-solves from scratch (0 = default 0.3)")
 		estFuse  = flag.Duration("est-fusion", 0, "fuse active probe estimates into the controller's view when passive measurements are older than this (0 = passive only; requires -controller)")
+		sketch   = flag.Bool("vttif-sketch", false, "hub only: aggregate the traffic matrix with a count-min sketch plus exact top-k heavy edges (bounded memory under heavy traffic)")
+		sketchW  = flag.Int("vttif-sketch-width", 0, "count-min sketch width in counters per row (0 = default 4096; requires -vttif-sketch)")
+		sketchD  = flag.Int("vttif-sketch-depth", 0, "count-min sketch depth in rows (0 = default 4; requires -vttif-sketch)")
+		topK     = flag.Int("vttif-topk", 0, "exact heavy-edge slots retained beside the sketch (0 = default 512; requires -vttif-sketch)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -255,9 +261,22 @@ func main() {
 
 	var view *vnet.GlobalView
 	if *hub || *ctrl {
-		view = vnet.NewGlobalView(vttif.Config{})
+		vcfg := vttif.Config{
+			Sketched:    *sketch,
+			SketchWidth: *sketchW,
+			SketchDepth: *sketchD,
+			TopK:        *topK,
+		}
+		view = vnet.NewGlobalView(vcfg)
+		if reg != nil {
+			view.Agg.SetMetrics(vttif.NewAggregatorMetrics(reg), reg)
+		}
 		d.SetControlHandler(view.HandleControl)
-		logger.Info("acting as control hub")
+		mode := "exact"
+		if *sketch {
+			mode = "sketched"
+		}
+		logger.Info("acting as control hub", "aggregation", mode)
 	}
 	if *report > 0 {
 		if *deflt == "" && ringNames == nil {
@@ -309,8 +328,10 @@ func main() {
 			Source:   src,
 			Applier:  control.LogApplier{Logger: ctrlLog},
 			Gate:     vadapt.Gate{MinImprovement: *ctrlMin, MinAbsolute: *ctrlAbs},
+			Warm:     vadapt.WarmConfig{Disabled: !*ctrlWarm, FullFraction: *ctrlFull},
 			Interval: *ctrlInt,
 			Metrics:  control.NewMetrics(reg),
+			Solver:   vadapt.NewMetrics(reg),
 			Logger:   ctrlLog,
 			Flight:   flight,
 		}

@@ -3,6 +3,7 @@ package control
 import (
 	"fmt"
 	"log/slog"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,14 @@ type Config struct {
 	Objective vadapt.Objective
 	// SA refines the greedy configuration when SA.Iterations > 0.
 	SA vadapt.SAConfig
+	// Warm tunes the incremental warm-start policy: on a small traffic
+	// delta the decide phase repairs the installed configuration instead of
+	// re-solving from scratch. The zero value means defaults; set
+	// Warm.Disabled to restore the full-re-solve-every-cycle behavior.
+	Warm vadapt.WarmConfig
+	// Solver is optional instrumentation for the incremental solver's
+	// GH/SA search (vadapt.NewMetrics); nil disables it.
+	Solver *vadapt.Metrics
 	// Gate is the cost/benefit hysteresis; the zero value means defaults
 	// (10% relative and 1.0 absolute improvement required).
 	Gate vadapt.Gate
@@ -139,6 +148,15 @@ type ruleSite struct {
 type Controller struct {
 	cfg    Config
 	cycles atomic.Uint64
+	// inc is the stateful incremental solver: it warm-starts from the
+	// synthesized current configuration on small deltas and falls back to a
+	// full GH+SA re-solve on regime changes. Only runCycle touches it.
+	inc *vadapt.Incremental
+	// lastRates remembers the previous cycle's sensed demand rates keyed by
+	// MAC pair — stable across VM renumbering — so demandDelta can size the
+	// traffic delta without trusting demand indices. Only runCycle touches
+	// it; nil until the first cycle with demands.
+	lastRates map[[2]ethernet.MAC]float64
 
 	mu             sync.Mutex
 	lastPaths      map[[2]ethernet.MAC][]string // desired path (daemon names) per demand pair
@@ -158,8 +176,15 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Source == nil || cfg.Applier == nil {
 		return nil, fmt.Errorf("control: Source and Applier are required")
 	}
+	cfg = cfg.withDefaults()
 	return &Controller{
-		cfg:            cfg.withDefaults(),
+		cfg: cfg,
+		inc: &vadapt.Incremental{
+			Objective: cfg.Objective,
+			SA:        cfg.SA,
+			Warm:      cfg.Warm,
+			Metrics:   cfg.Solver,
+		},
 		lastPaths:      make(map[[2]ethernet.MAC][]string),
 		installedRules: make(map[ruleSite]string),
 		installedLinks: make(map[[2]string]bool),
@@ -302,6 +327,12 @@ func (c *Controller) runCycle() (res CycleResult) {
 			span.SetAttr("fallback_pairs", fallbacks)
 		}
 	}
+	if snap.Deltas != nil {
+		span.SetAttr("deltas", len(snap.Deltas))
+	}
+	if snap.DeltasReset {
+		span.SetAttr("deltas_reset", true)
+	}
 	span.End()
 
 	// Decide.
@@ -317,19 +348,39 @@ func (c *Controller) runCycle() (res CycleResult) {
 		return res
 	}
 	current := c.synthesizeCurrent(snap)
-	target := vadapt.Greedy(p)
+	changed, deltaFrac := c.demandDelta(snap)
+	if snap.DeltasReset {
+		// The sense layer's delta stream overflowed, so the changed set is
+		// only a lower bound: treat the cycle as a regime change.
+		deltaFrac = 1
+	}
+	target, stats := c.inc.Solve(p, current, changed, deltaFrac)
 	algorithm := "gh"
 	if c.cfg.SA.Iterations > 0 {
-		target, _ = vadapt.Anneal(p, c.cfg.Objective, target, c.cfg.SA)
 		algorithm = "sa+gh"
+	}
+	if stats.Mode == "warm" {
+		algorithm = "warm"
 	}
 	res.Current = c.cfg.Objective.Evaluate(p, current)
 	res.Target = c.cfg.Objective.Evaluate(p, target)
 	m.Objective.Set(res.Current.Score)
 	diff := vadapt.Diff(p, current, target)
-	m.DecideSeconds.Observe(time.Since(t0).Seconds())
+	decideSec := time.Since(t0).Seconds()
+	m.DecideSeconds.Observe(decideSec)
+	if stats.Mode == "warm" {
+		m.AdaptWarmSeconds.ObserveExemplar(decideSec, res.Trace)
+	} else {
+		m.AdaptFullSeconds.ObserveExemplar(decideSec, res.Trace)
+	}
 	span.SetAttr("algorithm", algorithm)
 	span.SetAttr("sa_iterations", c.cfg.SA.Iterations)
+	span.SetAttr("solve_mode", stats.Mode)
+	span.SetAttr("solve_reason", stats.Reason)
+	span.SetAttr("solver_iterations", stats.Iterations)
+	span.SetAttr("repaired", stats.Repaired)
+	span.SetAttr("delta_fraction", deltaFrac)
+	span.SetAttr("changed_demands", len(changed))
 	span.SetAttr("current_score", res.Current.Score)
 	span.SetAttr("target_score", res.Target.Score)
 	span.SetAttr("target_feasible", res.Target.Feasible)
@@ -402,6 +453,60 @@ func (c *Controller) runCycle() (res CycleResult) {
 	m.Objective.Set(res.Target.Score)
 	res.Applied = true
 	return res
+}
+
+// demandDelta sizes this cycle's traffic change. It compares the sensed
+// demand rates against the previous cycle's — keyed by MAC pair, so VM
+// renumbering between snapshots cannot alias demands — and folds in the
+// demands named by the sense layer's VTTIF delta stream. It returns the
+// demand indices whose rates moved beyond Warm.ChangedFraction (plus new
+// and delta-flagged demands) and the overall delta fraction: the sum of
+// absolute rate changes (vanished demands count in full) over the larger
+// of the two cycles' total rates, clamped to [0,1]. The first cycle with
+// demands reports fraction 1, forcing a full solve.
+func (c *Controller) demandDelta(snap *Snapshot) (changed []int, frac float64) {
+	w := c.cfg.Warm.WithDefaults(c.cfg.SA.Iterations)
+	p := snap.Problem
+	rates := make(map[[2]ethernet.MAC]float64, len(p.Demands))
+	index := make(map[[2]ethernet.MAC]int, len(p.Demands))
+	changedSet := make(map[int]bool)
+	var totNew, totOld, moved float64
+	for i, d := range p.Demands {
+		pair := [2]ethernet.MAC{snap.VMs[d.Src], snap.VMs[d.Dst]}
+		rates[pair] = d.Rate
+		index[pair] = i
+		totNew += d.Rate
+		old := c.lastRates[pair]
+		moved += math.Abs(d.Rate - old)
+		if old == 0 || math.Abs(d.Rate-old) > w.ChangedFraction*old {
+			changedSet[i] = true
+		}
+	}
+	for pair, old := range c.lastRates {
+		totOld += old
+		if _, ok := rates[pair]; !ok {
+			moved += old
+		}
+	}
+	for _, d := range snap.Deltas {
+		if i, ok := index[[2]ethernet.MAC{d.Pair.Src, d.Pair.Dst}]; ok {
+			changedSet[i] = true
+		}
+	}
+	first := c.lastRates == nil
+	c.lastRates = rates
+	changed = make([]int, 0, len(changedSet))
+	for i := range changedSet {
+		changed = append(changed, i)
+	}
+	sort.Ints(changed)
+	if first {
+		return changed, 1
+	}
+	if tot := math.Max(totNew, totOld); tot > 0 {
+		frac = moved / tot
+	}
+	return changed, math.Min(frac, 1)
 }
 
 // startSpan opens one control-phase span nested under the cycle's root

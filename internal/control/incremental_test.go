@@ -1,0 +1,265 @@
+package control
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/obs"
+	"freemeasure/internal/topology"
+	"freemeasure/internal/vadapt"
+	"freemeasure/internal/vttif"
+)
+
+// decideEvent finds the decide span of one cycle in the flight recorder.
+func decideEvent(t *testing.T, fr *obs.FlightRecorder, trace string) obs.Event {
+	t.Helper()
+	for _, e := range fr.Events(0) {
+		if e.Trace == trace && e.Name == "decide" {
+			return e
+		}
+	}
+	t.Fatalf("no decide event for trace %s", trace)
+	return obs.Event{}
+}
+
+// TestControllerWarmFullDecisionRecorded drives the live test system end to
+// end: the first cycle must be a full solve, a steady follow-up cycle a
+// warm one, and both choices must land in the flight recorder's decide
+// span and the control_adapt_seconds histograms.
+func TestControllerWarmFullDecisionRecorded(t *testing.T) {
+	hosts := []string{"h1", "h2", "h3", "h4"}
+	s := newTestSystem(t, hosts)
+	s.feedMeasurements(hosts)
+
+	fr := obs.NewFlightRecorder(0)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	solver := vadapt.NewMetrics(reg)
+	c, err := New(Config{
+		Source:  s.source,
+		Applier: OverlayApplier{Overlay: s.overlay, Migrator: s.migrator()},
+		Metrics: m,
+		Solver:  solver,
+		Flight:  fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res1 := c.RunCycle()
+	if res1.Err != nil || !res1.Applied {
+		t.Fatalf("first cycle: %s", res1.Summary())
+	}
+	d1 := decideEvent(t, fr, res1.Trace)
+	if d1.Attrs["solve_mode"] != "full" {
+		t.Fatalf("first decide solve_mode = %v (%v)", d1.Attrs["solve_mode"], d1.Attrs["solve_reason"])
+	}
+	if frac := d1.Attrs["delta_fraction"].(float64); frac != 1 {
+		t.Fatalf("first cycle delta_fraction = %v, want 1", frac)
+	}
+	// The ViewSource drained the VTTIF delta stream: every pair was new.
+	var sense1 obs.Event
+	for _, e := range fr.Events(0) {
+		if e.Trace == res1.Trace && e.Name == "sense" {
+			sense1 = e
+		}
+	}
+	if n, ok := sense1.Attrs["deltas"].(int); !ok || n == 0 {
+		t.Fatalf("first sense span deltas = %v, want > 0", sense1.Attrs["deltas"])
+	}
+
+	// Steady state: same measurements, so the solver warm-starts.
+	s.feedMeasurements(hosts)
+	res2 := c.RunCycle()
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	d2 := decideEvent(t, fr, res2.Trace)
+	if d2.Attrs["solve_mode"] != "warm" {
+		t.Fatalf("second decide solve_mode = %v (%v)", d2.Attrs["solve_mode"], d2.Attrs["solve_reason"])
+	}
+	if d2.Attrs["solve_reason"] != "small delta" {
+		t.Fatalf("second decide solve_reason = %v", d2.Attrs["solve_reason"])
+	}
+
+	if m.AdaptFullSeconds.Count() != 1 || m.AdaptWarmSeconds.Count() != 1 {
+		t.Fatalf("adapt histograms full=%d warm=%d, want 1 and 1",
+			m.AdaptFullSeconds.Count(), m.AdaptWarmSeconds.Count())
+	}
+	if solver.FullSolves.Value() != 1 || solver.WarmSolves.Value() != 1 {
+		t.Fatalf("solver counters full=%d warm=%d",
+			solver.FullSolves.Value(), solver.WarmSolves.Value())
+	}
+}
+
+// TestControllerDeltaStreamDrivesDecide checks the two delta-stream paths
+// through the decide phase: a delta naming a demand pulls it into the
+// changed set even when the rate comparison sees nothing, and an
+// overflowed (reset) stream forces a full re-solve.
+func TestControllerDeltaStreamDrivesDecide(t *testing.T) {
+	snap := staticSnap()
+	fr := obs.NewFlightRecorder(0)
+	c, err := New(Config{
+		Source:  &StaticSource{Snap: snap},
+		Applier: LogApplier{},
+		Flight:  fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := c.RunCycle(); res.Err != nil || !res.Applied {
+		t.Fatalf("first cycle: %s", res.Summary())
+	}
+
+	// Rates are identical, but the sense layer reports a delta for the
+	// demand's pair: it must enter the changed set of a warm solve.
+	snap.Deltas = []vttif.Delta{{
+		Kind: vttif.DeltaRate,
+		Pair: vttif.Pair{Src: snap.VMs[0], Dst: snap.VMs[1]},
+		Rate: 5,
+	}}
+	res2 := c.RunCycle()
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	d2 := decideEvent(t, fr, res2.Trace)
+	if d2.Attrs["solve_mode"] != "warm" {
+		t.Fatalf("delta cycle solve_mode = %v (%v)", d2.Attrs["solve_mode"], d2.Attrs["solve_reason"])
+	}
+	if n := d2.Attrs["changed_demands"].(int); n != 1 {
+		t.Fatalf("changed_demands = %d, want 1", n)
+	}
+
+	// An overflowed stream means the changed set is untrustworthy: full.
+	snap.DeltasReset = true
+	res3 := c.RunCycle()
+	if res3.Err != nil {
+		t.Fatal(res3.Err)
+	}
+	d3 := decideEvent(t, fr, res3.Trace)
+	if d3.Attrs["solve_mode"] != "full" || d3.Attrs["solve_reason"] != "regime change" {
+		t.Fatalf("reset cycle solve = %v / %v", d3.Attrs["solve_mode"], d3.Attrs["solve_reason"])
+	}
+}
+
+// TestControllerAdaptationLatencyScenario is the adaptation-latency p99
+// scenario: tens of cycles of sub-threshold jitter with occasional single-
+// demand surges and rare regime changes. Warm solves must dominate, spend
+// a strictly smaller iteration budget than full solves, and populate the
+// per-mode adaptation-latency histograms for every deciding cycle.
+func TestControllerAdaptationLatencyScenario(t *testing.T) {
+	const numHosts = 8
+	hosts := make([]string, numHosts)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("h%d", i+1)
+	}
+	g := topology.Complete(numHosts, func(a, b topology.NodeID) (float64, float64) {
+		return 40 + float64((int(a)*13+int(b)*7)%60), 1
+	})
+	for i, h := range hosts {
+		g.SetName(topology.NodeID(i), h)
+	}
+	macs := make([]ethernet.MAC, 6)
+	mapping := make([]topology.NodeID, 6)
+	for i := range macs {
+		macs[i] = ethernet.VMMAC(i)
+		mapping[i] = topology.NodeID(i)
+	}
+	rng := rand.New(rand.NewSource(42))
+	seen := map[[2]vadapt.VMID]bool{}
+	var demands []vadapt.Demand
+	for len(demands) < 8 {
+		src := vadapt.VMID(rng.Intn(6))
+		dst := vadapt.VMID(rng.Intn(6))
+		if src == dst || seen[[2]vadapt.VMID{src, dst}] {
+			continue
+		}
+		seen[[2]vadapt.VMID{src, dst}] = true
+		demands = append(demands, vadapt.Demand{Src: src, Dst: dst, Rate: 2 + 8*rng.Float64()})
+	}
+	snap := &Snapshot{
+		Problem: &vadapt.Problem{Hosts: g, NumVMs: 6, Demands: demands},
+		Hosts:   hosts,
+		VMs:     macs,
+		Mapping: mapping,
+	}
+
+	const saIters, warmIters = 2000, 250 // warm default: saIters/8
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	solver := vadapt.NewMetrics(reg)
+	c, err := New(Config{
+		Source:  &StaticSource{Snap: snap},
+		Applier: LogApplier{},
+		SA:      vadapt.SAConfig{Iterations: saIters, Seed: 7},
+		Warm:    vadapt.WarmConfig{FullEvery: -1},
+		Metrics: m,
+		Solver:  solver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cycles = 50
+	warms, fulls := 0, 0
+	var warmLat, fullLat []float64
+	for cy := 1; cy <= cycles; cy++ {
+		switch {
+		case cy > 1 && cy%17 == 0: // regime change: the whole matrix triples
+			for i := range snap.Problem.Demands {
+				snap.Problem.Demands[i].Rate *= 3
+			}
+		case cy > 1 && cy%5 == 0: // one demand surges past the changed threshold
+			snap.Problem.Demands[rng.Intn(len(snap.Problem.Demands))].Rate *= 1.25
+		case cy > 1: // sub-threshold jitter on every demand
+			for i := range snap.Problem.Demands {
+				snap.Problem.Demands[i].Rate *= 1 + 0.02*(rng.Float64()-0.5)
+			}
+		}
+		wBefore, fBefore := solver.WarmSolves.Value(), solver.FullSolves.Value()
+		itBefore := solver.SAIterations.Value()
+		start := time.Now()
+		res := c.RunCycle()
+		lat := time.Since(start).Seconds()
+		if res.Err != nil {
+			t.Fatalf("cycle %d: %v", cy, res.Err)
+		}
+		iters := solver.SAIterations.Value() - itBefore
+		switch {
+		case solver.WarmSolves.Value() > wBefore:
+			warms++
+			warmLat = append(warmLat, lat)
+			if iters > warmIters {
+				t.Fatalf("cycle %d: warm solve ran %d iterations, budget %d", cy, iters, warmIters)
+			}
+		case solver.FullSolves.Value() > fBefore:
+			fulls++
+			fullLat = append(fullLat, lat)
+			if iters != saIters {
+				t.Fatalf("cycle %d: full solve ran %d iterations, want %d", cy, iters, saIters)
+			}
+		default:
+			t.Fatalf("cycle %d decided without solving", cy)
+		}
+	}
+
+	if fulls == 0 {
+		t.Fatal("scenario never forced a full solve")
+	}
+	if warms < 3*fulls {
+		t.Fatalf("warm=%d full=%d: warm solves must dominate a low-drift scenario", warms, fulls)
+	}
+	if m.AdaptWarmSeconds.Count() != uint64(warms) || m.AdaptFullSeconds.Count() != uint64(fulls) {
+		t.Fatalf("adapt histograms warm=%d full=%d, want %d and %d",
+			m.AdaptWarmSeconds.Count(), m.AdaptFullSeconds.Count(), warms, fulls)
+	}
+	sort.Float64s(warmLat)
+	sort.Float64s(fullLat)
+	p99 := warmLat[len(warmLat)*99/100]
+	t.Logf("adaptation latency over %d cycles: warm n=%d p99=%.4gs, full n=%d max=%.4gs",
+		cycles, warms, p99, fulls, fullLat[len(fullLat)-1])
+}

@@ -17,6 +17,10 @@ type Metrics struct {
 	DecideSeconds   *obs.Histogram // control_phase_seconds{phase="decide"}
 	ApplySeconds    *obs.Histogram // control_phase_seconds{phase="apply"}
 	CycleSeconds    *obs.Histogram // control_cycle_seconds
+	// Adaptation latency split by how the decide phase solved: a warm
+	// start from the installed configuration versus a full GH+SA re-solve.
+	AdaptWarmSeconds *obs.Histogram // control_adapt_seconds{mode="warm"}
+	AdaptFullSeconds *obs.Histogram // control_adapt_seconds{mode="full"}
 }
 
 // NewMetrics registers the control-loop metrics on reg.
@@ -25,6 +29,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		return reg.Histogram("control_phase_seconds",
 			"Latency of each control-loop phase.",
 			obs.DefLatencyBuckets, "phase", name)
+	}
+	adapt := func(mode string) *obs.Histogram {
+		return reg.Histogram("control_adapt_seconds",
+			"Decide-phase adaptation latency by solve mode (warm start vs full re-solve); buckets carry exemplar trace IDs.",
+			obs.DefLatencyBuckets, "mode", mode)
 	}
 	return &Metrics{
 		Cycles: reg.Counter("control_cycles_total",
@@ -45,5 +54,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		CycleSeconds: reg.Histogram("control_cycle_seconds",
 			"End-to-end latency of one whole control cycle (sense through apply); buckets carry exemplar trace IDs linking to the cycle's flight-recorder events.",
 			obs.DefLatencyBuckets),
+		AdaptWarmSeconds: adapt("warm"),
+		AdaptFullSeconds: adapt("full"),
 	}
 }

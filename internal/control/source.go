@@ -29,6 +29,15 @@ type Snapshot struct {
 	// the decision flight recorder. Sources that cannot attribute their
 	// estimates leave it nil.
 	Provenance []PathProvenance
+	// Deltas is the VTTIF delta stream drained at sense time: edges that
+	// appeared or vanished and rates that moved beyond the aggregator's
+	// emission threshold since the previous snapshot. Nil when the source
+	// has no delta stream (static and SOAP sources).
+	Deltas []vttif.Delta
+	// DeltasReset reports that the delta stream overflowed and dropped
+	// events, so Deltas is only a lower bound on what changed; consumers
+	// should treat the cycle as a regime change.
+	DeltasReset bool
 }
 
 // PathProvenance explains one host-pair estimate: the numbers the decide
@@ -345,12 +354,23 @@ func (s *ViewSource) Snapshot() (*Snapshot, error) {
 		})
 	}
 	sortDemands(demands)
+	// Drain the per-shard delta streams: what changed since the last sense,
+	// in the aggregators' own words, for the decide phase's changed set.
+	deltas := []vttif.Delta{}
+	reset := false
+	for _, v := range s.views() {
+		d, r := v.Agg.Deltas()
+		deltas = append(deltas, d...)
+		reset = reset || r
+	}
 	return &Snapshot{
-		Problem:    &vadapt.Problem{Hosts: g, NumVMs: len(vms), Demands: demands},
-		Hosts:      names,
-		VMs:        macs,
-		Mapping:    mapping,
-		Provenance: prov,
+		Problem:     &vadapt.Problem{Hosts: g, NumVMs: len(vms), Demands: demands},
+		Hosts:       names,
+		VMs:         macs,
+		Mapping:     mapping,
+		Provenance:  prov,
+		Deltas:      deltas,
+		DeltasReset: reset,
 	}, nil
 }
 

@@ -11,6 +11,8 @@ type Metrics struct {
 	SAIterations  *obs.Counter // vadapt_sa_iterations_total
 	SAAccepted    *obs.Counter // vadapt_sa_accepted_total
 	BestObjective *obs.Gauge   // vadapt_best_objective
+	WarmSolves    *obs.Counter // vadapt_warm_solves_total
+	FullSolves    *obs.Counter // vadapt_full_solves_total
 }
 
 // NewMetrics registers the adaptation metrics on reg.
@@ -24,5 +26,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Simulated-annealing moves accepted (improvements plus Metropolis acceptances)."),
 		BestObjective: reg.Gauge("vadapt_best_objective",
 			"Best objective value found by the most recent search."),
+		WarmSolves: reg.Counter("vadapt_warm_solves_total",
+			"Incremental solves warm-started from the installed configuration."),
+		FullSolves: reg.Counter("vadapt_full_solves_total",
+			"Incremental solves that fell back to a full GH+SA re-solve."),
 	}
 }

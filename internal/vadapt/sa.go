@@ -23,6 +23,11 @@ type SAConfig struct {
 	TraceEvery  int     // record a trace point every k iterations, default 1
 	Seed        int64
 	Metrics     *Metrics // optional search instrumentation (nil = free)
+	// FocusPaths restricts perturbation to the listed demand indices and
+	// pins the VM mapping — the warm-start neighborhood search used by
+	// Incremental when only a few demands changed. Nil means the full
+	// unrestricted search.
+	FocusPaths []int
 }
 
 func (c SAConfig) withDefaults() SAConfig {
@@ -87,7 +92,7 @@ func Anneal(p *Problem, obj Objective, initial *Config, cfg SAConfig) (*Config, 
 	temp := cfg.InitTemp
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		met.SAIterations.Inc()
-		next := perturb(p, cur, rng, cfg.MappingProb)
+		next := perturb(p, cur, rng, cfg.MappingProb, cfg.FocusPaths)
 		nextScore := obj.Evaluate(p, next).Score
 		de := nextScore - curScore
 		if de >= 0 || rng.Float64() < math.Exp(de/temp) {
@@ -111,9 +116,19 @@ func Anneal(p *Problem, obj Objective, initial *Config, cfg SAConfig) (*Config, 
 	return best, trace
 }
 
-// perturb returns a random neighbor of c (section 4.3.1).
-func perturb(p *Problem, c *Config, rng *rand.Rand, mappingProb float64) *Config {
+// perturb returns a random neighbor of c (section 4.3.1). A non-nil focus
+// restricts the move to the focused paths and leaves the mapping alone, so
+// a warm-started search only explores the neighborhood of what changed.
+func perturb(p *Problem, c *Config, rng *rand.Rand, mappingProb float64, focus []int) *Config {
 	next := c.Clone()
+	if focus != nil {
+		for _, i := range focus {
+			if i >= 0 && i < len(next.Paths) {
+				perturbPath(p, next, i, rng)
+			}
+		}
+		return next
+	}
 	if rng.Float64() < mappingProb && p.NumVMs > 0 {
 		perturbMapping(p, next, rng)
 		return next

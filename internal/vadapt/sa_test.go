@@ -106,7 +106,7 @@ func TestPerturbPreservesValidity(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		c := RandomConfig(p, seed)
 		for i := 0; i < 50; i++ {
-			c = perturb(p, c, rng, 0.2)
+			c = perturb(p, c, rng, 0.2, nil)
 			if err := c.Valid(p); err != nil {
 				t.Logf("seed %d iter %d: %v", seed, i, err)
 				return false

@@ -101,11 +101,13 @@ func (g *GlobalView) HandleControl(fromPeer string, payload []byte) {
 			}
 			local[vttif.Pair{Src: src, Dst: dst}] = p.Bytes
 		}
-		interval := msg.IntervalSec
-		if interval <= 0 {
-			interval = 1
+		// A malformed interval makes the whole report meaningless (the
+		// aggregator cannot turn bytes into a rate), so the report is
+		// dropped; the aggregator counts the rejection in
+		// vttif_bad_interval_reports_total.
+		if err := g.Agg.Update(fromPeer, local, msg.IntervalSec); err != nil {
+			return
 		}
-		g.Agg.Update(fromPeer, local, interval)
 	case "wren":
 		for _, w := range msg.Wren {
 			g.SetPath(fromPeer, w.Remote, PathMeasurement{

@@ -1,0 +1,107 @@
+package vttif
+
+// DeltaKind says what changed about one edge of the inferred matrix.
+type DeltaKind int
+
+const (
+	// DeltaEdgeUp: the edge entered the damped, pruned topology.
+	DeltaEdgeUp DeltaKind = iota
+	// DeltaEdgeDown: the edge left the damped, pruned topology.
+	DeltaEdgeDown
+	// DeltaRate: the smoothed rate moved beyond DeltaRateFraction of the
+	// last emitted value (Rate 0 with Prev > 0 means the pair vanished).
+	DeltaRate
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaEdgeUp:
+		return "edge-up"
+	case DeltaEdgeDown:
+		return "edge-down"
+	case DeltaRate:
+		return "rate"
+	default:
+		return "unknown"
+	}
+}
+
+// Delta is one incremental change to the global view: consumers that track
+// the matrix edge-by-edge never need the full map.
+type Delta struct {
+	Kind DeltaKind
+	Pair Pair
+	Rate float64 // current smoothed bytes/sec (0 for vanished / edge-down)
+	Prev float64 // last emitted smoothed bytes/sec (DeltaRate only)
+}
+
+// Deltas drains the pending change queue in emission order. The second
+// return is true when the queue overflowed since the last drain — the
+// consumer missed events and must resynchronize from Rates()/Topology().
+func (a *Aggregator) Deltas() ([]Delta, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.deltas
+	a.deltas = nil
+	reset := a.deltaOverflow
+	a.deltaOverflow = false
+	return out, reset
+}
+
+func (a *Aggregator) emitDeltaLocked(d Delta) {
+	if a.deltaOverflow {
+		return // queue already poisoned until the next drain
+	}
+	if len(a.deltas) >= a.cfg.MaxPendingDeltas {
+		a.deltas = nil
+		a.deltaOverflow = true
+		a.met.DeltaOverflows.Inc()
+		return
+	}
+	a.deltas = append(a.deltas, d)
+	a.met.DeltasEmitted.Inc()
+}
+
+// noteRateLocked records a smoothed-rate transition old→new for p: it feeds
+// the delta queue and the topology dirty check. A new value of 0 means the
+// pair was deleted.
+func (a *Aggregator) noteRateLocked(p Pair, old, new float64) {
+	frac := a.cfg.DeltaRateFraction
+	em := a.emitted[p]
+	switch {
+	case new == 0:
+		if em > 0 {
+			a.emitDeltaLocked(Delta{Kind: DeltaRate, Pair: p, Rate: 0, Prev: em})
+		}
+		delete(a.emitted, p)
+	case em == 0 || absf(new-em) > frac*em:
+		a.emitDeltaLocked(Delta{Kind: DeltaRate, Pair: p, Rate: new, Prev: em})
+		a.emitted[p] = new
+	}
+
+	if a.topoDirty || !a.topoValid {
+		a.topoDirty = true
+		return
+	}
+	switch {
+	case old == 0 || new == 0:
+		// Pair appeared or vanished: membership may change.
+		a.topoDirty = true
+	case (old >= a.topoThreshold) != (new >= a.topoThreshold):
+		// Crossed the cached prune threshold.
+		a.topoDirty = true
+	case new > a.topoMax:
+		// A new maximum raises the threshold for everyone.
+		a.topoDirty = true
+	case p == a.topoMaxPair && new < a.topoMax:
+		// The pair defining the maximum decayed: threshold may drop.
+		a.topoDirty = true
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

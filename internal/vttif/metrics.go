@@ -23,16 +23,19 @@ func NewLocalMetrics(reg *obs.Registry) LocalMetrics {
 
 // SetMetrics attaches metrics to the accumulator.
 func (l *Local) SetMetrics(m LocalMetrics) {
-	l.mu.Lock()
-	l.met = m
-	l.mu.Unlock()
+	l.met.Store(&m)
 }
 
 // AggregatorMetrics holds the Proxy-side inference counters.
 type AggregatorMetrics struct {
-	MatrixUpdates   *obs.Counter // vttif_matrix_updates_total
-	TopologyChanges *obs.Counter // vttif_topology_changes_total
-	PairsPruned     *obs.Counter // vttif_pairs_pruned_total
+	MatrixUpdates    *obs.Counter // vttif_matrix_updates_total
+	TopologyChanges  *obs.Counter // vttif_topology_changes_total
+	PairsPruned      *obs.Counter // vttif_pairs_pruned_total
+	BadIntervals     *obs.Counter // vttif_bad_interval_reports_total
+	RefreshesSkipped *obs.Counter // vttif_topology_refreshes_skipped_total
+	DeltasEmitted    *obs.Counter // vttif_deltas_emitted_total
+	DeltaOverflows   *obs.Counter // vttif_delta_overflows_total
+	SketchEvictions  *obs.Counter // vttif_sketch_evictions_total
 }
 
 // NewAggregatorMetrics registers the aggregator metrics on reg and, when
@@ -46,6 +49,16 @@ func NewAggregatorMetrics(reg *obs.Registry) AggregatorMetrics {
 			"Damped topology changes reported after the hold-down."),
 		PairsPruned: reg.Counter("vttif_pairs_pruned_total",
 			"Matrix entries dropped after decaying below the keep threshold."),
+		BadIntervals: reg.Counter("vttif_bad_interval_reports_total",
+			"Daemon reports rejected for a non-positive interval."),
+		RefreshesSkipped: reg.Counter("vttif_topology_refreshes_skipped_total",
+			"Topology rebuilds skipped by the dirty check (no threshold-relevant change)."),
+		DeltasEmitted: reg.Counter("vttif_deltas_emitted_total",
+			"Incremental matrix/topology deltas queued for consumers."),
+		DeltaOverflows: reg.Counter("vttif_delta_overflows_total",
+			"Delta queue overflows forcing consumers to resynchronize."),
+		SketchEvictions: reg.Counter("vttif_sketch_evictions_total",
+			"Heavy-hitter entries evicted by space-saving admission (sketched mode)."),
 	}
 }
 
@@ -56,10 +69,10 @@ func (a *Aggregator) SetMetrics(m AggregatorMetrics, reg *obs.Registry) {
 	a.met = m
 	a.mu.Unlock()
 	reg.GaugeFunc("vttif_pairs_active",
-		"VM pairs currently present in the smoothed traffic matrix.",
+		"VM pairs exactly tracked in the smoothed traffic matrix (top-k in sketched mode).",
 		func() float64 {
 			a.mu.Lock()
 			defer a.mu.Unlock()
-			return float64(len(a.rates))
+			return float64(a.pairCountLocked())
 		})
 }

@@ -154,12 +154,22 @@ func TestMatrixAndVMs(t *testing.T) {
 
 func TestUpdateValidation(t *testing.T) {
 	a := NewAggregator(Config{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on non-positive interval")
-		}
-	}()
-	a.Update("d1", nil, 0)
+	if err := a.Update("d1", nil, 0); err == nil {
+		t.Fatal("expected error on zero interval")
+	}
+	if err := a.Update("d1", nil, -3); err == nil {
+		t.Fatal("expected error on negative interval")
+	}
+	// Rejected reports must not count as fused updates or disturb state.
+	if a.Updates() != 0 {
+		t.Fatalf("updates after rejected reports = %d", a.Updates())
+	}
+	if err := a.Update("d1", map[Pair]uint64{{m1, m2}: 100}, 1); err != nil {
+		t.Fatalf("valid update failed: %v", err)
+	}
+	if a.Updates() != 1 {
+		t.Fatalf("updates = %d", a.Updates())
+	}
 }
 
 func TestUpdatesCounter(t *testing.T) {
