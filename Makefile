@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench relaybench relaybench-baseline vttifbench vttifbench-baseline scale chaos estbench fmt vet
+.PHONY: build test race bench relaybench relaybench-baseline vttifbench vttifbench-baseline scale chaos coordtest estbench fmt vet
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,14 @@ chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'TestChaos' \
 		./internal/chaos/ ./internal/control/ ./internal/vnet/ ./internal/wren/ \
 		./internal/estimator/eval/
+
+# Coordination-tier suite (DESIGN.md §10): store conformance on both
+# backends, scheduler property tests, bandwidth-map round-trip + fuzz
+# regression corpus, the chaos scenarios, and TestCoordEndToEnd — all
+# under the race detector with shuffled order. CHAOS_SEED/CHAOS_TRACE_DIR
+# work here exactly as in `make chaos`.
+coordtest:
+	$(GO) test -race -shuffle=on -count=1 ./internal/wren/coord/
 
 # Estimator benchmark (docs/ESTIMATORS.md): replays the seeded scenario
 # suite through every registered estimator and regenerates the committed

@@ -53,6 +53,8 @@ func main() {
 		ctrlWarm = flag.Bool("controller-warm", true, "warm-start the solver from the installed configuration on small traffic deltas (false = full re-solve every cycle)")
 		ctrlFull = flag.Float64("controller-full-fraction", 0, "traffic-delta fraction above which the solver re-solves from scratch (0 = default 0.3)")
 		estFuse  = flag.Duration("est-fusion", 0, "fuse active probe estimates into the controller's view when passive measurements are older than this (0 = passive only; requires -controller)")
+		mapURL   = flag.String("map-url", "", "wrenrepod base URL to fetch the published bandwidth map from; fills controller estimates the live view lacks (requires -controller)")
+		mapEvery = flag.Duration("map-fetch", 2*time.Second, "bandwidth map fetch interval (requires -map-url)")
 		sketch   = flag.Bool("vttif-sketch", false, "hub only: aggregate the traffic matrix with a count-min sketch plus exact top-k heavy edges (bounded memory under heavy traffic)")
 		sketchW  = flag.Int("vttif-sketch-width", 0, "count-min sketch width in counters per row (0 = default 4096; requires -vttif-sketch)")
 		sketchD  = flag.Int("vttif-sketch-depth", 0, "count-min sketch depth in rows (0 = default 4; requires -vttif-sketch)")
@@ -66,6 +68,11 @@ func main() {
 	}
 	if *estFuse > 0 && !*ctrl {
 		fmt.Fprintln(os.Stderr, "vnetd: -est-fusion requires -controller")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *mapURL != "" && !*ctrl {
+		fmt.Fprintln(os.Stderr, "vnetd: -map-url requires -controller")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -322,6 +329,14 @@ func main() {
 			}
 			src.Fusion = &control.Fusion{StaleAfter: *estFuse, OnDemand: fusion.OnDemand}
 			logger.Info("active estimate fusion enabled", "stale_after", *estFuse)
+		}
+		if *mapURL != "" {
+			fetcher := newMapFetcher(*mapURL, logger)
+			stopFetch := make(chan struct{})
+			fetcher.Start(*mapEvery, stopFetch)
+			defer close(stopFetch)
+			src.Map = fetcher.Current
+			logger.Info("bandwidth map fetch enabled", "url", *mapURL, "interval", *mapEvery)
 		}
 		ctrlLog := obs.NewLogger(os.Stderr, "control", *name)
 		cfg := control.Config{

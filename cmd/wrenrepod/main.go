@@ -3,9 +3,16 @@
 // centrally, and every origin's measurements are served over SOAP at
 // /origins/<name>/. GET /origins lists the origins.
 //
-//	wrenrepod -listen 127.0.0.1:7000 -http 127.0.0.1:7080
+// The repository also feeds the coordination tier: analyzed path
+// observations land in a pluggable store (-store), and a versioned
+// bandwidth map built from that store is atomically published at /map —
+// the artifact wrenctl map and vnetd -map-url consume.
+//
+//	wrenrepod -listen 127.0.0.1:7000 -http 127.0.0.1:7080 -store file:/var/lib/wren/coord.log
 //	curl http://127.0.0.1:7080/origins
+//	curl http://127.0.0.1:7080/map
 //	wrenctl -url http://127.0.0.1:7080/origins/hostA/ remotes
+//	wrenctl -url http://127.0.0.1:7080/ map
 package main
 
 import (
@@ -21,14 +28,40 @@ import (
 
 	"freemeasure/internal/obs"
 	"freemeasure/internal/wren"
+	"freemeasure/internal/wren/coord"
 )
+
+// meteredStore is what both coord backends provide: the Store contract
+// plus metric attachment.
+type meteredStore interface {
+	coord.Store
+	SetMetrics(coord.StoreMetrics)
+}
+
+// openStore parses the -store flag: "mem" or "file:PATH".
+func openStore(spec string) (meteredStore, error) {
+	switch {
+	case spec == "mem":
+		return coord.NewMemStore(), nil
+	case strings.HasPrefix(spec, "file:"):
+		path := strings.TrimPrefix(spec, "file:")
+		if path == "" {
+			return nil, fmt.Errorf("-store file: needs a path")
+		}
+		return coord.OpenFileStore(path)
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want mem or file:PATH)", spec)
+	}
+}
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7000", "address for trace forwarders")
-		httpAddr = flag.String("http", "127.0.0.1:7080", "address for the SOAP/HTTP interface")
-		poll     = flag.Duration("poll", 500*time.Millisecond, "analysis poll interval")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (see docs/OPERATIONS.md)")
+		listen    = flag.String("listen", "127.0.0.1:7000", "address for trace forwarders")
+		httpAddr  = flag.String("http", "127.0.0.1:7080", "address for the SOAP/HTTP interface")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "analysis poll interval")
+		storeSpec = flag.String("store", "mem", `observation store backend: "mem" or "file:PATH" (persistent append log)`)
+		mapEvery  = flag.Duration("map-interval", 2*time.Second, "bandwidth map rebuild interval")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (see docs/OPERATIONS.md)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "wrenrepod", "")
@@ -36,6 +69,13 @@ func main() {
 		logger.Error(msg, args...)
 		os.Exit(1)
 	}
+
+	store, err := openStore(*storeSpec)
+	if err != nil {
+		fatal("store", "spec", *storeSpec, "err", err)
+	}
+	defer store.Close()
+	pub := coord.NewPublisher()
 
 	repo := wren.NewRepository(wren.Config{
 		Scan: wren.ScanConfig{MaxGap: 20_000_000, BurstGap: 1_000_000},
@@ -45,9 +85,13 @@ func main() {
 	// mesh trace can follow a report batch across the wire.
 	flight := obs.NewFlightRecorder(0)
 	repo.SetFlight(flight)
+	pub.SetFlight(flight)
 	if *metrics != "" {
 		reg := obs.NewRegistry()
 		repo.SetMetrics(wren.NewRepositoryMetrics(reg))
+		cm := coord.NewMetrics(reg)
+		store.SetMetrics(cm.Store)
+		pub.SetMetrics(cm.Map)
 		reg.GaugeFunc("wren_repo_origins",
 			"Origin hosts that have shipped traces.",
 			func() float64 { return float64(len(repo.Origins())) })
@@ -63,15 +107,64 @@ func main() {
 	}
 	logger.Info("accepting traces", "addr", addr)
 
+	// Analysis loop: poll the monitors, then push any new path
+	// observations into the coordination store. Repository.Scan is sorted
+	// and deterministic, so tracking the last stored timestamp per path is
+	// enough to avoid re-putting unchanged observations.
 	go func() {
+		lastAt := make(map[coord.Path]int64)
 		for range time.Tick(*poll) {
 			repo.PollAll()
+			for _, po := range repo.Scan() {
+				if po.At == 0 {
+					continue
+				}
+				p := coord.Path{From: po.Origin, To: po.Remote}
+				if lastAt[p] == po.At {
+					continue
+				}
+				rec := coord.Record{
+					Path: p, At: po.At, Mbps: po.Estimate.Mbps,
+					Kind: po.Estimate.Kind.String(), Quality: po.Estimate.Quality,
+				}
+				if po.LatencyOK {
+					rec.LatencyMs = po.LatencyMs
+				}
+				if _, err := store.Put(rec); err != nil {
+					logger.Warn("store put", "path", p, "err", err)
+					continue
+				}
+				lastAt[p] = po.At
+			}
+		}
+	}()
+
+	// Map loop: rebuild from the store and publish whenever the store
+	// version moved. A failed rebuild leaves the last good map published —
+	// the generation never goes backwards.
+	go func() {
+		var lastVer uint64
+		for range time.Tick(*mapEvery) {
+			if v := store.Version(); v == lastVer && pub.Current() != nil {
+				continue
+			}
+			m, err := coord.BuildMap(store, time.Now())
+			if err != nil {
+				logger.Warn("map rebuild", "err", err)
+				continue
+			}
+			lastVer = m.StoreVersion
+			stamped := pub.Publish(m)
+			logger.Info("bandwidth map published",
+				"generation", stamped.Generation, "entries", len(stamped.Entries),
+				"store_version", stamped.StoreVersion)
 		}
 	}()
 
 	var mu sync.Mutex
 	services := make(map[string]http.Handler)
 	mux := http.NewServeMux()
+	mux.Handle("/map", pub)
 	mux.HandleFunc("/origins", func(w http.ResponseWriter, r *http.Request) {
 		for _, o := range repo.Origins() {
 			fmt.Fprintln(w, o)

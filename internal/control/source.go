@@ -11,6 +11,7 @@ import (
 	"freemeasure/internal/vnet"
 	"freemeasure/internal/vttif"
 	"freemeasure/internal/wren"
+	"freemeasure/internal/wren/coord"
 )
 
 // Snapshot is one sensed state of the system: the adaptation problem plus
@@ -54,10 +55,12 @@ type PathProvenance struct {
 	// Source is how the estimate was obtained: "direct" (a Wren
 	// measurement in the demanded direction), "reverse" (the opposite
 	// direction's measurement, used because passive measurement only sees
-	// directions the application sends in), "hub-legs" (composed from the
-	// two star legs through the hub), "active-probe" (an on-demand active
-	// measurement supplied by the fusion hook because the passive plane
-	// had nothing fresh), or "default" (nothing measured).
+	// directions the application sends in), "map" (an entry from the
+	// coordination tier's published bandwidth map, consulted when the live
+	// view has nothing), "hub-legs" (composed from the two star legs
+	// through the hub), "active-probe" (an on-demand active measurement
+	// supplied by the fusion hook because the passive plane had nothing
+	// fresh), or "default" (nothing measured).
 	Source string `json:"source"`
 	// Kind and Quality describe the Wren estimator that produced a
 	// measured value ("" / 0 for fallbacks).
@@ -122,6 +125,14 @@ type ViewSource struct {
 	// while fresh — active probing costs the path real bytes, so it is the
 	// exception, not the rule.
 	Fusion *Fusion
+	// Map, when non-nil, returns the latest published coordination-tier
+	// bandwidth map (nil when none has been published or fetched yet). It
+	// is consulted after the live shard views and before hub-leg
+	// composition: a map entry is a real measurement of the exact pair,
+	// just possibly older than the live view, so it beats anything
+	// composed or defaulted. Like the live path, the reverse direction's
+	// entry stands in when the demanded one is absent.
+	Map func() *coord.BandwidthMap
 }
 
 // Fusion is the passive/active winner-fusion policy: passive (free)
@@ -230,6 +241,25 @@ func (s *ViewSource) measuredPath(from, to string) (vnet.PathMeasurement, string
 	return vnet.PathMeasurement{}, "", false
 }
 
+// mapEntry consults the published bandwidth map for the pair, demanded
+// direction first, then reverse.
+func (s *ViewSource) mapEntry(from, to string) (coord.MapEntry, bool) {
+	if s.Map == nil {
+		return coord.MapEntry{}, false
+	}
+	m := s.Map()
+	if m == nil {
+		return coord.MapEntry{}, false
+	}
+	if e, ok := m.Lookup(from, to); ok && e.Mbps > 0 {
+		return e, true
+	}
+	if e, ok := m.Lookup(to, from); ok && e.Mbps > 0 {
+		return e, true
+	}
+	return coord.MapEntry{}, false
+}
+
 // demandRates merges the VTTIF rate matrices across shard views. Each
 // host pushes its local matrix to one home shard, so a pair normally
 // appears in exactly one shard; when a re-home leaves copies in two, the
@@ -271,6 +301,20 @@ func (s *ViewSource) estimate(from, to string) (bw, lat float64, prov PathProven
 		prov.Kind, prov.Quality = p.Kind, p.Quality
 		if !p.UpdatedAt.IsZero() {
 			prov.AgeSec = time.Since(p.UpdatedAt).Seconds()
+		}
+		prov.Mbps, prov.LatencyMs = bw, lat
+		bw, prov = s.Fusion.fuse(bw, prov)
+		return bw, lat, prov
+	}
+	if e, ok := s.mapEntry(from, to); ok {
+		bw = e.Mbps
+		if e.LatencyMs > 0 {
+			lat = e.LatencyMs
+		}
+		prov.Source = "map"
+		prov.Kind, prov.Quality = e.Kind, e.Quality
+		if e.At > 0 {
+			prov.AgeSec = time.Since(time.Unix(0, e.At)).Seconds()
 		}
 		prov.Mbps, prov.LatencyMs = bw, lat
 		bw, prov = s.Fusion.fuse(bw, prov)

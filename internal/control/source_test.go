@@ -7,6 +7,7 @@ import (
 	"freemeasure/internal/ethernet"
 	"freemeasure/internal/vnet"
 	"freemeasure/internal/vttif"
+	"freemeasure/internal/wren/coord"
 )
 
 // fusionView builds a ViewSource over a bare GlobalView with the given
@@ -165,5 +166,94 @@ func TestViewSourceMergesShardDemands(t *testing.T) {
 	}
 	if got := byPair[[2]int{1, 2}]; got != 2000*8/1e6 {
 		t.Fatalf("vm2->vm3 rate = %v, want 0.016", got)
+	}
+}
+
+// mapView builds a ViewSource whose only measurement source beyond
+// defaults is a published bandwidth map.
+func mapView(m *coord.BandwidthMap) (*ViewSource, *vnet.GlobalView) {
+	view := vnet.NewGlobalView(vttif.Config{Alpha: 1, HoldUpdates: 1})
+	src := &ViewSource{
+		View:  view,
+		Hosts: func() []string { return []string{"a", "b"} },
+		VMs:   func() []VMInfo { return nil },
+		Map:   func() *coord.BandwidthMap { return m },
+	}
+	return src, view
+}
+
+// TestMapFillsUnmeasuredPair: with nothing in the live view, the
+// published map's entry supplies the estimate, attributed as "map".
+func TestMapFillsUnmeasuredPair(t *testing.T) {
+	src, _ := mapView(&coord.BandwidthMap{Entries: []coord.MapEntry{
+		{Path: coord.Path{From: "a", To: "b"}, Mbps: 62, LatencyMs: 2.5,
+			Kind: "exact", Quality: 0.8, At: time.Now().Add(-5 * time.Second).UnixNano()},
+	}})
+	bw, lat, prov := src.estimate("a", "b")
+	if bw != 62 || lat != 2.5 {
+		t.Fatalf("estimate = %v/%v, want the map's 62/2.5", bw, lat)
+	}
+	if prov.Source != "map" || prov.Kind != "exact" || prov.Quality != 0.8 {
+		t.Fatalf("provenance = %+v, want map/exact/0.8", prov)
+	}
+	if prov.AgeSec < 4 || prov.AgeSec > 60 {
+		t.Fatalf("provenance age = %v, want ~5s from the entry timestamp", prov.AgeSec)
+	}
+}
+
+// TestMapReverseDirection: like the live view, the reverse direction's
+// map entry stands in when the demanded one is absent.
+func TestMapReverseDirection(t *testing.T) {
+	src, _ := mapView(&coord.BandwidthMap{Entries: []coord.MapEntry{
+		{Path: coord.Path{From: "b", To: "a"}, Mbps: 48},
+	}})
+	bw, _, prov := src.estimate("a", "b")
+	if bw != 48 || prov.Source != "map" {
+		t.Fatalf("got %v/%s, want the reverse map entry 48/map", bw, prov.Source)
+	}
+}
+
+// TestLiveViewBeatsMap: a live Wren measurement outranks the published
+// map — the map is for pairs the live view cannot answer.
+func TestLiveViewBeatsMap(t *testing.T) {
+	src, view := mapView(&coord.BandwidthMap{Entries: []coord.MapEntry{
+		{Path: coord.Path{From: "a", To: "b"}, Mbps: 10},
+	}})
+	view.SetPath("a", "b", vnet.PathMeasurement{Mbps: 90, BWFound: true, UpdatedAt: time.Now()})
+	bw, _, prov := src.estimate("a", "b")
+	if bw != 90 || prov.Source != "direct" {
+		t.Fatalf("got %v/%s, want the live 90/direct over the map", bw, prov.Source)
+	}
+}
+
+// TestMapAbsentFallsThrough: a nil map (not fetched yet) and a missing
+// entry both fall through to the existing chain.
+func TestMapAbsentFallsThrough(t *testing.T) {
+	src, _ := mapView(nil)
+	if bw, _, prov := src.estimate("a", "b"); bw != 100 || prov.Source != "default" {
+		t.Fatalf("nil map: got %v/%s, want 100/default", bw, prov.Source)
+	}
+	src2, _ := mapView(&coord.BandwidthMap{Entries: []coord.MapEntry{
+		{Path: coord.Path{From: "x", To: "y"}, Mbps: 5},
+	}})
+	if bw, _, prov := src2.estimate("a", "b"); bw != 100 || prov.Source != "default" {
+		t.Fatalf("missing entry: got %v/%s, want 100/default", bw, prov.Source)
+	}
+}
+
+// TestFusionOverridesStaleMapEntry: the fusion policy treats an aged map
+// entry like any stale passive measurement and lets the active probe win.
+func TestFusionOverridesStaleMapEntry(t *testing.T) {
+	src, _ := mapView(&coord.BandwidthMap{Entries: []coord.MapEntry{
+		{Path: coord.Path{From: "a", To: "b"}, Mbps: 20,
+			At: time.Now().Add(-time.Minute).UnixNano()},
+	}})
+	src.Fusion = &Fusion{
+		StaleAfter: 10 * time.Second,
+		OnDemand:   func(from, to string) (float64, bool) { return 88, true },
+	}
+	bw, _, prov := src.estimate("a", "b")
+	if bw != 88 || prov.Source != "active-probe" {
+		t.Fatalf("got %v/%s, want the active 88 over the stale map entry", bw, prov.Source)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"freemeasure/internal/vnet"
 	"freemeasure/internal/vttif"
 	"freemeasure/internal/wren"
+	"freemeasure/internal/wren/coord"
 )
 
 // registries instantiates every metrics constructor in the tree, each on
@@ -38,6 +39,7 @@ func registries() map[string]*obs.Registry {
 	add("wren-monitor", func(reg *obs.Registry) { wren.NewMonitorMetrics(reg) })
 	add("wren-repository", func(reg *obs.Registry) { wren.NewRepositoryMetrics(reg) })
 	add("wren-forwarder", func(reg *obs.Registry) { wren.NewForwarderMetrics(reg) })
+	add("coord", func(reg *obs.Registry) { coord.NewMetrics(reg) })
 	// The metrics mux registers process-level gauges as a side effect.
 	add("mux", func(reg *obs.Registry) { obs.NewMux(reg, nil) })
 	return regs

@@ -1,0 +1,268 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// StoreConformance is the executable contract every Store backend must
+// satisfy. Run it from a backend's test file:
+//
+//	StoreConformance(t, func(t *testing.T) Store { ... })
+//
+// newStore must return a fresh, empty store per invocation; cleanup goes
+// through t.Cleanup. The suite covers scan ordering, the replace-at-key
+// rule, versioned-snapshot monotonicity, watch delivery, close semantics,
+// and concurrent Put/Scan (meaningful under -race).
+func StoreConformance(t *testing.T, newStore func(t *testing.T) Store) {
+	rec := func(from, to string, at int64, mbps float64) Record {
+		return Record{Path: Path{From: from, To: to}, At: at, Mbps: mbps}
+	}
+
+	t.Run("ScanOrdering", func(t *testing.T) {
+		s := newStore(t)
+		// Insert deliberately out of order across paths and timestamps.
+		for _, r := range []Record{
+			rec("h2", "h1", 30, 10), rec("h1", "h2", 20, 50), rec("h1", "h2", 10, 40),
+			rec("h1", "h3", 5, 70), rec("h2", "h1", 25, 15),
+		} {
+			if _, err := s.Put(r); err != nil {
+				t.Fatalf("Put(%v): %v", r, err)
+			}
+		}
+		snap, err := s.Scan(Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Record{
+			rec("h1", "h2", 10, 40), rec("h1", "h2", 20, 50), rec("h1", "h3", 5, 70),
+			rec("h2", "h1", 25, 15), rec("h2", "h1", 30, 10),
+		}
+		if len(snap.Records) != len(want) {
+			t.Fatalf("scan returned %d records, want %d: %+v", len(snap.Records), len(want), snap.Records)
+		}
+		for i, w := range want {
+			if snap.Records[i] != w {
+				t.Errorf("scan[%d] = %+v, want %+v", i, snap.Records[i], w)
+			}
+		}
+	})
+
+	t.Run("ScanFilters", func(t *testing.T) {
+		s := newStore(t)
+		for _, r := range []Record{
+			rec("h1", "h2", 10, 1), rec("h1", "h2", 20, 2), rec("h2", "h3", 15, 3),
+		} {
+			if _, err := s.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := s.Scan(Query{Path: Path{From: "h1", To: "h2"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Records) != 2 {
+			t.Fatalf("path filter returned %d records, want 2", len(snap.Records))
+		}
+		snap, err = s.Scan(Query{SinceNs: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Records) != 2 {
+			t.Fatalf("since filter returned %d records, want 2: %+v", len(snap.Records), snap.Records)
+		}
+		for _, r := range snap.Records {
+			if r.At < 15 {
+				t.Errorf("since filter leaked record at %d", r.At)
+			}
+		}
+	})
+
+	t.Run("ReplaceAtKey", func(t *testing.T) {
+		s := newStore(t)
+		if _, err := s.Put(rec("h1", "h2", 10, 40)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Put(rec("h1", "h2", 10, 90)); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := s.Scan(Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Records) != 1 || snap.Records[0].Mbps != 90 {
+			t.Fatalf("replace at (path,timestamp) key failed: %+v", snap.Records)
+		}
+	})
+
+	t.Run("Validation", func(t *testing.T) {
+		s := newStore(t)
+		for _, bad := range []Record{
+			{},
+			{Path: Path{From: "h1"}, At: 1},
+			{Path: Path{From: "h1", To: "h2"}, At: 0},
+		} {
+			if _, err := s.Put(bad); err == nil {
+				t.Errorf("Put accepted invalid record %+v", bad)
+			}
+		}
+	})
+
+	t.Run("VersionMonotonic", func(t *testing.T) {
+		s := newStore(t)
+		if got := s.Version(); got != 0 {
+			t.Fatalf("empty store version = %d, want 0", got)
+		}
+		var last uint64
+		for i := 1; i <= 10; i++ {
+			v, err := s.Put(rec("h1", "h2", int64(i), float64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v <= last {
+				t.Fatalf("Put #%d returned version %d, not above %d", i, v, last)
+			}
+			last = v
+			snap, err := s.Scan(Query{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Version < v {
+				t.Fatalf("scan version %d below the Put version %d it contains", snap.Version, v)
+			}
+		}
+		if got := s.Version(); got != last {
+			t.Fatalf("Version() = %d, want %d", got, last)
+		}
+	})
+
+	t.Run("WatchDelivery", func(t *testing.T) {
+		s := newStore(t)
+		ch, cancel, err := s.Watch(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cancel()
+		var want []Record
+		for i := 1; i <= 8; i++ {
+			r := rec("h1", "h2", int64(i*10), float64(i))
+			want = append(want, r)
+			if _, err := s.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, w := range want {
+			select {
+			case got := <-ch:
+				if got != w {
+					t.Fatalf("watch[%d] = %+v, want %+v", i, got, w)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("watch delivered %d of %d records", i, len(want))
+			}
+		}
+		// Cancel stops delivery and closes the channel.
+		cancel()
+		if _, err := s.Put(rec("h3", "h4", 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if r, ok := <-ch; ok && (r.Path == Path{From: "h3", To: "h4"}) {
+			t.Fatal("cancelled watcher received a post-cancel record")
+		}
+	})
+
+	t.Run("CloseSemantics", func(t *testing.T) {
+		s := newStore(t)
+		ch, cancel, err := s.Watch(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cancel()
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		if _, err := s.Put(rec("h1", "h2", 1, 1)); err == nil {
+			t.Error("Put succeeded on a closed store")
+		}
+		if _, err := s.Scan(Query{}); err == nil {
+			t.Error("Scan succeeded on a closed store")
+		}
+		select {
+		case _, ok := <-ch:
+			if ok {
+				t.Error("closed store delivered a record")
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Close did not close the watch channel")
+		}
+	})
+
+	t.Run("ConcurrentPutScan", func(t *testing.T) {
+		s := newStore(t)
+		const writers, perWriter = 8, 50
+		var writerWG, scanWG sync.WaitGroup
+		stopScan := make(chan struct{})
+		scanWG.Add(1)
+		go func() { // concurrent scanner: versions never regress mid-flight
+			defer scanWG.Done()
+			var last uint64
+			for {
+				select {
+				case <-stopScan:
+					return
+				default:
+				}
+				snap, err := s.Scan(Query{})
+				if err != nil {
+					t.Errorf("concurrent scan: %v", err)
+					return
+				}
+				if snap.Version < last {
+					t.Errorf("scan version went backwards: %d -> %d", last, snap.Version)
+					return
+				}
+				last = snap.Version
+			}
+		}()
+		for w := 0; w < writers; w++ {
+			writerWG.Add(1)
+			go func(w int) {
+				defer writerWG.Done()
+				from := fmt.Sprintf("w%d", w)
+				for i := 1; i <= perWriter; i++ {
+					if _, err := s.Put(rec(from, "sink", int64(i), float64(i))); err != nil {
+						t.Errorf("concurrent put: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		writerWG.Wait()
+		close(stopScan)
+		scanWG.Wait()
+		snap, err := s.Scan(Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(snap.Records), writers*perWriter; got != want {
+			t.Fatalf("after concurrent puts: %d records, want %d", got, want)
+		}
+		if snap.Version != uint64(writers*perWriter) {
+			t.Fatalf("final version %d, want %d", snap.Version, writers*perWriter)
+		}
+		for i := 1; i < len(snap.Records); i++ {
+			a, b := snap.Records[i-1], snap.Records[i]
+			if a.Path == b.Path && a.At >= b.At {
+				t.Fatalf("unsorted scan under concurrency at %d: %+v then %+v", i, a, b)
+			}
+			if a.Path != b.Path && !a.Path.Less(b.Path) {
+				t.Fatalf("paths unsorted under concurrency at %d: %v then %v", i, a.Path, b.Path)
+			}
+		}
+	})
+}

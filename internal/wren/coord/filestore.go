@@ -1,0 +1,137 @@
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is the persistent Store: a MemStore for every query path plus
+// an append-only record log on disk. One JSON record per line keeps the
+// format recoverable: on open the log is replayed line by line, and a
+// torn tail (a crash mid-append) is detected and ignored rather than
+// poisoning the store. Put is write-ahead — the record hits the log
+// before it becomes visible, so a Put that returned cannot be lost to a
+// clean restart.
+type FileStore struct {
+	mem *MemStore
+
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	closed bool
+}
+
+// OpenFileStore opens (creating if absent) the log at path and replays it.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("coord: open store log: %w", err)
+	}
+	s := &FileStore{mem: NewMemStore(), f: f, path: path}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("coord: seek store log: %w", err)
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replay loads every intact record from the log. A malformed or truncated
+// line ends the replay (everything after a torn write is untrusted); the
+// file is truncated back to the last good line so the next append starts
+// on a record boundary.
+func (s *FileStore) replay() error {
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var good int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || validate(rec) != nil {
+			break
+		}
+		if _, err := s.mem.Put(rec); err != nil {
+			return err
+		}
+		good += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return fmt.Errorf("coord: replay store log: %w", err)
+	}
+	if err := s.f.Truncate(good); err != nil {
+		return fmt.Errorf("coord: truncate torn store log: %w", err)
+	}
+	return nil
+}
+
+// SetMetrics attaches metrics to the backing MemStore (log appends count
+// as its Puts).
+func (s *FileStore) SetMetrics(m StoreMetrics) { s.mem.SetMetrics(m) }
+
+// Put implements Store: append to the log, flush, then make the record
+// visible in memory.
+func (s *FileStore) Put(rec Record) (uint64, error) {
+	if err := validate(rec); err != nil {
+		return 0, err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("coord: encode record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if _, err := s.w.Write(append(line, '\n')); err == nil {
+		err = s.w.Flush()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("coord: append store log: %w", err)
+	}
+	// Memory visibility happens under the same lock as the append, so the
+	// log's record order matches the order replace-at-key wins resolve in.
+	return s.mem.Put(rec)
+}
+
+// Scan implements Store.
+func (s *FileStore) Scan(q Query) (Snapshot, error) { return s.mem.Scan(q) }
+
+// Watch implements Store.
+func (s *FileStore) Watch(buffer int) (<-chan Record, func(), error) {
+	return s.mem.Watch(buffer)
+}
+
+// Version implements Store.
+func (s *FileStore) Version() uint64 { return s.mem.Version() }
+
+// Path returns the log file's location.
+func (s *FileStore) Path() string { return s.path }
+
+// Close implements Store: flushes and closes the log, then closes the
+// in-memory state.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	if merr := s.mem.Close(); err == nil {
+		err = merr
+	}
+	return err
+}

@@ -1,0 +1,356 @@
+package coord
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"freemeasure/internal/obs"
+	"freemeasure/internal/vttif"
+)
+
+// SchedulerConfig parameterizes a Scheduler. The zero value means the
+// documented defaults.
+type SchedulerConfig struct {
+	// StaleAfter is the observation age beyond which a demanded path needs
+	// re-measurement (default 30s).
+	StaleAfter time.Duration
+	// Budget caps concurrently outstanding probes per target host
+	// (default 2): measurement traffic toward one endpoint must never
+	// congest the very paths being measured.
+	Budget int
+	// MaxAttempts bounds consecutive failures per path before the
+	// scheduler parks it until fresh demand or an observation arrives
+	// (default 4).
+	MaxAttempts int
+	// RetryBase and RetryMax shape the per-path retry backoff after an
+	// agent failure: the first retry waits RetryBase, each further failure
+	// doubles it up to RetryMax (defaults 500ms and 10s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Now supplies time, so chaos tests drive the schedule on a fake
+	// clock (default time.Now).
+	Now func() time.Time
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 30 * time.Second
+	}
+	if c.Budget <= 0 {
+		c.Budget = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 500 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// ProbeTask is one scheduled measurement: probe Path, this being attempt
+// Attempt (1-based) in round Round.
+type ProbeTask struct {
+	Path    Path
+	Attempt int
+	Round   int
+}
+
+// Round is one planned measurement round: the tasks a measurement agent
+// should execute now. Tasks are sorted by path; Complete reports each
+// one's outcome.
+type Round struct {
+	Number int
+	Tasks  []ProbeTask
+}
+
+// pathState tracks one demanded path's probe lifecycle.
+type pathState struct {
+	attempts int       // consecutive failures toward the current goal
+	inflight bool      // a task was issued and not yet completed
+	nextTry  time.Time // backoff gate after a failure
+	parked   bool      // attempts exhausted; re-armed by Demand/Observe
+}
+
+// Scheduler decides which paths need fresh observations. Demand flows in
+// from the VTTIF delta stream and the controller; freshness flows in from
+// the store (FollowStore) or Complete. Plan emits rounds of probe tasks
+// under the per-target budget; failed tasks retry with capped exponential
+// backoff and eventually park. The scheduler never measures anything
+// itself — it is the policy tier between demand and the probing agents.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu     sync.Mutex
+	demand map[Path]bool
+	fresh  map[Path]time.Time
+	state  map[Path]*pathState
+	rounds int
+	met    SchedulerMetrics
+	flight *obs.FlightRecorder
+	trace  obs.TraceContext
+}
+
+// NewScheduler creates an idle scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	return &Scheduler{
+		cfg:    cfg.withDefaults(),
+		demand: make(map[Path]bool),
+		fresh:  make(map[Path]time.Time),
+		state:  make(map[Path]*pathState),
+	}
+}
+
+// SetMetrics attaches metrics (zero value detaches).
+func (s *Scheduler) SetMetrics(m SchedulerMetrics) {
+	s.mu.Lock()
+	s.met = m
+	s.mu.Unlock()
+}
+
+// SetFlight attaches a flight recorder: each planned round records a
+// "sched-round" event under the current trace context.
+func (s *Scheduler) SetFlight(fl *obs.FlightRecorder) {
+	s.mu.Lock()
+	s.flight = fl
+	s.mu.Unlock()
+}
+
+// SetTrace stamps subsequent rounds with the distributed-trace context of
+// the cycle driving them (the controller's TraceSink seam). The zero
+// context turns tracing off.
+func (s *Scheduler) SetTrace(ctx obs.TraceContext) {
+	s.mu.Lock()
+	s.trace = ctx
+	s.mu.Unlock()
+}
+
+// Demand marks paths as wanted-fresh. Re-demanding a parked path re-arms
+// it: new demand is new evidence the path matters.
+func (s *Scheduler) Demand(paths ...Path) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range paths {
+		if p.From == "" || p.To == "" || p.From == p.To {
+			continue
+		}
+		s.demand[p] = true
+		if st, ok := s.state[p]; ok && st.parked {
+			st.parked = false
+			st.attempts = 0
+			st.nextTry = time.Time{}
+		}
+	}
+}
+
+// Forget drops paths from the demand set; outstanding tasks for them may
+// still Complete harmlessly.
+func (s *Scheduler) Forget(paths ...Path) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range paths {
+		delete(s.demand, p)
+	}
+}
+
+// NoteDeltas feeds the VTTIF change stream: edges that appeared (or moved
+// rate) demand measurement, edges that vanished stop being demanded.
+// resolve maps the aggregator's MAC pair to the daemon-level path the
+// measurement plane knows; pairs it cannot resolve are skipped.
+func (s *Scheduler) NoteDeltas(ds []vttif.Delta, resolve func(vttif.Pair) (Path, bool)) {
+	for _, d := range ds {
+		p, ok := resolve(d.Pair)
+		if !ok {
+			continue
+		}
+		switch {
+		case d.Kind == vttif.DeltaEdgeDown, d.Kind == vttif.DeltaRate && d.Rate == 0:
+			s.Forget(p)
+		default:
+			s.Demand(p)
+		}
+	}
+}
+
+// Observe records a fresh observation for a path (normally via
+// FollowStore). It clears failure state: the path is measurable again.
+func (s *Scheduler) Observe(p Path, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.fresh[p]; !ok || at.After(cur) {
+		s.fresh[p] = at
+	}
+	if st, ok := s.state[p]; ok {
+		st.attempts = 0
+		st.parked = false
+		st.nextTry = time.Time{}
+	}
+}
+
+// FollowStore subscribes the scheduler to a store's watch stream so every
+// Put refreshes the corresponding path. The returned stop releases the
+// subscription.
+func (s *Scheduler) FollowStore(st Store) (stop func(), err error) {
+	ch, cancel, err := st.Watch(256)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rec := range ch {
+			s.Observe(rec.Path, time.Unix(0, rec.At))
+		}
+	}()
+	return func() { cancel(); <-done }, nil
+}
+
+// stateFor returns (creating) the lifecycle state for p.
+func (s *Scheduler) stateFor(p Path) *pathState {
+	st, ok := s.state[p]
+	if !ok {
+		st = &pathState{}
+		s.state[p] = st
+	}
+	return st
+}
+
+// Plan computes the next measurement round: every demanded, stale,
+// probe-eligible path, budgeted per target. ok is false when there is
+// nothing to do right now (all fresh, all inflight, backing off, or
+// budget-deferred with nothing else runnable). Issued tasks are
+// considered inflight until Complete is called for them.
+func (s *Scheduler) Plan() (Round, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+
+	paths := make([]Path, 0, len(s.demand))
+	for p := range s.demand {
+		paths = append(paths, p)
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Less(paths[j]) })
+
+	// Standing inflight probes count against each target's budget first.
+	perTarget := make(map[string]int)
+	for p, st := range s.state {
+		if st.inflight {
+			perTarget[p.To]++
+		}
+	}
+
+	stale := 0
+	var tasks []ProbeTask
+	for _, p := range paths {
+		if at, ok := s.fresh[p]; ok && now.Sub(at) <= s.cfg.StaleAfter {
+			continue
+		}
+		stale++
+		st := s.stateFor(p)
+		if st.inflight || st.parked || now.Before(st.nextTry) {
+			continue
+		}
+		if perTarget[p.To] >= s.cfg.Budget {
+			s.met.Deferred.Inc()
+			continue
+		}
+		perTarget[p.To]++
+		st.inflight = true
+		tasks = append(tasks, ProbeTask{Path: p, Attempt: st.attempts + 1, Round: s.rounds + 1})
+	}
+	s.met.StalePaths.Set(float64(stale))
+	if len(tasks) == 0 {
+		return Round{}, false
+	}
+	s.rounds++
+	s.met.Rounds.Inc()
+	s.met.Probes.Add(uint64(len(tasks)))
+	if s.trace.Valid() {
+		s.flight.RecordCtx(s.trace, obs.Event{
+			Component: "coord", Phase: "sense", Name: "sched-round",
+			Attrs: map[string]any{"round": s.rounds, "tasks": len(tasks), "stale": stale},
+		})
+	}
+	return Round{Number: s.rounds, Tasks: tasks}, true
+}
+
+// Complete reports a task's outcome. Success marks the path fresh (the
+// store watch will usually also deliver the observation); failure arms
+// the retry backoff, doubling up to RetryMax, and parks the path after
+// MaxAttempts consecutive failures.
+func (s *Scheduler) Complete(task ProbeTask, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stateFor(task.Path)
+	st.inflight = false
+	if err == nil {
+		st.attempts = 0
+		st.nextTry = time.Time{}
+		now := s.cfg.Now()
+		if cur, ok := s.fresh[task.Path]; !ok || now.After(cur) {
+			s.fresh[task.Path] = now
+		}
+		return
+	}
+	st.attempts++
+	if st.attempts >= s.cfg.MaxAttempts {
+		st.parked = true
+		s.met.Giveups.Inc()
+		if s.trace.Valid() {
+			s.flight.RecordCtx(s.trace, obs.Event{
+				Component: "coord", Phase: "sense", Name: "sched-park",
+				Attrs: map[string]any{"path": task.Path.String(), "attempts": st.attempts},
+			})
+		}
+		return
+	}
+	backoff := s.cfg.RetryBase << (st.attempts - 1)
+	if backoff > s.cfg.RetryMax {
+		backoff = s.cfg.RetryMax
+	}
+	st.nextTry = s.cfg.Now().Add(backoff)
+	s.met.Retries.Inc()
+}
+
+// Stale lists the demanded paths whose freshest observation exceeds
+// StaleAfter right now, sorted. Introspection and tests.
+func (s *Scheduler) Stale() []Path {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	var out []Path
+	for p := range s.demand {
+		if at, ok := s.fresh[p]; !ok || now.Sub(at) > s.cfg.StaleAfter {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Outstanding reports how many issued tasks await Complete.
+func (s *Scheduler) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, st := range s.state {
+		if st.inflight {
+			n++
+		}
+	}
+	return n
+}
+
+// Rounds reports how many non-empty rounds have been planned.
+func (s *Scheduler) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}

@@ -1,0 +1,286 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"freemeasure/internal/ethernet"
+	"freemeasure/internal/vttif"
+)
+
+// fakeNow is a hand-advanced clock for deterministic scheduler tests.
+type fakeNow struct{ t time.Time }
+
+func newFakeNow() *fakeNow                 { return &fakeNow{t: time.Unix(1_700_000_000, 0)} }
+func (f *fakeNow) Now() time.Time          { return f.t }
+func (f *fakeNow) Advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func path(from, to string) Path { return Path{From: from, To: to} }
+
+// TestSchedulerStalenessDriven: only demanded paths whose observations
+// exceed StaleAfter get probed — not poll-everything.
+func TestSchedulerStalenessDriven(t *testing.T) {
+	clk := newFakeNow()
+	s := NewScheduler(SchedulerConfig{StaleAfter: 10 * time.Second, Budget: 10, Now: clk.Now})
+	s.Demand(path("h1", "h2"), path("h1", "h3"), path("h2", "h3"))
+
+	// h1>h2 fresh, h1>h3 stale, h2>h3 never observed.
+	s.Observe(path("h1", "h2"), clk.Now())
+	s.Observe(path("h1", "h3"), clk.Now().Add(-time.Minute))
+
+	round, ok := s.Plan()
+	if !ok {
+		t.Fatal("no round planned with two stale paths")
+	}
+	if len(round.Tasks) != 2 {
+		t.Fatalf("round tasks = %+v, want the two stale paths", round.Tasks)
+	}
+	if round.Tasks[0].Path != path("h1", "h3") || round.Tasks[1].Path != path("h2", "h3") {
+		t.Fatalf("tasks not sorted/selected as expected: %+v", round.Tasks)
+	}
+
+	// While inflight, replanning issues nothing new.
+	if r2, ok := s.Plan(); ok {
+		t.Fatalf("replan issued duplicate tasks %+v while inflight", r2.Tasks)
+	}
+
+	// Completing both makes everything fresh: nothing left to do.
+	for _, task := range round.Tasks {
+		s.Complete(task, nil)
+	}
+	if _, ok := s.Plan(); ok {
+		t.Fatal("round planned while everything is fresh")
+	}
+
+	// Time passes: freshness expires, the scheduler wants them again.
+	clk.Advance(time.Minute)
+	round, ok = s.Plan()
+	if !ok || len(round.Tasks) != 3 {
+		t.Fatalf("after expiry: ok=%v tasks=%+v, want all three paths", ok, round.Tasks)
+	}
+}
+
+// TestSchedulerMultiRound: with a budget of 1 per target, three stale
+// paths toward the same target need three rounds — a multi-round
+// measurement plan with the budget respected at each step.
+func TestSchedulerMultiRound(t *testing.T) {
+	clk := newFakeNow()
+	s := NewScheduler(SchedulerConfig{StaleAfter: time.Second, Budget: 1, Now: clk.Now})
+	paths := []Path{path("h1", "sink"), path("h2", "sink"), path("h3", "sink")}
+	s.Demand(paths...)
+
+	var done []Path
+	for round := 1; round <= 3; round++ {
+		r, ok := s.Plan()
+		if !ok {
+			t.Fatalf("round %d: nothing planned (done=%v)", round, done)
+		}
+		if r.Number != round {
+			t.Fatalf("round number = %d, want %d", r.Number, round)
+		}
+		if len(r.Tasks) != 1 {
+			t.Fatalf("round %d issued %d tasks toward one target, budget is 1", round, len(r.Tasks))
+		}
+		s.Complete(r.Tasks[0], nil)
+		done = append(done, r.Tasks[0].Path)
+	}
+	if len(done) != 3 || done[0] == done[1] || done[1] == done[2] || done[0] == done[2] {
+		t.Fatalf("rounds measured %v, want each path exactly once", done)
+	}
+	if _, ok := s.Plan(); ok {
+		t.Fatal("fourth round planned after all paths measured")
+	}
+}
+
+// TestSchedulerRetryBackoffAndPark: a failing agent arms a doubling,
+// capped backoff; exhausting MaxAttempts parks the path; new demand
+// re-arms it.
+func TestSchedulerRetryBackoffAndPark(t *testing.T) {
+	clk := newFakeNow()
+	s := NewScheduler(SchedulerConfig{
+		StaleAfter: time.Second, Budget: 1, MaxAttempts: 3,
+		RetryBase: 100 * time.Millisecond, RetryMax: 300 * time.Millisecond,
+		Now: clk.Now,
+	})
+	p := path("h1", "h2")
+	s.Demand(p)
+	boom := errors.New("agent lost")
+
+	// Attempt 1 fails -> backoff 100ms: immediate replan issues nothing.
+	r, ok := s.Plan()
+	if !ok || r.Tasks[0].Attempt != 1 {
+		t.Fatalf("first plan: ok=%v tasks=%+v", ok, r.Tasks)
+	}
+	s.Complete(r.Tasks[0], boom)
+	if _, ok := s.Plan(); ok {
+		t.Fatal("replan ignored the retry backoff")
+	}
+
+	// After the window, attempt 2; fail -> backoff 200ms.
+	clk.Advance(101 * time.Millisecond)
+	r, ok = s.Plan()
+	if !ok || r.Tasks[0].Attempt != 2 {
+		t.Fatalf("second attempt: ok=%v tasks=%+v", ok, r.Tasks)
+	}
+	s.Complete(r.Tasks[0], boom)
+	clk.Advance(101 * time.Millisecond)
+	if _, ok := s.Plan(); ok {
+		t.Fatal("backoff did not double after the second failure")
+	}
+	clk.Advance(100 * time.Millisecond)
+	r, ok = s.Plan()
+	if !ok || r.Tasks[0].Attempt != 3 {
+		t.Fatalf("third attempt: ok=%v tasks=%+v", ok, r.Tasks)
+	}
+
+	// Third failure exhausts MaxAttempts: parked, no more plans even after
+	// arbitrary time.
+	s.Complete(r.Tasks[0], boom)
+	clk.Advance(time.Hour)
+	if _, ok := s.Plan(); ok {
+		t.Fatal("parked path was planned again")
+	}
+	if got := s.Stale(); len(got) != 1 || got[0] != p {
+		t.Fatalf("parked path missing from Stale(): %v", got)
+	}
+
+	// Fresh demand re-arms the parked path at attempt 1.
+	s.Demand(p)
+	r, ok = s.Plan()
+	if !ok || r.Tasks[0].Attempt != 1 {
+		t.Fatalf("re-armed plan: ok=%v tasks=%+v", ok, r.Tasks)
+	}
+}
+
+// TestSchedulerFollowStore: store puts refresh the scheduler through the
+// watch stream, clearing both staleness and failure state.
+func TestSchedulerFollowStore(t *testing.T) {
+	clk := newFakeNow()
+	st := NewMemStore()
+	defer st.Close()
+	s := NewScheduler(SchedulerConfig{StaleAfter: 10 * time.Second, Now: clk.Now})
+	stop, err := s.FollowStore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	p := path("h1", "h2")
+	s.Demand(p)
+	if got := s.Stale(); len(got) != 1 {
+		t.Fatalf("Stale() = %v, want the demanded path", got)
+	}
+	if _, err := st.Put(Record{Path: p, At: clk.Now().UnixNano(), Mbps: 50}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Stale()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("store put never refreshed the scheduler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerNoteDeltas: the VTTIF change stream drives demand — edges
+// up demand measurement, edges down retire it.
+func TestSchedulerNoteDeltas(t *testing.T) {
+	clk := newFakeNow()
+	s := NewScheduler(SchedulerConfig{Now: clk.Now})
+	macA, macB := ethernet.VMMAC(1), ethernet.VMMAC(2)
+	resolve := func(pr vttif.Pair) (Path, bool) {
+		switch {
+		case pr.Src == macA && pr.Dst == macB:
+			return path("h1", "h2"), true
+		case pr.Src == macB && pr.Dst == macA:
+			return path("h2", "h1"), true
+		}
+		return Path{}, false
+	}
+	s.NoteDeltas([]vttif.Delta{
+		{Kind: vttif.DeltaEdgeUp, Pair: vttif.Pair{Src: macA, Dst: macB}, Rate: 1e6},
+		{Kind: vttif.DeltaRate, Pair: vttif.Pair{Src: macB, Dst: macA}, Rate: 2e6},
+		{Kind: vttif.DeltaEdgeUp, Pair: vttif.Pair{Src: macA, Dst: ethernet.VMMAC(9)}}, // unresolvable
+	}, resolve)
+	if got := s.Stale(); len(got) != 2 {
+		t.Fatalf("Stale() after deltas = %v, want both resolvable paths", got)
+	}
+	s.NoteDeltas([]vttif.Delta{
+		{Kind: vttif.DeltaEdgeDown, Pair: vttif.Pair{Src: macA, Dst: macB}},
+		{Kind: vttif.DeltaRate, Pair: vttif.Pair{Src: macB, Dst: macA}, Rate: 0, Prev: 2e6},
+	}, resolve)
+	if got := s.Stale(); len(got) != 0 {
+		t.Fatalf("Stale() after retirement = %v, want empty", got)
+	}
+}
+
+// TestSchedulerBudgetProperty is the satellite property test: for any
+// seeded sequence of demands, observations, failures and plans, no round
+// ever issues more probes toward one target than Budget allows — counting
+// what is already inflight.
+func TestSchedulerBudgetProperty(t *testing.T) {
+	seeds := []int64{1, 7, 42, 20260808}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			clk := newFakeNow()
+			budget := 1 + rng.Intn(3)
+			s := NewScheduler(SchedulerConfig{
+				StaleAfter: 5 * time.Second, Budget: budget,
+				MaxAttempts: 3, RetryBase: 50 * time.Millisecond, RetryMax: time.Second,
+				Now: clk.Now,
+			})
+			hosts := []string{"a", "b", "c", "d", "e"}
+			inflight := make(map[string]int) // per-target outstanding
+			var open []ProbeTask
+			for step := 0; step < 500; step++ {
+				switch rng.Intn(4) {
+				case 0: // demand a random pair
+					f, to := hosts[rng.Intn(len(hosts))], hosts[rng.Intn(len(hosts))]
+					s.Demand(path(f, to))
+				case 1: // complete a random open task, sometimes failing
+					if len(open) > 0 {
+						i := rng.Intn(len(open))
+						task := open[i]
+						open = append(open[:i], open[i+1:]...)
+						inflight[task.Path.To]--
+						var err error
+						if rng.Intn(3) == 0 {
+							err = errors.New("agent crash")
+						}
+						s.Complete(task, err)
+					}
+				case 2: // time passes
+					clk.Advance(time.Duration(rng.Intn(2000)) * time.Millisecond)
+				case 3: // plan a round
+					r, ok := s.Plan()
+					if !ok {
+						continue
+					}
+					perTarget := make(map[string]int)
+					for _, task := range r.Tasks {
+						perTarget[task.Path.To]++
+					}
+					for target, n := range perTarget {
+						if n+inflight[target] > budget {
+							t.Fatalf("step %d round %d: %d new + %d inflight toward %q exceeds budget %d",
+								step, r.Number, n, inflight[target], target, budget)
+						}
+					}
+					for _, task := range r.Tasks {
+						inflight[task.Path.To]++
+						open = append(open, task)
+					}
+				}
+				for target, n := range inflight {
+					if n > budget {
+						t.Fatalf("step %d: %d outstanding toward %q exceeds budget %d", step, n, target, budget)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Path identifies one directed measured path between two daemons.
+type Path struct {
+	From string
+	To   string
+}
+
+// String renders the path as "from>to", the form the bandwidth-map wire
+// format uses.
+func (p Path) String() string { return p.From + ">" + p.To }
+
+// Less orders paths lexicographically by (From, To) — the sort order
+// every Scan and every published map obeys.
+func (p Path) Less(q Path) bool {
+	if p.From != q.From {
+		return p.From < q.From
+	}
+	return p.To < q.To
+}
+
+// IsZero reports the unset path (used as the "all paths" query).
+func (p Path) IsZero() bool { return p.From == "" && p.To == "" }
+
+// Record is one stored observation: what was measured for a path at one
+// point in time. Records are keyed by (Path, At): a Put with an existing
+// key replaces the earlier record rather than duplicating it.
+type Record struct {
+	Path      Path    `json:"path"`
+	At        int64   `json:"at"` // observation time, unix nanoseconds
+	Mbps      float64 `json:"mbps"`
+	LatencyMs float64 `json:"latencyMs,omitempty"`
+	Kind      string  `json:"kind,omitempty"`
+	Quality   float64 `json:"quality,omitempty"`
+}
+
+// Query selects records for Scan. The zero value selects everything.
+type Query struct {
+	// Path restricts the scan to one path; the zero Path means all paths.
+	Path Path
+	// SinceNs drops records older than this observation timestamp.
+	SinceNs int64
+}
+
+// Snapshot is one versioned Scan result: the records plus the store
+// version they reflect. Version is monotonic: a later Scan never reports
+// a smaller version, and every record in the snapshot was Put at or
+// before it.
+type Snapshot struct {
+	Version uint64
+	Records []Record
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("coord: store closed")
+
+// Store is the pluggable observation backend. Implementations must
+// provide:
+//
+//   - Put: insert or replace the record at (Path, At), returning the
+//     store version that first contains it. Versions increase by one per
+//     Put.
+//   - Scan: a versioned snapshot of matching records, sorted by
+//     (Path.From, Path.To, At) — the invariant the map builder and every
+//     other consumer relies on.
+//   - Watch: a subscription delivering every subsequent Put in order. A
+//     subscriber that falls more than buffer records behind loses the
+//     overflow (counted, never blocking writers); cancel releases it.
+//   - Version: the current version without scanning.
+//
+// All methods are safe for concurrent use. The shared conformance suite
+// (StoreConformance) is the contract's executable form; run it against
+// any new backend.
+type Store interface {
+	Put(rec Record) (version uint64, err error)
+	Scan(q Query) (Snapshot, error)
+	Watch(buffer int) (ch <-chan Record, cancel func(), err error)
+	Version() uint64
+	Close() error
+}
+
+// validate rejects records no backend should accept.
+func validate(rec Record) error {
+	if rec.Path.From == "" || rec.Path.To == "" {
+		return fmt.Errorf("coord: record needs a full path, got %q", rec.Path)
+	}
+	if rec.At <= 0 {
+		return fmt.Errorf("coord: record for %s needs a positive timestamp", rec.Path)
+	}
+	return nil
+}

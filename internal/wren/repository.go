@@ -174,20 +174,69 @@ func (r *Repository) Origins() []string {
 	return out
 }
 
-// PollAll runs analysis for every origin and returns total new
-// observations.
-func (r *Repository) PollAll() int {
+// sortedMonitors snapshots the monitor set ordered by origin name. Map
+// iteration order is randomized per run; everything that walks all
+// monitors goes through here so analysis and scans are reproducible.
+func (r *Repository) sortedMonitors() []*Monitor {
 	r.mu.Lock()
-	ms := make([]*Monitor, 0, len(r.monitors))
-	for _, m := range r.monitors {
-		ms = append(ms, m)
+	defer r.mu.Unlock()
+	origins := make([]string, 0, len(r.monitors))
+	for o := range r.monitors {
+		origins = append(origins, o)
 	}
-	r.mu.Unlock()
+	sort.Strings(origins)
+	ms := make([]*Monitor, len(origins))
+	for i, o := range origins {
+		ms[i] = r.monitors[o]
+	}
+	return ms
+}
+
+// PollAll runs analysis for every origin — in origin order, so two polls
+// over the same traces do identical work in the identical sequence — and
+// returns total new observations.
+func (r *Repository) PollAll() int {
 	total := 0
-	for _, m := range ms {
+	for _, m := range r.sortedMonitors() {
 		total += m.Poll()
 	}
 	return total
+}
+
+// PathObservation is one analyzed path in a Scan: the origin's current
+// available-bandwidth estimate toward a remote, the latency estimate when
+// one exists, and the freshest underlying observation timestamp.
+type PathObservation struct {
+	Origin    string
+	Remote    string
+	Estimate  Estimate
+	LatencyMs float64
+	LatencyOK bool
+	At        int64 // newest SIC observation backing the estimate (ns), 0 if unknown
+}
+
+// Scan returns every (origin, remote) path holding a current bandwidth
+// estimate, sorted by origin then remote. The order is part of the
+// contract: the coordination tier's map builder diffs successive scans and
+// feeds them into a store keyed by path, so results must be deterministic
+// — never the monitors map's iteration order.
+func (r *Repository) Scan() []PathObservation {
+	var out []PathObservation
+	for _, m := range r.sortedMonitors() {
+		for _, remote := range m.Remotes() { // Remotes() is sorted
+			est, ok := m.AvailableBandwidth(remote)
+			if !ok {
+				continue
+			}
+			po := PathObservation{Origin: m.Local(), Remote: remote, Estimate: est}
+			po.LatencyMs, po.LatencyOK = m.Latency(remote)
+			if recent := m.Observations(remote, 0); len(recent) > 0 {
+				po.At = recent[len(recent)-1].At
+			}
+			out = append(out, po)
+		}
+	}
+	return out
 }
 
 // Received reports ingest counters (batches, records).

@@ -221,3 +221,72 @@ func TestDialRepositoryValidation(t *testing.T) {
 		t.Fatal("dial to dead port succeeded")
 	}
 }
+
+// reflow copies records onto a different flow so one synthetic train can
+// populate many (origin, remote) paths.
+func reflow(recs []pcap.Record, local, remote string) []pcap.Record {
+	out := append([]pcap.Record(nil), recs...)
+	for i := range out {
+		out[i].Flow = pcap.FlowKey{Local: local, Remote: remote}
+	}
+	return out
+}
+
+// TestRepositoryScanDeterministic is the regression test for the sorted
+// scan contract: results come back ordered by origin then remote — never
+// in map-iteration order — and repeated scans over unchanged state are
+// byte-for-byte identical. The coordination tier's map builder keys a
+// store off these results, so a flapping order would look like churn.
+func TestRepositoryScanDeterministic(t *testing.T) {
+	repo := NewRepository(Config{})
+	defer repo.Close()
+
+	// Deliberately populate origins and remotes in shuffled order.
+	outs := mkOuts(0, 20, 100*us, 1500, 0)
+	acks := mkAcks(outs, func(i int) int64 { return 1000*us + int64(i)*60*us })
+	closing := pcap.Record{At: outs[19].At + 200_000_000, Dir: pcap.In, IsAck: true}
+	for _, path := range [][2]string{
+		{"h3", "h1"}, {"h1", "h3"}, {"h2", "h1"}, {"h1", "h2"}, {"h3", "h2"},
+	} {
+		m := repo.monitor(path[0])
+		m.FeedAll(reflow(outs, path[0], path[1]))
+		m.FeedAll(reflow(acks, path[0], path[1]))
+		m.FeedAll(reflow([]pcap.Record{closing}, path[0], path[1]))
+	}
+	if n := repo.PollAll(); n != 5 {
+		t.Fatalf("PollAll = %d, want 5 observations", n)
+	}
+
+	first := repo.Scan()
+	want := [][2]string{
+		{"h1", "h2"}, {"h1", "h3"}, {"h2", "h1"}, {"h3", "h1"}, {"h3", "h2"},
+	}
+	if len(first) != len(want) {
+		t.Fatalf("Scan returned %d paths, want %d: %+v", len(first), len(want), first)
+	}
+	for i, w := range want {
+		po := first[i]
+		if po.Origin != w[0] || po.Remote != w[1] {
+			t.Fatalf("Scan[%d] = %s>%s, want %s>%s (order must be sorted, not map order)",
+				i, po.Origin, po.Remote, w[0], w[1])
+		}
+		if po.Estimate.Mbps <= 0 {
+			t.Errorf("Scan[%d] %s>%s has no estimate: %+v", i, po.Origin, po.Remote, po.Estimate)
+		}
+		if po.At == 0 {
+			t.Errorf("Scan[%d] %s>%s missing observation timestamp", i, po.Origin, po.Remote)
+		}
+	}
+	// Map iteration order varies per run; repeated scans must not.
+	for i := 0; i < 10; i++ {
+		again := repo.Scan()
+		if len(again) != len(first) {
+			t.Fatalf("rescan %d returned %d paths, want %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("rescan %d diverged at %d: %+v vs %+v", i, j, again[j], first[j])
+			}
+		}
+	}
+}
